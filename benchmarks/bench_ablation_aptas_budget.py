@@ -1,0 +1,65 @@
+"""Ablation A2 — the APTAS's width-budget knob.
+
+Lemma 3.2 trades distinct widths (``W``, which drives LP size and the
+additive term ``(W+1)(R+1)``) against fractional quality (factor
+``1 + K(R+1)/W``).  This ablation sweeps groups-per-class and records both
+the *fractional* height (monotone improving — more widths can only help
+the LP) and the *integral* height (non-monotone: more occurrences mean
+more additive slack), plus LP size.
+
+This is the engineering trade-off DESIGN.md documents: the theory's W is
+astronomically large; practice picks the knee of this curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.placement import validate_placement
+from repro.release.aptas import aptas
+from repro.release.lp import optimal_fractional_height
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit
+
+GROUPS = [1, 2, 3, 4, 6]
+K = 6
+
+
+def _inst(n=40, seed=9):
+    rng = np.random.default_rng(seed)
+    return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=6.0)
+
+
+@pytest.mark.parametrize("g", [1, 3])
+def test_a2_budget_timing(benchmark, g):
+    inst = _inst()
+    res = benchmark(lambda: aptas(inst, eps=0.9, groups_per_class=g))
+    validate_placement(inst, res.placement)
+
+
+def test_a2_budget_sweep(benchmark):
+    inst = _inst()
+    benchmark(lambda: aptas(inst, eps=0.9, groups_per_class=2))
+
+    opt_f = optimal_fractional_height(inst)
+    table = Table(
+        ["G/class", "W_eff", "configs", "frac_height", "integral", "occurrences",
+         "integral/opt_f"],
+        title=f"A2 APTAS width-budget sweep (K={K}, n={len(inst)})",
+    )
+    fracs = []
+    for g in GROUPS:
+        res = aptas(inst, eps=0.9, groups_per_class=g)
+        validate_placement(inst, res.placement)
+        fracs.append(res.fractional.height)
+        table.add_row(
+            [g, res.W, res.fractional.config_set.Q, res.fractional.height,
+             res.height, res.integral.n_occurrences, res.height / opt_f]
+        )
+    emit("a2_aptas_budget", table.render())
+    # Shape: fractional height is (weakly) non-increasing in the budget.
+    for a, b in zip(fracs, fracs[1:]):
+        assert b <= a + 1e-6

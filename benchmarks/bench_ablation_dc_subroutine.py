@@ -1,0 +1,64 @@
+"""Ablation A1 — DC's subroutine-A choice.
+
+Algorithm 1 only requires ``A(S') <= 2*AREA(S') + hmax``; any packer can be
+plugged in.  This ablation swaps NFDH (the default, with the proven
+contract) for FFDH, BFDH and skyline bottom-left and measures the end
+height across DAG shapes.
+
+Shape expectation: the packers with better practical density (BL/BFDH)
+improve DC's bands somewhat, but all variants stay within the Theorem 2.3
+envelope — the guarantee comes from the band decomposition, not the
+packer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound, dc_guarantee
+from repro.core.placement import validate_placement
+from repro.packing import bfdh, bottom_left, ffdh, nfdh
+from repro.precedence.dc import dc_pack
+from repro.workloads.dags import layered_precedence_instance, random_precedence_instance
+
+from .conftest import emit
+
+SUBROUTINES = {"nfdh": nfdh, "ffdh": ffdh, "bfdh": bfdh, "bottom_left": bottom_left}
+
+
+@pytest.mark.parametrize("sub_name", list(SUBROUTINES))
+def test_a1_dc_subroutine_ablation(benchmark, sub_name):
+    rng = np.random.default_rng(17)
+    inst = random_precedence_instance(96, 0.08, rng)
+    sub = SUBROUTINES[sub_name]
+    result = benchmark(lambda: dc_pack(inst, subroutine=sub))
+    validate_placement(inst, result.placement)
+    bound = dc_guarantee(len(inst), area_bound(inst), critical_path_bound(inst))
+    assert result.height <= bound + 1e-7
+
+
+def test_a1_dc_subroutine_table(benchmark):
+    rng = np.random.default_rng(18)
+    inst0 = random_precedence_instance(96, 0.08, rng)
+    benchmark(lambda: dc_pack(inst0))
+
+    table = Table(
+        ["workload", "n", *SUBROUTINES.keys()],
+        title="A1 DC height by subroutine A",
+    )
+    for wname, gen in (
+        ("random", lambda n, r: random_precedence_instance(n, 0.08, r)),
+        ("layered", lambda n, r: layered_precedence_instance(n, 8, 0.2, r)),
+    ):
+        for n in (64, 128):
+            rng = np.random.default_rng(200 + n)
+            inst = gen(n, rng)
+            heights = []
+            for sub in SUBROUTINES.values():
+                result = dc_pack(inst, subroutine=sub)
+                validate_placement(inst, result.placement)
+                heights.append(result.height)
+            table.add_row([wname, n, *heights])
+    emit("a1_dc_subroutine", table.render())

@@ -1,0 +1,69 @@
+"""E9 — Theorem 3.5: end-to-end APTAS quality.
+
+Shape checks:
+* the integral solution obeys ``S(R,W) <= (1+eps) * OPT_f + #occurrences``
+  with ``#occurrences <= (W+1)(R+1)`` for every run;
+* asymptotics: as the instance grows (more work per phase) the measured
+  ratio to OPT_f approaches 1 + eps from above — the additive term washes
+  out, which is exactly what "asymptotic PTAS" means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.placement import validate_placement
+from repro.release.aptas import aptas
+from repro.release.lp import optimal_fractional_height
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit
+
+SIZES = [10, 20, 40, 80, 160]
+EPS = 0.9
+K = 4
+
+
+def _scaled_instance(n, seed=0):
+    """Bursty workload whose total work grows with n while the release
+    structure stays fixed — the asymptotic regime."""
+    rng = np.random.default_rng(seed)
+    return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
+
+
+def test_e9_aptas_asymptotics(benchmark):
+    inst = _scaled_instance(40)
+    benchmark(lambda: aptas(inst, eps=EPS))
+
+    table = Table(
+        ["n", "opt_f", "aptas", "occurrences", "ratio", "(1+eps)+add/opt_f"],
+        title=f"E9 APTAS end-to-end (eps={EPS}, K={K})",
+    )
+    ratios = []
+    for n in SIZES:
+        inst = _scaled_instance(n)
+        res = aptas(inst, eps=EPS)
+        validate_placement(inst, res.placement)
+        opt_f = optimal_fractional_height(inst)
+        k_occ = res.integral.n_occurrences
+        # Theorem 3.5 with the realised additive term.
+        assert res.height <= (1 + EPS) * opt_f + k_occ + 1e-6
+        ratio = res.height / opt_f
+        ratios.append(ratio)
+        table.add_row([n, opt_f, res.height, k_occ, ratio, (1 + EPS) + k_occ / opt_f])
+    emit("e9_aptas", table.render())
+    # Shape: the measured ratio declines from its small-n peak (where the
+    # additive term bites) and ends at or below the 1+eps guarantee.
+    assert ratios[-1] <= max(ratios[:-1]) + 1e-9
+    assert ratios[-1] <= 1 + EPS
+
+
+@pytest.mark.parametrize("eps", [1.5, 0.9, 0.6])
+def test_e9_aptas_eps_sweep(benchmark, eps):
+    inst = _scaled_instance(60, seed=3)
+    res = benchmark(lambda: aptas(inst, eps=eps))
+    validate_placement(inst, res.placement)
+    opt_f = optimal_fractional_height(inst)
+    assert res.height <= (1 + eps) * opt_f + res.integral.n_occurrences + 1e-6

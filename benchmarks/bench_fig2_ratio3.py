@@ -1,0 +1,60 @@
+"""E4 — Lemma 2.7 / Fig. 2: tightness of the factor-3 analysis.
+
+Paper claim: uniform-height instances exist with
+``OPT = 3 * (F - 1) = 3 * AREA - 3 n eps`` — so no algorithm can be proved
+better than 3-approximate against the two elementary lower bounds.
+
+Shape checks: the measured optimal-structure packing (Algorithm F achieves
+the forced serialisation exactly) has height n, while max(AREA, F) ~ n/3,
+i.e. the ratio tends to 3 as eps -> 0 and k grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound
+from repro.core.placement import validate_placement
+from repro.precedence.shelf_nextfit import shelf_next_fit
+from repro.workloads.adversarial import ratio3_instance
+
+from .conftest import emit
+
+KS = [1, 2, 3, 4, 6, 8]
+EPS = 1e-6
+
+
+def test_e4_fig2_ratio3_family(benchmark):
+    adv = ratio3_instance(6, eps=EPS)
+    benchmark(lambda: shelf_next_fit(adv.instance))
+
+    table = Table(
+        ["k", "n", "AREA", "F", "opt", "height", "ratio_vs_lb"],
+        title="E4 Fig.2 ratio-3 tightness family",
+    )
+    last_ratio = 0.0
+    for k in KS:
+        adv = ratio3_instance(k, eps=EPS)
+        inst = adv.instance
+        run = shelf_next_fit(inst)
+        validate_placement(inst, run.placement)
+        area = area_bound(inst)
+        F = critical_path_bound(inst)
+        lb = max(area, F)
+        # Algorithm F realises the forced serialisation: height == OPT == n.
+        assert math.isclose(run.height, adv.analytic["opt"], rel_tol=1e-9)
+        # Lemma's equalities hold computationally.
+        assert math.isclose(adv.analytic["opt"], 3 * (F - 1), rel_tol=1e-6)
+        assert math.isclose(
+            adv.analytic["opt"], 3 * area - 3 * adv.analytic["n"] * EPS, rel_tol=1e-5
+        )
+        ratio = run.height / lb
+        table.add_row([k, adv.analytic["n"], area, F, adv.analytic["opt"], run.height, ratio])
+        last_ratio = ratio
+    emit("e4_fig2_ratio3", table.render())
+    # Shape: the OPT/lower-bound gap approaches 3 from below as k grows.
+    assert last_ratio > 2.6
+    assert last_ratio < 3.0 + 1e-9

@@ -1,0 +1,56 @@
+"""E7 — Lemma 3.2 / Figs. 3-4: width grouping costs at most a factor
+``1 + K(R+1)/W`` on the fractional optimum.
+
+Shape checks: the measured factor OPT_f(P(R,W)) / OPT_f(P(R)) stays below
+the lemma's bound for every width budget, decreases as W grows, and the
+Fig. 3/4 containment chain holds for every release class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.geometry.stacking import contains, stack
+from repro.release.grouping import group_widths
+from repro.release.lp import optimal_fractional_height
+from repro.release.rounding import round_releases_up
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit
+
+GROUPS_PER_CLASS = [1, 2, 3, 4]
+
+
+def test_e7_width_grouping_cost(benchmark):
+    rng = np.random.default_rng(31)
+    K = 6
+    inst = bursty_release_instance(30, K, rng, n_bursts=3)
+    rounded = round_releases_up(inst, 0.5)
+    n_classes = len({r.release for r in rounded.rects})
+    benchmark(lambda: group_widths(rounded, 2 * n_classes))
+
+    base = optimal_fractional_height(rounded)
+    table = Table(
+        ["G/class", "W", "distinct_w", "opt_f(P(R))", "opt_f(P(R,W))", "factor", "lemma_bound"],
+        title="E7 Lemma 3.2 width grouping",
+    )
+    factors = []
+    for g in GROUPS_PER_CLASS:
+        W = g * n_classes
+        out = group_widths(rounded, W)
+        h = optimal_fractional_height(out.instance)
+        factor = h / base
+        lemma = 1 + K * n_classes / W
+        assert factor <= lemma + 1e-6, f"Lemma 3.2 bound violated at W={W}"
+        factors.append(factor)
+        # Fig. 3/4 containment chain per class.
+        orig_classes = rounded.release_classes()
+        new_classes = out.instance.release_classes()
+        for rel in orig_classes:
+            assert contains(stack(new_classes[rel]), stack(orig_classes[rel]))
+        table.add_row([g, W, out.n_distinct_widths, base, h, factor, lemma])
+    emit("e7_grouping", table.render())
+    # Shape: cost shrinks (weakly) as the width budget grows.
+    assert factors[-1] <= factors[0] + 1e-9

@@ -1,0 +1,54 @@
+"""E8 — Lemma 3.3: the configuration LP computes OPT_f and a basic optimal
+solution uses at most (W+1)(R+1) distinct configuration occurrences.
+
+Shape checks: support size <= (W+1)(R+1) across K; configuration count
+grows quickly with K (the stated exponential dependence); LP height always
+dominates the fractional lower bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.release.configurations import enumerate_configurations
+from repro.release.lp import solve_fractional
+from repro.workloads.releases import staircase_release_instance
+
+from .conftest import emit
+
+KS = [2, 3, 4, 5, 6]
+
+
+@pytest.mark.parametrize("K", [4])
+def test_e8_lp_solve_time(benchmark, K):
+    rng = np.random.default_rng(41)
+    inst = staircase_release_instance(24, K, rng, n_steps=3)
+    benchmark(lambda: solve_fractional(inst))
+
+
+def test_e8_support_bound_and_config_growth(benchmark):
+    benchmark(lambda: enumerate_configurations([c / 6 for c in range(1, 7)]))
+
+    table = Table(
+        ["K", "Q(configs)", "W", "R+1", "support", "(W+1)(R+1)", "opt_f"],
+        title="E8 Lemma 3.3 configuration LP",
+    )
+    qs = []
+    for K in KS:
+        widths = [c / K for c in range(1, K + 1)]
+        Q = enumerate_configurations(widths).Q
+        qs.append(Q)
+        rng = np.random.default_rng(500 + K)
+        inst = staircase_release_instance(18, K, rng, n_steps=3)
+        sol = solve_fractional(inst)
+        sol.verify()
+        W = len({r.width for r in inst.rects})
+        R1 = len(sol.boundaries)
+        support = len(sol.support())
+        assert support <= (W + 1) * R1, "Lemma 3.3 support bound violated"
+        table.add_row([K, Q, W, R1, support, (W + 1) * R1, sol.height])
+    emit("e8_lp_configs", table.render())
+    # Shape: configuration count grows super-linearly in K.
+    assert qs[-1] > 4 * qs[0]

@@ -1,0 +1,93 @@
+"""A4 — the price of not knowing the future (online vs offline release
+scheduling) and true-optimum ratios for the bin algorithms.
+
+The paper's release-time model comes from operating systems that schedule
+hardware tasks online (ref [23]); the offline APTAS is the other end of
+the knowledge spectrum.  This bench measures:
+
+* online first-fit vs the offline APTAS vs OPT_f on bursty workloads —
+  online pays for early commitments, the gap is the price of clairvoyance;
+* the Section 2.2 bin algorithms against the *exact* optimum (via the
+  ideal-lattice solver), tightening E5's lower-bound-based ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.placement import validate_placement
+from repro.exact.bin_packing_exact import solve_bin_packing_exact
+from repro.precedence.bin_packing import (
+    precedence_first_fit_decreasing,
+    precedence_next_fit,
+    strip_to_bin_instance,
+)
+from repro.precedence.ggjy_first_fit import ggjy_first_fit
+from repro.release.aptas import aptas
+from repro.release.lp import optimal_fractional_height
+from repro.release.online import online_first_fit
+from repro.workloads.dags import uniform_height_precedence_instance
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit
+
+K = 4
+
+
+def _inst(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
+
+
+def test_a4_online_vs_offline(benchmark):
+    inst0 = _inst(40)
+    benchmark(lambda: online_first_fit(inst0))
+
+    table = Table(
+        ["n", "opt_f", "online_ff", "offline_aptas", "online/opt_f", "aptas/opt_f"],
+        title=f"A4 online first-fit vs offline APTAS (K={K})",
+    )
+    for n in (10, 20, 40, 80):
+        inst = _inst(n)
+        res_on = online_first_fit(inst)
+        validate_placement(inst, res_on.placement)
+        res_off = aptas(inst, eps=0.9)
+        validate_placement(inst, res_off.placement)
+        opt_f = optimal_fractional_height(inst)
+        table.add_row(
+            [n, opt_f, res_on.placement.height, res_off.height,
+             res_on.placement.height / opt_f, res_off.height / opt_f]
+        )
+        # Both are integral solutions above the fractional optimum.
+        assert res_on.placement.height >= opt_f - 1e-6
+        assert res_off.height >= opt_f - 1e-6
+    emit("a4_online_offline", table.render())
+
+
+def test_a4_bins_vs_true_optimum(benchmark):
+    rng = np.random.default_rng(77)
+    inst0 = uniform_height_precedence_instance(10, 0.15, rng)
+    bin0 = strip_to_bin_instance(inst0)
+    benchmark(lambda: solve_bin_packing_exact(bin0, max_states=100_000))
+
+    table = Table(
+        ["seed", "n", "opt", "next_fit", "level_ffd", "ggjy_ff"],
+        title="A4b bin algorithms vs exact optimum (n=10)",
+    )
+    worst_nf = 0.0
+    for seed in range(8):
+        rng = np.random.default_rng(700 + seed)
+        inst = uniform_height_precedence_instance(10, 0.15, rng)
+        bin_inst = strip_to_bin_instance(inst)
+        opt = solve_bin_packing_exact(bin_inst, max_states=150_000).n_bins
+        nf = precedence_next_fit(bin_inst).n_bins
+        ffd = precedence_first_fit_decreasing(bin_inst).n_bins
+        ggjy = ggjy_first_fit(bin_inst).n_bins
+        worst_nf = max(worst_nf, nf / opt)
+        # Theorem 2.6 carried to bins, now against the *true* optimum.
+        assert nf <= 3 * opt
+        table.add_row([seed, 10, opt, nf, ffd, ggjy])
+    emit("a4b_bins_exact", table.render())
+    assert worst_nf <= 3.0

@@ -1,0 +1,77 @@
+"""E10 — APTAS vs release-aware heuristics.
+
+Shape checks: on batched (bursty) workloads with dense per-phase work, the
+APTAS's LP-guided packing tracks OPT_f while the batch-shelf heuristic
+pays fragmentation; bottom-left sits in between.  On tiny instances the
+heuristics win (the APTAS's additive term dominates) — the crossover is
+the asymptotic story of Theorem 3.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.placement import validate_placement
+from repro.release.aptas import aptas
+from repro.release.heuristics import release_bottom_left, release_shelf_pack
+from repro.release.lp import optimal_fractional_height
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit
+
+K = 4
+SIZES = [10, 20, 40, 80, 160]
+EPS = 0.9
+
+
+def _inst(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
+
+
+@pytest.mark.parametrize(
+    "name,solver",
+    [
+        ("aptas", lambda inst: aptas(inst, eps=EPS).placement),
+        ("shelf", release_shelf_pack),
+        ("bottom_left", release_bottom_left),
+    ],
+)
+def test_e10_baseline_timing(benchmark, name, solver):
+    inst = _inst(40, seed=1)
+    p = benchmark(lambda: solver(inst))
+    validate_placement(inst, p)
+
+
+def test_e10_quality_comparison(benchmark):
+    benchmark(lambda: release_shelf_pack(_inst(40, seed=1)))
+
+    table = Table(
+        ["n", "opt_f", "aptas", "shelf", "bottom_left", "aptas/opt_f", "shelf/opt_f", "bl/opt_f"],
+        title=f"E10 APTAS vs heuristics (eps={EPS}, K={K})",
+    )
+    aptas_ratios, shelf_ratios = [], []
+    for n in SIZES:
+        inst = _inst(n)
+        opt_f = optimal_fractional_height(inst)
+        h_aptas = aptas(inst, eps=EPS).height
+        h_shelf = release_shelf_pack(inst).height
+        h_bl = release_bottom_left(inst).height
+        aptas_ratios.append(h_aptas / opt_f)
+        shelf_ratios.append(h_shelf / opt_f)
+        table.add_row(
+            [n, opt_f, h_aptas, h_shelf, h_bl,
+             h_aptas / opt_f, h_shelf / opt_f, h_bl / opt_f]
+        )
+    emit("e10_baselines", table.render())
+    # Shape: the APTAS ratio declines from its small-n peak toward the
+    # 1+eps guarantee...
+    assert aptas_ratios[-1] <= max(aptas_ratios[:-1]) + 1e-9
+    assert aptas_ratios[-1] <= 1 + EPS
+    # ...and at the largest size it is competitive with the batch-shelf
+    # heuristic (within a small constant; see EXPERIMENTS.md for the honest
+    # reading — at tractable parameters the heuristics remain strong and the
+    # APTAS's value is its guarantee).
+    assert aptas_ratios[-1] <= shelf_ratios[-1] + 0.15

@@ -1,0 +1,47 @@
+"""E6 — Lemma 3.1: release rounding costs at most a (1 + eps) factor on the
+fractional optimum.
+
+Shape check: OPT_f(P(R)) <= (1 + eps) * OPT_f(P) across eps and workloads,
+and the number of distinct release values collapses to <= ceil(1/eps) + 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.release.lp import optimal_fractional_height
+from repro.release.rounding import round_releases_up
+from repro.workloads.releases import poisson_release_instance
+
+from .conftest import emit
+
+EPSES = [0.5, 0.33, 0.25, 0.2]
+
+
+def test_e6_release_rounding_cost(benchmark):
+    rng = np.random.default_rng(21)
+    inst = poisson_release_instance(24, 4, rng, rate=1.5, max_cols=4)
+    benchmark(lambda: round_releases_up(inst, 0.25))
+
+    table = Table(
+        ["eps", "classes_before", "classes_after", "opt_f", "opt_f_rounded", "factor", "1+eps"],
+        title="E6 Lemma 3.1 release rounding",
+    )
+    rng = np.random.default_rng(22)
+    inst = poisson_release_instance(18, 4, rng, rate=1.5, max_cols=4)
+    base = optimal_fractional_height(inst)
+    for eps in EPSES:
+        rounded = round_releases_up(inst, eps)
+        n_before = len({r.release for r in inst.rects})
+        n_after = len({r.release for r in rounded.rects})
+        assert n_after <= math.ceil(1 / eps) + 1
+        h = optimal_fractional_height(rounded)
+        factor = h / base
+        # Lemma 3.1's bound.
+        assert factor <= 1 + eps + 1e-6
+        table.add_row([eps, n_before, n_after, base, h, factor, 1 + eps])
+    emit("e6_rounding", table.render())

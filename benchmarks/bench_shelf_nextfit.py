@@ -1,0 +1,56 @@
+"""E3 — Theorem 2.6: Algorithm F's absolute 3-approximation and the
+red/green accounting of its proof.
+
+Shape checks per run: height <= 3 * max(AREA, F); red shelves <= 2*AREA;
+every green shelf is a skip shelf; skips <= F (chain bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound
+from repro.core.placement import validate_placement
+from repro.precedence.accounting import color_shelves, verify_accounting
+from repro.precedence.shelf_nextfit import shelf_next_fit
+from repro.workloads.dags import uniform_height_precedence_instance
+
+from .conftest import emit
+
+SIZES = [16, 32, 64, 128, 256]
+EDGE_PS = [0.0, 0.05, 0.2]
+
+
+def test_e3_shelf_next_fit_three_approx(benchmark):
+    rng = np.random.default_rng(0)
+    inst = uniform_height_precedence_instance(128, 0.05, rng)
+    benchmark(lambda: shelf_next_fit(inst))
+
+    table = Table(
+        ["n", "p", "shelves", "red", "green", "skips", "lb", "ratio"],
+        title="E3 Algorithm F (shelf next-fit), uniform height",
+    )
+    worst = 0.0
+    for n in SIZES:
+        for p in EDGE_PS:
+            rng = np.random.default_rng(1000 + n)
+            inst = uniform_height_precedence_instance(n, p, rng)
+            run = shelf_next_fit(inst)
+            validate_placement(inst, run.placement)
+            area = area_bound(inst)
+            F = critical_path_bound(inst)
+            lb = max(area, F)
+            ratio = run.height / lb
+            worst = max(worst, ratio)
+            stats = verify_accounting(run, area=area, opt_lower=lb)
+            # Lemma 2.5 via the chain bound (unit heights).
+            assert stats["skips"] <= F + 1e-9
+            # Theorem 2.6 against the lower bound (implies vs OPT).
+            assert run.height <= 3.0 * lb + 1e-7
+            table.add_row(
+                [n, p, len(run.shelves), stats["red"], stats["green"], stats["skips"], lb, ratio]
+            )
+    emit("e3_shelf_nextfit", table.render())
+    assert worst <= 3.0 + 1e-9

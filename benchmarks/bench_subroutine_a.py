@@ -1,0 +1,86 @@
+"""E11 — the subroutine-A contract and unconstrained packer quality.
+
+Shape checks:
+* NFDH (and FFDH) satisfy ``A(S) <= 2*AREA + hmax`` on every sampled
+  instance — the property Algorithm 1 needs from [22, 24];
+* against the exact optimum (small columnar instances), all packers stay
+  within small constant factors, ordering BL <= BFDH/FFDH <= NFDH on
+  average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import RatioSample, summarize
+from repro.analysis.report import Table
+from repro.core.instance import StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import max_height, total_area
+from repro.exact.branch_and_bound import solve_exact
+from repro.packing import bfdh, bottom_left, ffdh, nfdh
+from repro.workloads.random_rects import columnar_rects, powerlaw_rects, uniform_rects
+
+from .conftest import emit
+
+PACKERS = {"nfdh": nfdh, "ffdh": ffdh, "bfdh": bfdh, "bottom_left": bottom_left}
+
+
+@pytest.mark.parametrize("name", list(PACKERS))
+def test_e11_packer_timing(benchmark, name):
+    rng = np.random.default_rng(3)
+    rects = uniform_rects(200, rng)
+    result = benchmark(lambda: PACKERS[name](rects))
+    validate_placement(StripPackingInstance(rects), result.placement)
+
+
+def test_e11_contract_and_exact_ratios(benchmark):
+    rng = np.random.default_rng(5)
+    rects = uniform_rects(100, rng)
+    benchmark(lambda: nfdh(rects))
+
+    # Contract sweep: 2*AREA + hmax for NFDH/FFDH on three distributions.
+    table = Table(
+        ["distribution", "n", "packer", "extent", "2*AREA+hmax", "ok"],
+        title="E11a subroutine-A contract",
+    )
+    dists = {
+        "uniform": lambda n, rng: uniform_rects(n, rng),
+        "powerlaw": lambda n, rng: powerlaw_rects(n, rng),
+        "columnar(K=8)": lambda n, rng: columnar_rects(n, 8, rng),
+    }
+    for dist_name, gen in dists.items():
+        for n in (20, 80):
+            rng = np.random.default_rng(hash(dist_name) % 1000 + n)
+            rects = gen(n, rng)
+            bound = 2 * total_area(rects) + max_height(rects)
+            for pname in ("nfdh", "ffdh"):
+                extent = PACKERS[pname](rects).extent
+                assert extent <= bound + 1e-7
+                table.add_row([dist_name, n, pname, extent, bound, extent <= bound])
+    emit("e11a_contract", table.render())
+
+    # Exact-ratio sweep on small columnar instances.
+    table2 = Table(
+        ["packer", "count", "mean_ratio", "max_ratio"],
+        title="E11b packers vs exact optimum (n=7, K=4)",
+    )
+    samples: dict[str, list[RatioSample]] = {p: [] for p in PACKERS}
+    for seed in range(10):
+        rng = np.random.default_rng(900 + seed)
+        rects = columnar_rects(7, 4, rng)
+        inst = StripPackingInstance(rects)
+        opt = solve_exact(inst, K=4, max_nodes=400_000).height
+        for pname, packer in PACKERS.items():
+            h = packer(rects).extent
+            samples[pname].append(RatioSample(h, opt, label=f"{pname}:{seed}"))
+            assert h >= opt - 1e-9  # exactness sanity
+    worst = {}
+    for pname, ss in samples.items():
+        stats = summarize(ss)
+        worst[pname] = stats["max"]
+        table2.add_row([pname, int(stats["count"]), stats["mean"], stats["max"]])
+    emit("e11b_vs_exact", table2.render())
+    # Shape: no packer strays beyond small constants on these sizes.
+    assert all(v <= 3.0 for v in worst.values())

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment from DESIGN.md's index
+(E1..E12).  Conventions:
+
+* each pytest function uses the ``benchmark`` fixture (so the suite runs
+  under ``pytest benchmarks/ --benchmark-only``) to time the algorithm
+  under study, then *verifies the paper's shape claims* with assertions;
+* each experiment emits its series/table through :func:`emit`, which both
+  prints it (visible with ``-s``) and appends it to
+  ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can be checked
+  against a fresh run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n[{experiment}]\n{text}\n"
+    print(banner)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""The Section 2.2 workflow: uniform heights, shelves and bins.
+
+Walks the full equivalence chain the paper uses for the uniform-height
+special case:
+
+ 1. build a uniform-height precedence instance (hardware tasks that all
+    run for one reconfiguration period);
+ 2. run Algorithm F (shelf Next-Fit) and show the red/green accounting of
+    Theorem 2.6's proof on the actual run;
+ 3. reduce to precedence-constrained bin packing and compare next-fit,
+    level-FFD and GGJY First Fit;
+ 4. certify everything against the exact optimum (ideal-lattice solver);
+ 5. take a *floating* placement from the greedy list scheduler and slide
+    it down into a shelf solution, verifying the height never grows.
+
+Run:  python examples/bin_packing_workflow.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.bounds import area_bound, critical_path_bound
+from repro.core.placement import validate_placement
+from repro.exact.bin_packing_exact import solve_bin_packing_exact
+from repro.precedence.accounting import color_shelves, verify_accounting
+from repro.precedence.bin_packing import (
+    chain_lower_bound,
+    precedence_first_fit_decreasing,
+    precedence_next_fit,
+    size_lower_bound,
+    strip_to_bin_instance,
+)
+from repro.precedence.ggjy_first_fit import ggjy_first_fit
+from repro.precedence.list_schedule import list_schedule
+from repro.precedence.shelf_conversion import is_shelf_solution, to_shelf_solution
+from repro.precedence.shelf_nextfit import shelf_next_fit
+from repro.workloads.dags import uniform_height_precedence_instance
+
+
+def main(n: int = 12) -> None:
+    rng = np.random.default_rng(5)
+    inst = uniform_height_precedence_instance(n, 0.15, rng)
+    area = area_bound(inst)
+    F = critical_path_bound(inst)
+    print(f"{n} unit-height tasks, {inst.dag.n_edges} precedence edges")
+    print(f"lower bounds: AREA = {area:.3f}, F (chain) = {F:.0f}\n")
+
+    # --- Algorithm F with the proof's accounting -------------------------
+    run = shelf_next_fit(inst)
+    validate_placement(inst, run.placement)
+    coloring = color_shelves(run)
+    stats = verify_accounting(run, area=area, opt_lower=max(area, F))
+    print(f"Algorithm F: {len(run.shelves)} shelves "
+          f"({stats['red']:.0f} red, {stats['green']:.0f} green, "
+          f"{run.n_skips} skips)")
+    print(f"  Theorem 2.6 accounting: red <= 2*AREA = {2 * area:.2f}  OK; "
+          f"green <= skips <= F = {F:.0f}  OK\n")
+
+    # --- bin packing view --------------------------------------------------
+    bin_inst = strip_to_bin_instance(inst)
+    lb = max(size_lower_bound(bin_inst), chain_lower_bound(bin_inst))
+    opt = solve_bin_packing_exact(bin_inst).n_bins
+    table = Table(["algorithm", "bins", "vs OPT"], title="bin packing view")
+    for name, algo in (
+        ("next-fit (Algorithm F)", precedence_next_fit),
+        ("level FFD", precedence_first_fit_decreasing),
+        ("GGJY first fit", ggjy_first_fit),
+    ):
+        a = algo(bin_inst)
+        a.validate(bin_inst)
+        table.add_row([name, a.n_bins, a.n_bins / opt])
+    table.add_row(["exact (ideal lattice)", opt, 1.0])
+    table.print()
+    print(f"(elementary lower bound: {lb} bins)\n")
+
+    # --- slide-down conversion ----------------------------------------------
+    floating = list_schedule(inst)
+    validate_placement(inst, floating)
+    shelved = to_shelf_solution(inst, floating, paranoid=True)
+    validate_placement(inst, shelved)
+    print("slide-down conversion (Section 2.2):")
+    print(f"  list-schedule height {floating.height:.3f} "
+          f"(shelf solution: {is_shelf_solution(floating, 1.0)})")
+    print(f"  after conversion     {shelved.height:.3f} "
+          f"(shelf solution: {is_shelf_solution(shelved, 1.0)})")
+    assert shelved.height <= floating.height + 1e-9
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  This shim lets ``python setup.py develop`` / legacy ``pip install
+-e .`` work from the pyproject metadata alone.
+"""
+
+from setuptools import setup
+
+setup()

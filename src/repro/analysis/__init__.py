@@ -1,0 +1,15 @@
+"""Measurement and reporting helpers shared by benchmarks and examples."""
+
+from .ratios import RatioSample, geometric_mean, log_slope, summarize
+from .render import render_placement
+from .report import Table, format_value
+
+__all__ = [
+    "RatioSample",
+    "summarize",
+    "geometric_mean",
+    "log_slope",
+    "Table",
+    "format_value",
+    "render_placement",
+]

@@ -1,0 +1,40 @@
+"""CSV/JSON export for experiment tables.
+
+Benchmarks persist human-readable tables under ``benchmarks/results/``;
+this module adds machine-readable exports so downstream tooling (plots,
+regression tracking) can consume the same data without re-parsing the
+monospace rendering.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from .report import Table
+
+__all__ = ["table_to_csv", "table_to_records", "table_to_json"]
+
+
+def table_to_records(table: Table) -> list[dict[str, str]]:
+    """Rows as a list of column->cell dicts (cells are formatted strings)."""
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def table_to_csv(table: Table) -> str:
+    """Render a table as CSV text (header row first)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(table.columns)
+    writer.writerows(table.rows)
+    return buf.getvalue()
+
+
+def table_to_json(table: Table, **json_kwargs: Any) -> str:
+    """Render a table as a JSON document ``{"title":..., "rows": [...]}.``"""
+    return json.dumps(
+        {"title": table.title, "columns": table.columns, "rows": table_to_records(table)},
+        **json_kwargs,
+    )

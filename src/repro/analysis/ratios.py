@@ -1,0 +1,70 @@
+"""Ratio statistics used by every benchmark harness.
+
+An *approximation ratio sample* compares an achieved height against a
+reference (a lower bound or a true optimum).  The helpers here aggregate
+samples the way the paper's statements are phrased: worst case for absolute
+guarantees, mean/geometric-mean for typical behaviour, and a regression
+helper (`log_slope`) for the "grows like log n" shape checks of
+experiment E2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RatioSample", "summarize", "geometric_mean", "log_slope"]
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """One measurement: achieved height vs. reference height."""
+
+    achieved: float
+    reference: float
+    label: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.reference <= 0.0:
+            raise ZeroDivisionError(f"non-positive reference in sample {self.label!r}")
+        return self.achieved / self.reference
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (0 for empty input is refused: raises ValueError)."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    return float(np.exp(np.mean(np.log(np.asarray(values, dtype=float)))))
+
+
+def summarize(samples: Sequence[RatioSample]) -> dict[str, float]:
+    """Aggregate ratios: count, min/mean/geo-mean/max."""
+    ratios = [s.ratio for s in samples]
+    if not ratios:
+        return {"count": 0.0}
+    return {
+        "count": float(len(ratios)),
+        "min": float(min(ratios)),
+        "mean": float(np.mean(ratios)),
+        "gmean": geometric_mean(ratios),
+        "max": float(max(ratios)),
+    }
+
+
+def log_slope(ns: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of ``values`` against ``log2(ns)``.
+
+    Experiment E2 checks that the optimal height of the Lemma 2.4 family
+    grows linearly in ``log n`` (slope ~ 1/2 per doubling-pair): a slope
+    meaningfully above 0 confirms the Omega(log n) gap shape.
+    """
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need two aligned sequences of length >= 2")
+    x = np.log2(np.asarray(ns, dtype=float))
+    y = np.asarray(values, dtype=float)
+    slope, _intercept = np.polyfit(x, y, 1)
+    return float(slope)

@@ -1,0 +1,53 @@
+"""ASCII rendering of placements — the examples' visual output.
+
+Draws a placement on a character grid (strip width across, height up the
+page, origin at the bottom-left).  Rectangles are filled with a letter per
+id; boundaries are preserved well enough at typical terminal sizes to read
+shelf structure, DC bands and APTAS columns at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.placement import Placement
+
+__all__ = ["render_placement"]
+
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def render_placement(
+    placement: Placement,
+    *,
+    width_chars: int = 64,
+    max_rows: int = 40,
+) -> str:
+    """Render a placement as ASCII art (top of strip printed first).
+
+    Cells covered by a rectangle show its glyph (ids are mapped to glyphs in
+    placement order, cycling); empty cells show ``.``.
+    """
+    if len(placement) == 0:
+        return "(empty placement)"
+    H = placement.height
+    # Aim for roughly square-looking cells at a 2:1 character aspect ratio,
+    # clamped to [4, max_rows] rows.
+    rows = max(4, min(max_rows, int(round(H * width_chars / 2))))
+    grid = [["." for _ in range(width_chars)] for _ in range(rows)]
+    glyph_of: dict[Hashable, str] = {}
+    for k, (rid, _) in enumerate(placement.items()):
+        glyph_of[rid] = _GLYPHS[k % len(_GLYPHS)]
+    cell_h = H / rows
+    cell_w = 1.0 / width_chars
+    for rid, pr in placement.items():
+        r0 = int(pr.y / cell_h)
+        r1 = max(r0 + 1, min(rows, int(round(pr.y2 / cell_h))))
+        c0 = int(pr.x / cell_w)
+        c1 = max(c0 + 1, min(width_chars, int(round(pr.x2 / cell_w))))
+        for rr in range(max(0, r0), min(rows, r1)):
+            for cc in range(max(0, c0), c1):
+                grid[rr][cc] = glyph_of[rid]
+    lines = ["".join(row) for row in reversed(grid)]
+    header = f"height = {H:.4g}, n = {len(placement)}"
+    return "\n".join([header] + lines)

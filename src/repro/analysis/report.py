@@ -1,0 +1,66 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same row/series structure the paper's analysis implies
+("who wins, by what factor, where the growth is logarithmic"); this module
+keeps the formatting in one place so every harness emits uniform, grep-able
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(v: object, precision: int = 4) -> str:
+    """Uniform cell formatting: floats to ``precision`` significant digits."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+class Table:
+    """A simple monospaced table builder.
+
+    >>> t = Table(["n", "ratio"], title="demo")
+    >>> t.add_row([4, 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [format_value(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows), 1)
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "  "
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(sep.join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep.join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append(sep.join(c.rjust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())

@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, available algorithms and problem variants.
+``demo``
+    Solve one built-in instance of each variant and draw the packings.
+``solve INSTANCE.json [--algorithm NAME] [--eps E] [--output OUT.json]``
+    Solve a JSON instance (format: :mod:`repro.core.serialize`), validate,
+    print the height and optionally write the placement JSON.
+``bounds INSTANCE.json``
+    Print the elementary lower bounds for an instance.
+
+The CLI is a thin shell over the library; every code path it exercises is
+covered by unit tests through :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import __version__
+from .analysis.render import render_placement
+from .core.bounds import combined_lower_bound
+from .core.registry import available_algorithms, solve
+from .core.serialize import loads_instance, placement_to_dict
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Strip packing with precedence constraints and release times "
+        "(Augustine-Banerjee-Irani reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and available algorithms")
+    sub.add_parser("demo", help="solve a built-in instance of each variant")
+
+    p_solve = sub.add_parser("solve", help="solve a JSON instance file")
+    p_solve.add_argument("instance", type=Path, help="path to instance JSON")
+    p_solve.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
+    p_solve.add_argument("--eps", type=float, default=0.9, help="APTAS error parameter")
+    p_solve.add_argument("--output", type=Path, default=None, help="write placement JSON here")
+    p_solve.add_argument("--render", action="store_true", help="draw the packing")
+
+    p_bounds = sub.add_parser("bounds", help="print lower bounds for a JSON instance")
+    p_bounds.add_argument("instance", type=Path)
+    return parser
+
+
+def _cmd_info(out) -> int:
+    print(f"repro {__version__}", file=out)
+    print("algorithms: " + ", ".join(available_algorithms()), file=out)
+    print("variants: plain | precedence | release", file=out)
+    return 0
+
+
+def _cmd_demo(out) -> int:
+    import numpy as np
+
+    from .workloads.dags import random_precedence_instance
+    from .workloads.releases import bursty_release_instance
+
+    rng = np.random.default_rng(0)
+    prec = random_precedence_instance(12, 0.15, rng)
+    p1 = solve(prec)
+    print(f"precedence demo: n={len(prec)}, DC height {p1.height:.3f}", file=out)
+    print(render_placement(p1, width_chars=40, max_rows=12), file=out)
+
+    rel = bursty_release_instance(10, 4, rng, n_bursts=2)
+    p2 = solve(rel, eps=1.0)
+    print(f"\nrelease demo: n={len(rel)}, APTAS height {p2.height:.3f}", file=out)
+    print(render_placement(p2, width_chars=40, max_rows=12), file=out)
+    return 0
+
+
+def _cmd_solve(args, out) -> int:
+    instance = loads_instance(args.instance.read_text())
+    kwargs = {}
+    from .core.instance import ReleaseInstance
+
+    name = args.algorithm
+    if isinstance(instance, ReleaseInstance) and (name is None or name == "aptas"):
+        kwargs["eps"] = args.eps
+    placement = solve(instance, name, **kwargs)
+    print(f"algorithm: {name or 'default'}", file=out)
+    print(f"n = {len(instance)}, height = {placement.height:.6g}, "
+          f"lower bound = {combined_lower_bound(instance):.6g}", file=out)
+    if args.render:
+        print(render_placement(placement), file=out)
+    if args.output is not None:
+        args.output.write_text(json.dumps(placement_to_dict(placement), indent=2))
+        print(f"placement written to {args.output}", file=out)
+    return 0
+
+
+def _cmd_bounds(args, out) -> int:
+    from .core.bounds import area_bound, hmax_bound
+
+    instance = loads_instance(args.instance.read_text())
+    print(f"n        = {len(instance)}", file=out)
+    print(f"area     = {area_bound(instance):.6g}", file=out)
+    print(f"hmax     = {hmax_bound(instance):.6g}", file=out)
+    print(f"combined = {combined_lower_bound(instance):.6g}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "demo":
+        return _cmd_demo(out)
+    if args.command == "solve":
+        return _cmd_solve(args, out)
+    if args.command == "bounds":
+        return _cmd_bounds(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

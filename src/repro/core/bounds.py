@@ -1,0 +1,84 @@
+"""Lower bounds on the optimal packing height.
+
+The paper's analyses rest on a small set of elementary lower bounds:
+
+* ``AREA(S)`` — total area (strip width is 1, so area = average height);
+* ``h_max``  — any single rectangle's height;
+* ``F(S)``   — critical-path bound for the precedence variant (Section 2);
+* ``r_max + min-height-above`` — release-time bound for Section 3;
+* the fractional LP optimum ``OPT_f`` (computed in :mod:`repro.release.lp`)
+  which lower-bounds the integral optimum.
+
+These functions are used by benchmarks to report achieved/lower-bound
+ratios on instances too large for the exact solver, exactly as the paper's
+proofs compare against ``max(AREA, F)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..dag.critical_path import F_of_set
+from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+
+__all__ = [
+    "area_bound",
+    "hmax_bound",
+    "critical_path_bound",
+    "release_bound",
+    "combined_lower_bound",
+]
+
+Node = Hashable
+
+
+def area_bound(instance: StripPackingInstance) -> float:
+    """``AREA(S)``: since the strip has width 1, the covered area equals the
+    average occupied height, so no packing can be shorter."""
+    return instance.area
+
+
+def hmax_bound(instance: StripPackingInstance) -> float:
+    """Tallest rectangle: it must fit somewhere."""
+    return instance.hmax
+
+
+def critical_path_bound(instance: PrecedenceInstance) -> float:
+    """``F(S)`` — Section 2's recursive bound: along any precedence chain the
+    heights add up, regardless of widths."""
+    return F_of_set(instance.dag, instance.heights())
+
+
+def release_bound(instance: ReleaseInstance) -> float:
+    """Release-time bound: every rectangle's top is at least
+    ``r_s + h_s``, and the whole packing additionally covers ``AREA`` of
+    strip; we return the max of those two simple facts."""
+    per_rect = max((r.release + r.height for r in instance.rects), default=0.0)
+    return max(per_rect, instance.area)
+
+
+def combined_lower_bound(instance: StripPackingInstance) -> float:
+    """The strongest elementary bound available for the instance's type.
+
+    * plain: ``max(AREA, h_max)``
+    * precedence: ``max(AREA, F)``  (F >= h_max always)
+    * release: ``max(AREA, h_max, max_s r_s + h_s)``
+    """
+    best = max(area_bound(instance), hmax_bound(instance))
+    if isinstance(instance, PrecedenceInstance):
+        best = max(best, critical_path_bound(instance))
+    if isinstance(instance, ReleaseInstance):
+        best = max(best, release_bound(instance))
+    return best
+
+
+def dc_guarantee(n: int, area: float, f: float) -> float:
+    """The height bound proved for Algorithm 1 (Theorem 2.3):
+    ``DC(S) <= log2(n+1) * F(S) + 2 * AREA(S)``.
+
+    Benchmarks assert the measured height never exceeds this.
+    """
+    if n <= 0:
+        return 0.0
+    return math.log2(n + 1) * f + 2.0 * area

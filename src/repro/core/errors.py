@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing input problems (:class:`InvalidInstanceError`) from
+output problems (:class:`InvalidPlacementError`) and solver-side issues
+(:class:`SolverError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An instance violates its problem definition.
+
+    Examples: a rectangle with non-positive height, a width outside
+    ``(0, 1]``, a precedence graph with a cycle, a negative release time, or
+    an APTAS input breaking the standard assumptions (``h <= 1`` and
+    ``w >= 1/K``).
+    """
+
+
+class InvalidPlacementError(ReproError, ValueError):
+    """A placement violates the validity conditions of its instance.
+
+    Raised by the validators in :mod:`repro.core.placement` when a packing
+    overlaps, sticks out of the strip, breaks a precedence edge or starts a
+    rectangle below its release time.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """An internal solver failed (LP infeasible/unbounded, B&B overflow...)."""
+
+
+class BudgetExceededError(SolverError):
+    """An exact solver exceeded its node or time budget before proving
+    optimality.
+
+    The exact branch-and-bound solvers are meant for small ratio-study
+    instances; instead of silently returning a possibly sub-optimal height
+    they raise this error when their search budget runs out.
+    """

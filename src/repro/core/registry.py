@@ -1,0 +1,153 @@
+"""Algorithm registry and the one-call :func:`solve` dispatcher.
+
+The public entry point for users who just want a packing: pick an algorithm
+by name (or let the dispatcher choose a sensible default for the instance's
+variant) and get a validated :class:`~repro.core.placement.Placement` back.
+
+Registered algorithms (see DESIGN.md for guarantees):
+
+====================  ===========================  ==============================
+name                  instance type                guarantee
+====================  ===========================  ==============================
+``nfdh``              plain                        ``2*AREA + hmax``
+``ffdh``              plain                        ``1.7*OPT + hmax`` (asymptotic)
+``bfdh``              plain                        heuristic
+``bottom_left``       plain                        heuristic
+``dc``                precedence                   ``(2 + log2(n+1)) * OPT``
+``shelf_next_fit``    precedence (uniform h)       ``3 * OPT``
+``list_schedule``     precedence                   heuristic
+``aptas``             release                      ``(1+eps)*OPT_f + (W+1)(R+1)``
+``release_shelf``     release                      heuristic
+``release_bl``        release                      heuristic
+``online_ff``         release (columnar)           online policy (no lookahead)
+====================  ===========================  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .errors import InvalidInstanceError
+from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from .placement import Placement, validate_placement
+
+__all__ = ["available_algorithms", "solve"]
+
+
+def _plain(packer_name: str) -> Callable[[StripPackingInstance], Placement]:
+    def run(instance: StripPackingInstance, **kw) -> Placement:
+        from .. import packing
+
+        packer = getattr(packing, packer_name)
+        return packer(list(instance.rects), **kw).placement
+
+    return run
+
+
+def _dc(instance: StripPackingInstance, **kw) -> Placement:
+    from ..precedence.dc import dc_pack
+
+    if not isinstance(instance, PrecedenceInstance):
+        instance = PrecedenceInstance.without_constraints(list(instance.rects))
+    return dc_pack(instance, **kw).placement
+
+
+def _shelf_next_fit(instance: StripPackingInstance, **kw) -> Placement:
+    from ..precedence.shelf_nextfit import shelf_next_fit
+
+    if not isinstance(instance, PrecedenceInstance):
+        instance = PrecedenceInstance.without_constraints(list(instance.rects))
+    return shelf_next_fit(instance, **kw).placement
+
+
+def _list_schedule(instance: StripPackingInstance, **kw) -> Placement:
+    from ..precedence.list_schedule import list_schedule
+
+    if not isinstance(instance, PrecedenceInstance):
+        instance = PrecedenceInstance.without_constraints(list(instance.rects))
+    return list_schedule(instance, **kw)
+
+
+def _aptas(instance: StripPackingInstance, eps: float = 0.5, **kw) -> Placement:
+    from ..release.aptas import aptas
+
+    if not isinstance(instance, ReleaseInstance):
+        raise InvalidInstanceError("aptas requires a ReleaseInstance")
+    return aptas(instance, eps, **kw).placement
+
+
+def _release_shelf(instance: StripPackingInstance, **kw) -> Placement:
+    from ..release.heuristics import release_shelf_pack
+
+    if not isinstance(instance, ReleaseInstance):
+        raise InvalidInstanceError("release_shelf requires a ReleaseInstance")
+    return release_shelf_pack(instance, **kw)
+
+
+def _release_bl(instance: StripPackingInstance, **kw) -> Placement:
+    from ..release.heuristics import release_bottom_left
+
+    if not isinstance(instance, ReleaseInstance):
+        raise InvalidInstanceError("release_bl requires a ReleaseInstance")
+    return release_bottom_left(instance, **kw)
+
+
+def _online_ff(instance: StripPackingInstance, **kw) -> Placement:
+    from ..release.online import online_first_fit
+
+    if not isinstance(instance, ReleaseInstance):
+        raise InvalidInstanceError("online_ff requires a ReleaseInstance")
+    return online_first_fit(instance, **kw).placement
+
+
+_REGISTRY: dict[str, Callable] = {
+    "nfdh": _plain("nfdh"),
+    "ffdh": _plain("ffdh"),
+    "bfdh": _plain("bfdh"),
+    "bottom_left": _plain("bottom_left"),
+    "dc": _dc,
+    "shelf_next_fit": _shelf_next_fit,
+    "list_schedule": _list_schedule,
+    "aptas": _aptas,
+    "release_shelf": _release_shelf,
+    "release_bl": _release_bl,
+    "online_ff": _online_ff,
+}
+
+
+def available_algorithms() -> list[str]:
+    """Names accepted by :func:`solve`."""
+    return sorted(_REGISTRY)
+
+
+def _default_for(instance: StripPackingInstance) -> str:
+    if isinstance(instance, ReleaseInstance):
+        return "aptas"
+    if isinstance(instance, PrecedenceInstance):
+        if instance.dag.n_edges and instance.uniform_height():
+            return "shelf_next_fit"
+        return "dc"
+    return "nfdh"
+
+
+def solve(
+    instance: StripPackingInstance,
+    algorithm: str | None = None,
+    *,
+    validate: bool = True,
+    **kwargs,
+) -> Placement:
+    """Solve ``instance`` with the named (or default) algorithm.
+
+    The returned placement is validated against the instance unless
+    ``validate=False`` (benchmarks validate separately to keep timing pure).
+    """
+    name = algorithm or _default_for(instance)
+    if name not in _REGISTRY:
+        raise InvalidInstanceError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    placement = _REGISTRY[name](instance, **kwargs)
+    if validate:
+        validate_placement(instance, placement)
+    return placement

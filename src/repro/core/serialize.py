@@ -1,0 +1,118 @@
+"""JSON (de)serialization for instances and placements.
+
+The on-disk format is deliberately plain so downstream users can generate
+instances from any tooling::
+
+    {
+      "type": "precedence",            # "plain" | "precedence" | "release"
+      "K": 8,                          # release instances only
+      "rects": [
+        {"id": "dct:0", "width": 0.25, "height": 2.0, "release": 0.0},
+        ...
+      ],
+      "edges": [["tile_split", "dct:0"], ...]   # precedence only
+    }
+
+Placements serialise as ``{"placements": [{"id":..., "x":..., "y":...}]}``.
+Round-tripping is exact for ids and floats (no quantisation is applied).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .errors import InvalidInstanceError
+from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from .placement import Placement
+from .rectangle import Rect
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "dumps_instance",
+    "loads_instance",
+    "placement_to_dict",
+    "placement_from_dict",
+]
+
+
+def instance_to_dict(instance: StripPackingInstance) -> dict[str, Any]:
+    """Serialise any instance variant to a JSON-ready dict."""
+    rects = [
+        {"id": r.rid, "width": r.width, "height": r.height, "release": r.release}
+        for r in instance.rects
+    ]
+    if isinstance(instance, ReleaseInstance):
+        return {"type": "release", "K": instance.K, "rects": rects}
+    if isinstance(instance, PrecedenceInstance):
+        return {
+            "type": "precedence",
+            "rects": rects,
+            "edges": [[u, v] for u, v in instance.dag.edges()],
+        }
+    return {"type": "plain", "rects": rects}
+
+
+def instance_from_dict(data: dict[str, Any]) -> StripPackingInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    kind = data.get("type")
+    if kind not in ("plain", "precedence", "release"):
+        raise InvalidInstanceError(f"unknown instance type {kind!r}")
+    try:
+        rects = [
+            Rect(
+                rid=entry["id"],
+                width=float(entry["width"]),
+                height=float(entry["height"]),
+                release=float(entry.get("release", 0.0)),
+            )
+            for entry in data["rects"]
+        ]
+    except KeyError as exc:
+        raise InvalidInstanceError(f"rect entry missing field {exc}") from exc
+    if kind == "plain":
+        return StripPackingInstance(rects)
+    if kind == "release":
+        if "K" not in data:
+            raise InvalidInstanceError("release instance requires 'K'")
+        return ReleaseInstance(rects, int(data["K"]))
+    from ..dag.graph import TaskDAG
+
+    edges = [tuple(e) for e in data.get("edges", [])]
+    return PrecedenceInstance(rects, TaskDAG([r.rid for r in rects], edges))
+
+
+def dumps_instance(instance: StripPackingInstance, **json_kwargs: Any) -> str:
+    """Instance -> JSON string."""
+    return json.dumps(instance_to_dict(instance), **json_kwargs)
+
+
+def loads_instance(text: str) -> StripPackingInstance:
+    """JSON string -> instance."""
+    return instance_from_dict(json.loads(text))
+
+
+def placement_to_dict(placement: Placement) -> dict[str, Any]:
+    """Serialise a placement (sorted by id string for stable output)."""
+    return {
+        "height": placement.height,
+        "placements": sorted(
+            ({"id": rid, "x": pr.x, "y": pr.y} for rid, pr in placement.items()),
+            key=lambda e: str(e["id"]),
+        ),
+    }
+
+
+def placement_from_dict(
+    data: dict[str, Any], instance: StripPackingInstance
+) -> Placement:
+    """Rebuild a placement against ``instance`` (ids must match)."""
+    by_id = instance.by_id()
+    placement = Placement()
+    for entry in data["placements"]:
+        rid = entry["id"]
+        if rid not in by_id:
+            raise InvalidInstanceError(f"placement references unknown rect {rid!r}")
+        placement.place(by_id[rid], float(entry["x"]), float(entry["y"]))
+    return placement

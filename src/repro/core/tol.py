@@ -1,0 +1,63 @@
+"""Floating-point comparison discipline used throughout the library.
+
+Strip packing algorithms make combinatorial decisions ("does this rectangle
+fit in the remaining width?") from floating-point arithmetic.  A stray
+``1e-17`` must never flip such a decision, so every geometric comparison in
+the library goes through the helpers in this module with a single shared
+absolute tolerance.
+
+The default tolerance is deliberately coarse relative to machine epsilon but
+far finer than any meaningful rectangle dimension: instances normalise the
+strip width to 1 and the paper's constructions use widths no finer than
+``1/K`` with ``K <= a few hundred``, so ``1e-9`` separates "genuinely equal"
+from "genuinely different" by many orders of magnitude.
+"""
+
+from __future__ import annotations
+
+#: Default absolute tolerance for geometric comparisons.
+ATOL: float = 1e-9
+
+
+def leq(a: float, b: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a <= b`` up to tolerance (``a <= b + atol``)."""
+    return a <= b + atol
+
+
+def geq(a: float, b: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a >= b`` up to tolerance (``a >= b - atol``)."""
+    return a >= b - atol
+
+
+def lt(a: float, b: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a`` is strictly below ``b`` beyond tolerance."""
+    return a < b - atol
+
+
+def gt(a: float, b: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a`` is strictly above ``b`` beyond tolerance."""
+    return a > b + atol
+
+
+def eq(a: float, b: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a`` equals ``b`` up to tolerance."""
+    return abs(a - b) <= atol
+
+
+def is_zero(a: float, atol: float = ATOL) -> bool:
+    """Return ``True`` when ``a`` is zero up to tolerance."""
+    return abs(a) <= atol
+
+
+def clamp(a: float, lo: float, hi: float) -> float:
+    """Clamp ``a`` into ``[lo, hi]``.
+
+    Used to snap values that drifted marginally outside their legal interval
+    (e.g. an ``x`` coordinate of ``1.0000000000000002 - w``) back in, after a
+    tolerance-aware check has established the drift is mere float noise.
+    """
+    if a < lo:
+        return lo
+    if a > hi:
+        return hi
+    return a

@@ -1,0 +1,31 @@
+"""Precedence DAG substrate: graph structure, critical-path bound ``F``,
+generators and validators (Section 2 of the paper)."""
+
+from .critical_path import F_of_set, compute_F, critical_path, start_lower_bounds
+from .generators import (
+    chain_forest,
+    in_tree,
+    layered_dag,
+    out_tree,
+    random_order_dag,
+    series_parallel_dag,
+)
+from .graph import TaskDAG
+from .validate import check_same_universe, is_antichain, level_set
+
+__all__ = [
+    "TaskDAG",
+    "compute_F",
+    "F_of_set",
+    "critical_path",
+    "start_lower_bounds",
+    "random_order_dag",
+    "layered_dag",
+    "series_parallel_dag",
+    "chain_forest",
+    "out_tree",
+    "in_tree",
+    "check_same_universe",
+    "is_antichain",
+    "level_set",
+]

@@ -1,0 +1,165 @@
+"""Random and structured precedence DAG generators.
+
+Workload generators for the Section-2 experiments.  All generators take a
+``numpy.random.Generator`` so experiments are reproducible from a seed, and
+return plain :class:`~repro.dag.graph.TaskDAG` objects over the node ids
+``0..n-1`` (callers pair them with rectangles carrying the same ids).
+
+The shapes provided mirror the structures that motivate the paper:
+
+* ``layered``       — synthesis of task graphs with bounded parallelism,
+  the generic "image pipeline" shape;
+* ``series_parallel`` — recursive series/parallel composition, common in
+  streaming/media workloads;
+* ``random_order``  — classic G(n, p) DAG over a random topological order;
+* ``chains``        — disjoint chains (the shape of the Lemma 2.4 gadget);
+* ``intree``/``outtree`` — reduction/fan-out trees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+from .graph import TaskDAG
+
+__all__ = [
+    "random_order_dag",
+    "layered_dag",
+    "series_parallel_dag",
+    "chain_forest",
+    "out_tree",
+    "in_tree",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise InvalidInstanceError(f"n must be non-negative, got {n}")
+
+
+def random_order_dag(n: int, p: float, rng: np.random.Generator) -> TaskDAG:
+    """G(n, p) DAG: pick a random permutation as topological order and keep
+    each forward pair as an edge independently with probability ``p``.
+
+    Edge density controls the parallelism/critical-path trade-off: ``p=0`` is
+    plain strip packing, ``p=1`` a single chain.
+    """
+    _check_n(n)
+    if not 0.0 <= p <= 1.0:
+        raise InvalidInstanceError(f"p must be in [0,1], got {p}")
+    order = rng.permutation(n)
+    edges: list[tuple[int, int]] = []
+    if n >= 2 and p > 0.0:
+        # Vectorised Bernoulli draw over all forward pairs.
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        edges = [(int(order[i]), int(order[j])) for i, j in zip(iu[mask], ju[mask])]
+    return TaskDAG(range(n), edges)
+
+
+def layered_dag(
+    n: int,
+    n_layers: int,
+    p: float,
+    rng: np.random.Generator,
+) -> TaskDAG:
+    """Layered DAG: nodes split into ``n_layers`` layers; each node in layer
+    ``i > 0`` gets at least one predecessor from layer ``i-1``, plus extra
+    edges from the previous layer with probability ``p``.
+
+    This is the canonical shape of image/stream processing pipelines: a
+    stage-structured graph whose width models per-stage data parallelism.
+    """
+    _check_n(n)
+    if n_layers <= 0:
+        raise InvalidInstanceError(f"n_layers must be positive, got {n_layers}")
+    n_layers = min(n_layers, n) if n else n_layers
+    # Random composition of n into n_layers non-empty parts.
+    sizes = np.full(n_layers, 1, dtype=int)
+    if n > n_layers:
+        extra = rng.multinomial(n - n_layers, np.full(n_layers, 1.0 / n_layers))
+        sizes = sizes + extra
+    layers: list[list[int]] = []
+    nxt = 0
+    for sz in sizes[: n if n < n_layers else n_layers]:
+        layers.append(list(range(nxt, nxt + int(sz))))
+        nxt += int(sz)
+    edges: list[tuple[int, int]] = []
+    for prev, cur in zip(layers, layers[1:]):
+        for v in cur:
+            anchor = int(rng.integers(len(prev)))
+            edges.append((prev[anchor], v))
+            for u in prev:
+                if u != prev[anchor] and rng.random() < p:
+                    edges.append((u, v))
+    return TaskDAG(range(n), edges)
+
+
+def series_parallel_dag(n: int, rng: np.random.Generator, series_bias: float = 0.5) -> TaskDAG:
+    """Random series-parallel DAG on ``n`` nodes.
+
+    Built by recursive splitting: a block of nodes is either composed in
+    series (every node of the left part precedes every *source* of the right
+    part — realised through a single bridge edge set to keep the graph
+    sparse) or in parallel (no cross edges).  ``series_bias`` is the
+    probability of a series split.
+    """
+    _check_n(n)
+    edges: list[tuple[int, int]] = []
+
+    def build(lo: int, hi: int) -> tuple[list[int], list[int]]:
+        """Return (sources, sinks) of the block [lo, hi)."""
+        if hi - lo == 1:
+            return [lo], [lo]
+        mid = int(rng.integers(lo + 1, hi))
+        left_src, left_snk = build(lo, mid)
+        right_src, right_snk = build(mid, hi)
+        if rng.random() < series_bias:
+            for u in left_snk:
+                for v in right_src:
+                    edges.append((u, v))
+            return left_src, right_snk
+        return left_src + right_src, left_snk + right_snk
+
+    if n:
+        build(0, n)
+    return TaskDAG(range(n), edges)
+
+
+def chain_forest(chain_lengths: Sequence[int]) -> TaskDAG:
+    """Disjoint chains with the given lengths; node ids are assigned
+    consecutively chain by chain.  ``chain_lengths=[3, 2]`` yields
+    ``0->1->2`` and ``3->4``."""
+    if any(length <= 0 for length in chain_lengths):
+        raise InvalidInstanceError("chain lengths must be positive")
+    n = int(sum(chain_lengths))
+    edges: list[tuple[int, int]] = []
+    nxt = 0
+    for length in chain_lengths:
+        ids = list(range(nxt, nxt + length))
+        edges.extend(zip(ids, ids[1:]))
+        nxt += length
+    return TaskDAG(range(n), edges)
+
+
+def out_tree(n: int, branching: int, rng: np.random.Generator | None = None) -> TaskDAG:
+    """Fan-out tree rooted at node 0: node ``i > 0`` has parent
+    ``(i-1) // branching`` — a scatter/distribute dependency pattern."""
+    _check_n(n)
+    if branching <= 0:
+        raise InvalidInstanceError(f"branching must be positive, got {branching}")
+    edges = [((i - 1) // branching, i) for i in range(1, n)]
+    return TaskDAG(range(n), edges)
+
+
+def in_tree(n: int, branching: int, rng: np.random.Generator | None = None) -> TaskDAG:
+    """Reduction tree: the reverse of :func:`out_tree`; node 0 is the final
+    sink (gather/reduce dependency pattern)."""
+    _check_n(n)
+    if branching <= 0:
+        raise InvalidInstanceError(f"branching must be positive, got {branching}")
+    edges = [(i, (i - 1) // branching) for i in range(1, n)]
+    return TaskDAG(range(n), edges)

@@ -1,0 +1,60 @@
+"""Structural validators for precedence DAGs.
+
+These helpers centralise the consistency checks between a rectangle set and
+its DAG (same id universe), and provide the predicate form of Lemma 2.1 used
+by tests: a *level set* (rectangles whose ``F`` interval straddles a given
+height) must always be an antichain.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from ..core.errors import InvalidInstanceError
+from .critical_path import compute_F
+from .graph import TaskDAG
+
+__all__ = ["check_same_universe", "is_antichain", "level_set"]
+
+Node = Hashable
+
+
+def check_same_universe(dag: TaskDAG, ids: Iterable[Node]) -> None:
+    """Raise unless ``dag``'s nodes are exactly ``ids``."""
+    id_set = set(ids)
+    node_set = set(dag.nodes())
+    if id_set != node_set:
+        only_dag = sorted(map(repr, node_set - id_set))[:5]
+        only_ids = sorted(map(repr, id_set - node_set))[:5]
+        raise InvalidInstanceError(
+            "DAG nodes and rectangle ids differ "
+            f"(only in DAG: {only_dag}, only in rects: {only_ids})"
+        )
+
+
+def is_antichain(dag: TaskDAG, nodes: Iterable[Node]) -> bool:
+    """Whether no node in ``nodes`` is an ancestor of another.
+
+    Quadratic in ``len(nodes)`` with memoised reachability — adequate for
+    test-time verification (Lemma 2.1: the ``S_mid`` part handed to the
+    unconstrained subroutine must be an antichain).
+    """
+    nodes = list(nodes)
+    reach: dict[Node, set[Node]] = {}
+    for u in nodes:
+        reach[u] = dag.reachable_from(u)
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if v in reach[u] or u in reach[v]:
+                return False
+    return True
+
+
+def level_set(dag: TaskDAG, heights: Mapping[Node, float], y: float) -> list[Node]:
+    """Rectangles ``s`` with ``F(s) > y`` and ``F(s) - h_s <= y``.
+
+    Lemma 2.1 proves any such set is an antichain; Algorithm 1 uses the level
+    set at ``H/2`` as its middle band.
+    """
+    F = compute_F(dag, heights)
+    return [s for s in dag if F[s] > y and F[s] - heights[s] <= y]

@@ -1,0 +1,6 @@
+"""Exact reference solvers for small instances (ratio measurement)."""
+
+from .bin_packing_exact import solve_bin_packing_exact
+from .branch_and_bound import ExactResult, columns_of, solve_exact
+
+__all__ = ["solve_exact", "ExactResult", "columns_of", "solve_bin_packing_exact"]

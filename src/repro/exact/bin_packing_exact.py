@@ -1,0 +1,122 @@
+"""Exact precedence-constrained bin packing via ideal-lattice search.
+
+Used by the E5 experiments to measure *true* ratios for the uniform-height
+special case (Section 2.2).  State space: the downward-closed sets
+("ideals") of the precedence order — exactly the sets of tasks that can be
+fully completed.  A transition fills one more bin with a subset of the
+currently-available tasks respecting the unit capacity; restricting to
+*maximal* feasible subsets preserves optimality:
+
+    Take an optimal bin sequence and a non-maximal bin B: any available
+    task t (predecessors strictly before B) fits; moving t into B keeps
+    t's predecessors strictly earlier and t's successors strictly later,
+    and deleting t from its old bin never breaks feasibility.  Iterating
+    yields an optimum whose bins are maximal.
+
+Breadth-first search over ideals (uniform edge cost 1) finds the minimum
+bin count; node and ideal budgets guard against exponential blow-ups
+(:class:`~repro.core.errors.BudgetExceededError`, never a silent
+suboptimum).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from ..core import tol
+from ..core.errors import BudgetExceededError
+from ..precedence.bin_packing import BinAssignment, BinPackingInstance
+
+__all__ = ["solve_bin_packing_exact"]
+
+Node = Hashable
+
+
+def _maximal_fills(
+    available: list[Node], sizes, cap: float = 1.0
+) -> list[tuple[Node, ...]]:
+    """All maximal subsets of ``available`` with total size <= cap.
+
+    DFS in a fixed order; a subset is maximal when no *remaining* item fits,
+    checked against the smallest leftover item.
+    """
+    available = sorted(available, key=lambda t: (-sizes[t], str(t)))
+    out: list[tuple[Node, ...]] = []
+    chosen: list[Node] = []
+
+    def dfs(i: int, load: float) -> None:
+        extended = False
+        for j in range(i, len(available)):
+            t = available[j]
+            if tol.leq(load + sizes[t], cap):
+                extended = True
+                chosen.append(t)
+                dfs(j + 1, load + sizes[t])
+                chosen.pop()
+        if not extended:
+            # No further item fits given choices from index i onward; the
+            # subset is maximal *w.r.t. items not yet considered* only if
+            # no skipped earlier item fits either.
+            for j in range(0, i):
+                t = available[j]
+                if t not in chosen and tol.leq(load + sizes[t], cap):
+                    return  # not maximal: an earlier skipped item fits
+            out.append(tuple(chosen))
+
+    dfs(0, 0.0)
+    return out
+
+
+def solve_bin_packing_exact(
+    instance: BinPackingInstance,
+    *,
+    max_states: int = 200_000,
+) -> BinAssignment:
+    """Minimum-bin assignment for a precedence bin packing instance.
+
+    Exponential in general; intended for ratio studies with n up to ~15.
+    """
+    sizes = instance.sizes
+    dag = instance.dag
+    all_tasks = frozenset(sizes)
+    if not all_tasks:
+        return BinAssignment(bins=[])
+
+    start: frozenset = frozenset()
+    # BFS layer by layer; parent pointers reconstruct the bins.
+    parent: dict[frozenset, tuple[frozenset, tuple[Node, ...]]] = {}
+    seen = {start}
+    frontier: deque[frozenset] = deque([start])
+    states = 0
+    while frontier:
+        ideal = frontier.popleft()
+        states += 1
+        if states > max_states:
+            raise BudgetExceededError(
+                f"exact bin packing exceeded {max_states} ideals (n={len(sizes)})"
+            )
+        available = [
+            t
+            for t in sizes
+            if t not in ideal and all(p in ideal for p in dag.predecessors(t))
+        ]
+        for fill in _maximal_fills(available, sizes):
+            nxt = ideal | frozenset(fill)
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            parent[nxt] = (ideal, fill)
+            if nxt == all_tasks:
+                bins: list[list[Node]] = []
+                cur = nxt
+                while cur != start:
+                    prev, chosen = parent[cur]
+                    bins.append(list(chosen))
+                    cur = prev
+                bins.reverse()
+                result = BinAssignment(bins=bins)
+                result.validate(instance)
+                return result
+            frontier.append(nxt)
+    raise AssertionError("BFS exhausted without reaching the full ideal")  # pragma: no cover

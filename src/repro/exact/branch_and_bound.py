@@ -1,0 +1,204 @@
+"""Exact branch-and-bound for small *columnar* instances.
+
+The ratio experiments need true optima.  For instances whose widths are
+multiples of ``1/K`` (the paper's FPGA setting) optimal solutions exist in
+*canonical form*: enumerate rectangles in lexicographically increasing
+``(y, x)`` order, with every ``x`` on the ``1/K`` grid and every ``y`` the
+minimal feasible height at that ``x`` given the rectangle's floor (release
+time and predecessor tops).  Correctness of the canonicalisation: in any
+optimal packing, repeatedly lowering the first (in ``(y, x)`` order)
+rectangle that is not at its minimal feasible height cannot collide with
+later rectangles (any x-overlapping later rectangle starts above the
+lowered top) and strictly decreases the total of the ``y``'s over a finite
+candidate set, so a fixpoint packing of the same height exists and is
+enumerated by the search.
+
+Pruning:
+
+* global lower bounds (area, critical path, per-rectangle ``floor + h``),
+* band bound: all unplaced rectangles start at or above the last placed
+  base ``y_last``, so ``H >= y_last + remaining_area + placed_area_above``,
+* symmetry: among unplaced rectangles identical in (width, height, floor,
+  successor-set-freeness) only the smallest id branches,
+* node budget (:class:`BudgetExceededError` instead of silent suboptima).
+
+This is deliberately a reference solver: exponential, for ``n`` up to about
+10-14 depending on structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core import tol
+from ..core.bounds import combined_lower_bound
+from ..core.errors import BudgetExceededError, InvalidInstanceError
+from ..core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from ..core.placement import PlacedRect, Placement
+
+__all__ = ["ExactResult", "solve_exact", "columns_of"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Optimal height and one optimal placement."""
+
+    height: float
+    placement: Placement
+    nodes: int
+
+
+def columns_of(width: float, K: int) -> int:
+    """Column count of a width on the ``1/K`` grid; raises when off-grid."""
+    c = width * K
+    ci = round(c)
+    if abs(c - ci) > 1e-6 or ci <= 0:
+        raise InvalidInstanceError(
+            f"width {width!r} is not a positive multiple of 1/{K}"
+        )
+    return int(ci)
+
+
+def solve_exact(
+    instance: StripPackingInstance,
+    K: int,
+    *,
+    upper_bound: float | None = None,
+    max_nodes: int = 2_000_000,
+) -> ExactResult:
+    """Exact optimum of a columnar instance (widths multiples of ``1/K``).
+
+    Works for all three variants: plain, precedence (y-floors from
+    predecessor tops), release (y-floors from release times).
+
+    Parameters
+    ----------
+    upper_bound:
+        Optional incumbent height (e.g. from a heuristic); solutions are
+        only accepted strictly below it, so pass a *valid achievable* value
+        or ``None``.
+    max_nodes:
+        Search budget; exceeding it raises :class:`BudgetExceededError`.
+    """
+    rects = list(instance.rects)
+    n = len(rects)
+    if n == 0:
+        return ExactResult(0.0, Placement(), 0)
+    cols = {r.rid: columns_of(r.width, K) for r in rects}
+    by_id = instance.by_id()
+
+    dag = instance.dag if isinstance(instance, PrecedenceInstance) else None
+    preds: dict[Node, tuple[Node, ...]] = {
+        r.rid: tuple(dag.predecessors(r.rid)) if dag is not None else ()
+        for r in rects
+    }
+    base_floor = {r.rid: r.release for r in rects}
+
+    total_area = instance.area
+    global_lb = combined_lower_bound(instance)
+
+    best_height = math.inf if upper_bound is None else upper_bound + 1e-12
+    best_placement: list[tuple[Node, float, float]] | None = None
+    nodes = 0
+
+    placed: list[tuple[Node, float, float]] = []  # (rid, x, y) in (y, x) order
+    placed_area = 0.0
+
+    def min_feasible_y(x: float, w: float, h: float, floor: float) -> float:
+        """Lowest y >= floor at column position x avoiding all placed."""
+        y = floor
+        moved = True
+        while moved:
+            moved = False
+            for rid2, x2, y2 in placed:
+                r2 = by_id[rid2]
+                if tol.lt(x, x2 + r2.width) and tol.lt(x2, x + w):
+                    if tol.lt(y, y2 + r2.height) and tol.lt(y2, y + h):
+                        y = y2 + r2.height
+                        moved = True
+        return y
+
+    def signature(r) -> tuple:
+        """Symmetry key: rects with equal keys are interchangeable *iff*
+        they also have identical precedence context; we conservatively
+        include sorted pred/succ tuples."""
+        succs = tuple(sorted(map(str, dag.successors(r.rid)))) if dag is not None else ()
+        ps = tuple(sorted(map(str, preds[r.rid])))
+        return (r.width, r.height, r.release, ps, succs)
+
+    def dfs(last_key: tuple[float, float], unplaced: set[Node]) -> None:
+        nonlocal nodes, best_height, best_placement, placed_area
+        nodes += 1
+        if nodes > max_nodes:
+            raise BudgetExceededError(
+                f"exact solver exceeded {max_nodes} nodes (n={n}, K={K})"
+            )
+        cur_height = max((y + by_id[rid].height for rid, _, y in placed), default=0.0)
+        if not unplaced:
+            if cur_height < best_height - 1e-12:
+                best_height = cur_height
+                best_placement = list(placed)
+            return
+        # --- pruning ---------------------------------------------------
+        y_last = last_key[0]
+        placed_above = sum(
+            by_id[rid].width * max(0.0, (y + by_id[rid].height) - y_last)
+            for rid, _, y in placed
+        )
+        rem_area = total_area - placed_area
+        lb = max(
+            cur_height,
+            global_lb,
+            y_last + rem_area + placed_above,
+            max(base_floor[rid] + by_id[rid].height for rid in unplaced),
+        )
+        if lb >= best_height - 1e-12:
+            return
+        # --- branch ----------------------------------------------------
+        seen_sigs: set[tuple] = set()
+        ready = sorted(
+            (rid for rid in unplaced if all(p not in unplaced for p in preds[rid])),
+            key=str,
+        )
+        for rid in ready:
+            r = by_id[rid]
+            sig = signature(r)
+            if sig in seen_sigs:
+                continue
+            seen_sigs.add(sig)
+            floor = base_floor[rid]
+            if preds[rid]:
+                tops = [y + by_id[p].height for p, _, y in placed if p in preds[rid]]
+                floor = max([floor] + tops)
+            w_cols = cols[rid]
+            for c in range(0, K - w_cols + 1):
+                x = c / K
+                y = min_feasible_y(x, r.width, r.height, floor)
+                if (y, x) <= last_key:
+                    continue
+                if y + r.height >= best_height - 1e-12:
+                    # This rectangle alone already busts the incumbent.
+                    continue
+                placed.append((rid, x, y))
+                placed_area += r.area
+                unplaced.discard(rid)
+                dfs((y, x), unplaced)
+                unplaced.add(rid)
+                placed_area -= r.area
+                placed.pop()
+
+    dfs((-math.inf, -math.inf), {r.rid for r in rects})
+
+    if best_placement is None:
+        raise InvalidInstanceError(
+            "no solution found below the provided upper bound — "
+            "was the upper bound actually achievable?"
+        )
+    out = Placement()
+    for rid, x, y in best_placement:
+        out.place(by_id[rid], x, y)
+    return ExactResult(height=best_height, placement=out, nodes=nodes)

@@ -1,0 +1,24 @@
+"""The motivating substrate: a K-column dynamically reconfigurable device,
+schedules over it, and an event-driven execution simulator."""
+
+from .device import Device, quantize_instance, quantize_width
+from .latency import dilate_for_reconfiguration
+from .schedule import Schedule, ScheduledTask, schedule_from_placement
+from .simulator import SimEvent, SimulationReport, simulate
+from .tasks import FPGATask, build_precedence_instance, build_release_instance
+
+__all__ = [
+    "Device",
+    "quantize_width",
+    "quantize_instance",
+    "dilate_for_reconfiguration",
+    "Schedule",
+    "ScheduledTask",
+    "schedule_from_placement",
+    "simulate",
+    "SimEvent",
+    "SimulationReport",
+    "FPGATask",
+    "build_precedence_instance",
+    "build_release_instance",
+]

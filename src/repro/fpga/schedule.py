@@ -1,0 +1,155 @@
+"""Schedules: the FPGA-side view of a strip packing placement.
+
+A placement in the strip maps 1:1 to a device schedule: ``x`` becomes the
+first occupied column, width the column count, ``y`` the start time and
+height the duration.  :func:`schedule_from_placement` performs the
+conversion (requiring grid-aligned x's) and :meth:`Schedule.validate`
+re-checks the scheduling-side constraints independently of the geometric
+validator — two views of the same feasibility, as the paper's Section 1
+equivalence argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..core import tol
+from ..core.errors import InvalidPlacementError
+from ..core.placement import Placement
+from ..dag.graph import TaskDAG
+from .device import Device
+
+__all__ = ["ScheduledTask", "Schedule", "schedule_from_placement"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledTask:
+    """One task's slot: columns ``[col, col + n_cols)``, time ``[start, end)``."""
+
+    tid: Node
+    col: int
+    n_cols: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def columns(self) -> range:
+        return range(self.col, self.col + self.n_cols)
+
+    def conflicts(self, other: "ScheduledTask") -> bool:
+        """Overlap in both column range and (open) time interval."""
+        col_overlap = self.col < other.col + other.n_cols and other.col < self.col + self.n_cols
+        time_overlap = tol.lt(self.start, other.end) and tol.lt(other.start, self.end)
+        return col_overlap and time_overlap
+
+
+class Schedule:
+    """An ordered collection of scheduled tasks on one device."""
+
+    __slots__ = ("device", "_tasks")
+
+    def __init__(self, device: Device, tasks: Iterable[ScheduledTask] = ()) -> None:
+        self.device = device
+        self._tasks: list[ScheduledTask] = list(tasks)
+
+    def add(self, task: ScheduledTask) -> None:
+        if task.col < 0 or task.col + task.n_cols > self.device.K:
+            raise InvalidPlacementError(
+                f"task {task.tid!r} occupies columns {task.col}..{task.col + task.n_cols - 1} "
+                f"outside the {self.device.K}-column device"
+            )
+        if task.end <= task.start:
+            raise InvalidPlacementError(f"task {task.tid!r} has non-positive duration")
+        self._tasks.append(task)
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, tid: Node) -> ScheduledTask:
+        for t in self._tasks:
+            if t.tid == tid:
+                return t
+        raise KeyError(tid)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (0 when empty)."""
+        return max((t.end for t in self._tasks), default=0.0)
+
+    def validate(
+        self,
+        dag: TaskDAG | None = None,
+        releases: dict[Node, float] | None = None,
+    ) -> None:
+        """Scheduling-side feasibility: exclusive column use, precedence,
+        release times.  Raises :class:`InvalidPlacementError`."""
+        tasks = sorted(self._tasks, key=lambda t: t.start)
+        active: list[ScheduledTask] = []
+        for t in tasks:
+            active = [a for a in active if tol.gt(a.end, t.start)]
+            for a in active:
+                if t.conflicts(a):
+                    raise InvalidPlacementError(
+                        f"tasks {a.tid!r} and {t.tid!r} share columns concurrently"
+                    )
+            active.append(t)
+        if dag is not None:
+            by_id = {t.tid: t for t in self._tasks}
+            for u, v in dag.edges():
+                if tol.gt(by_id[u].end, by_id[v].start):
+                    raise InvalidPlacementError(
+                        f"precedence violated on device: {u!r} ends {by_id[u].end:g} "
+                        f"after {v!r} starts {by_id[v].start:g}"
+                    )
+        if releases:
+            for t in self._tasks:
+                r = releases.get(t.tid, 0.0)
+                if tol.lt(t.start, r):
+                    raise InvalidPlacementError(
+                        f"task {t.tid!r} starts {t.start:g} before release {r:g}"
+                    )
+
+    def utilisation(self) -> float:
+        """Busy column-time over ``K * makespan`` (0 when empty)."""
+        span = self.makespan
+        if span <= 0.0:
+            return 0.0
+        busy = sum(t.n_cols * t.duration for t in self._tasks)
+        return busy / (self.device.K * span)
+
+
+def schedule_from_placement(placement: Placement, device: Device) -> Schedule:
+    """Convert a strip placement into a device schedule.
+
+    Every ``x`` must lie on the column grid and every width must be a whole
+    number of columns (quantise the instance first if needed).
+    """
+    from ..core.errors import InvalidInstanceError
+
+    sched = Schedule(device)
+    for rid, pr in placement.items():
+        try:
+            col = device.column_of_x(pr.x)
+        except InvalidInstanceError as exc:
+            raise InvalidPlacementError(
+                f"rect {rid!r}: {exc} — quantise the instance before scheduling"
+            ) from exc
+        n_cols_f = pr.rect.width * device.K
+        n_cols = round(n_cols_f)
+        if abs(n_cols_f - n_cols) > 1e-6 or n_cols < 1:
+            raise InvalidPlacementError(
+                f"rect {rid!r} width {pr.rect.width!r} is not a whole number of columns"
+            )
+        sched.add(
+            ScheduledTask(tid=rid, col=col, n_cols=int(n_cols), start=pr.y, end=pr.y2)
+        )
+    return sched

@@ -1,0 +1,83 @@
+"""Task-level API for building FPGA workloads.
+
+:class:`FPGATask` describes a hardware task in device terms (columns,
+duration, dependencies, release); :func:`build_precedence_instance` /
+:func:`build_release_instance` convert task sets into the normalised strip
+instances the algorithms consume.  The JPEG pipeline generator lives in
+:mod:`repro.workloads.jpeg` and produces these tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import PrecedenceInstance, ReleaseInstance
+from ..core.rectangle import Rect
+from ..dag.graph import TaskDAG
+from .device import Device
+
+__all__ = ["FPGATask", "build_precedence_instance", "build_release_instance"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class FPGATask:
+    """A hardware task: ``columns`` adjacent columns for ``duration`` time.
+
+    ``deps`` lists task ids that must complete before this one starts.
+    """
+
+    tid: Node
+    columns: int
+    duration: float
+    deps: tuple[Node, ...] = ()
+    release: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.columns <= 0:
+            raise InvalidInstanceError(f"task {self.tid!r}: needs >= 1 column")
+        if self.duration <= 0.0:
+            raise InvalidInstanceError(f"task {self.tid!r}: needs positive duration")
+        if self.release < 0.0:
+            raise InvalidInstanceError(f"task {self.tid!r}: negative release")
+
+
+def _rects(tasks: Sequence[FPGATask], device: Device) -> list[Rect]:
+    rects = []
+    for t in tasks:
+        if t.columns > device.K:
+            raise InvalidInstanceError(
+                f"task {t.tid!r} needs {t.columns} columns on a {device.K}-column device"
+            )
+        rects.append(
+            Rect(rid=t.tid, width=t.columns / device.K, height=t.duration, release=t.release)
+        )
+    return rects
+
+
+def build_precedence_instance(
+    tasks: Sequence[FPGATask], device: Device
+) -> PrecedenceInstance:
+    """Tasks + dependencies -> precedence strip instance (Section 2 view)."""
+    rects = _rects(tasks, device)
+    ids = [t.tid for t in tasks]
+    edges = [(d, t.tid) for t in tasks for d in t.deps]
+    return PrecedenceInstance(rects, TaskDAG(ids, edges))
+
+
+def build_release_instance(
+    tasks: Sequence[FPGATask], device: Device
+) -> ReleaseInstance:
+    """Tasks + releases -> release-time strip instance (Section 3 view).
+
+    Dependencies must be empty (the paper treats the two variants
+    separately); a task set with deps raises.
+    """
+    if any(t.deps for t in tasks):
+        raise InvalidInstanceError(
+            "release instances cannot carry dependencies; use build_precedence_instance"
+        )
+    return ReleaseInstance(_rects(tasks, device), device.K)

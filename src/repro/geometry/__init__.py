@@ -1,0 +1,20 @@
+"""Geometric substrate: skyline, shelves, occupancy metrics, stackings."""
+
+from .levels import Level, LevelStack
+from .occupancy import band_density, occupancy_profile, union_area, utilisation
+from .skyline import Skyline, SkySegment
+from .stacking import Stacking, contains, stack
+
+__all__ = [
+    "Skyline",
+    "SkySegment",
+    "Level",
+    "LevelStack",
+    "union_area",
+    "occupancy_profile",
+    "band_density",
+    "utilisation",
+    "Stacking",
+    "stack",
+    "contains",
+]

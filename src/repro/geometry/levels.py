@@ -1,0 +1,94 @@
+"""Shelf/level structures shared by the level-oriented packers.
+
+A *level* (shelf) is a horizontal band ``[y, y + height)`` filled left to
+right.  NFDH/FFDH/BFDH (and the uniform-height precedence algorithm ``F`` of
+Section 2.2) all manipulate levels; this module centralises the bookkeeping
+so each algorithm is a short strategy over a common structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import tol
+from ..core.errors import InvalidPlacementError
+from ..core.placement import Placement
+from ..core.rectangle import Rect
+
+__all__ = ["Level", "LevelStack"]
+
+
+@dataclass
+class Level:
+    """One shelf: rectangles placed left to right starting at height ``y``.
+
+    ``height`` is the shelf's reserved vertical extent (for NFDH-style
+    packers this is the height of the first rectangle placed on it; for the
+    uniform-height algorithms it is the common height 1).
+    """
+
+    y: float
+    height: float
+    used_width: float = 0.0
+    rects: list[Rect] = field(default_factory=list)
+
+    def fits(self, rect: Rect, atol: float = tol.ATOL) -> bool:
+        """Whether ``rect`` fits in the remaining width (height is *not*
+        checked: level-packing conventions place the defining rectangle
+        first and guarantee later rectangles are no taller)."""
+        return tol.leq(self.used_width + rect.width, 1.0, atol)
+
+    def add(self, rect: Rect, placement: Placement) -> None:
+        """Place ``rect`` at the current fill position of this level."""
+        if not self.fits(rect):
+            raise InvalidPlacementError(
+                f"rect {rect.rid!r} (w={rect.width:g}) does not fit on level at "
+                f"y={self.y:g} with used width {self.used_width:g}"
+            )
+        x = tol.clamp(self.used_width, 0.0, 1.0 - rect.width)
+        placement.place(rect, x, self.y)
+        self.used_width += rect.width
+        self.rects.append(rect)
+
+    @property
+    def top(self) -> float:
+        """Upper boundary ``y + height`` of the shelf."""
+        return self.y + self.height
+
+    @property
+    def filled_area(self) -> float:
+        """Total area of the rectangles on this shelf."""
+        return sum(r.area for r in self.rects)
+
+
+class LevelStack:
+    """An ordered stack of levels growing upward from ``y = base``."""
+
+    __slots__ = ("levels", "base")
+
+    def __init__(self, base: float = 0.0) -> None:
+        self.base = base
+        self.levels: list[Level] = []
+
+    def open_level(self, height: float) -> Level:
+        """Open a new level of the given height on top of the stack."""
+        y = self.levels[-1].top if self.levels else self.base
+        lvl = Level(y=y, height=height)
+        self.levels.append(lvl)
+        return lvl
+
+    @property
+    def top(self) -> float:
+        """Current total top of the stack."""
+        return self.levels[-1].top if self.levels else self.base
+
+    @property
+    def extent(self) -> float:
+        """Total height consumed by the levels."""
+        return self.top - self.base
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self):
+        return iter(self.levels)

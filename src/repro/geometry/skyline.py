@@ -1,0 +1,149 @@
+"""Skyline data structure for bottom-left style packing.
+
+A *skyline* is a piecewise-constant upper envelope of the rectangles placed
+so far: a list of maximal segments ``(x, width, y)`` partitioning ``[0, 1]``.
+It supports the two operations bottom-left packers and the exact
+branch-and-bound solver need:
+
+* enumerate candidate positions for a width-``w`` rectangle (the classic
+  "corner points" — left edge flush with a segment boundary), each with the
+  lowest feasible ``y`` there;
+* commit a placement, merging segments.
+
+The structure is deliberately simple (sorted list, linear scans): packing a
+few thousand rectangles is instantaneous and clarity wins per the project's
+performance posture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core import tol
+from ..core.errors import InvalidPlacementError
+
+__all__ = ["Skyline", "SkySegment"]
+
+
+@dataclass(frozen=True, slots=True)
+class SkySegment:
+    """Maximal horizontal segment of the skyline at height ``y``."""
+
+    x: float
+    width: float
+    y: float
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+
+class Skyline:
+    """The skyline over a strip of width 1 (floor at ``y = 0``)."""
+
+    __slots__ = ("_segs",)
+
+    def __init__(self) -> None:
+        self._segs: list[SkySegment] = [SkySegment(0.0, 1.0, 0.0)]
+
+    # ------------------------------------------------------------------
+    def segments(self) -> list[SkySegment]:
+        """Current segments, left to right."""
+        return list(self._segs)
+
+    def __iter__(self) -> Iterator[SkySegment]:
+        return iter(self._segs)
+
+    @property
+    def max_y(self) -> float:
+        """Highest skyline level."""
+        return max(s.y for s in self._segs)
+
+    @property
+    def min_y(self) -> float:
+        """Lowest skyline level."""
+        return min(s.y for s in self._segs)
+
+    # ------------------------------------------------------------------
+    def support_y(self, x: float, width: float) -> float:
+        """Lowest ``y`` at which a width-``width`` rectangle with left edge at
+        ``x`` can rest: the max skyline height over ``[x, x+width)``."""
+        if tol.lt(x, 0.0) or tol.gt(x + width, 1.0):
+            raise InvalidPlacementError(f"x-range [{x}, {x + width}] outside the strip")
+        y = 0.0
+        for s in self._segs:
+            if tol.leq(s.x2, x) or tol.geq(s.x, x + width):
+                continue
+            y = max(y, s.y)
+        return y
+
+    def candidate_positions(self, width: float) -> list[tuple[float, float]]:
+        """Candidate ``(x, y)`` placements for a width-``width`` rectangle.
+
+        Candidates are left edges flush with segment starts, plus right edge
+        flush with the strip's right wall; each paired with its support
+        height.  Every "bottom-left stable" position is included, which is
+        what both the BL heuristic and the exact solver branch over.
+        """
+        xs: set[float] = set()
+        for s in self._segs:
+            if tol.leq(s.x + width, 1.0):
+                xs.add(s.x)
+            # right-flush against this segment's right end
+            x_right = s.x2 - width
+            if tol.geq(x_right, 0.0):
+                xs.add(max(0.0, x_right))
+        if tol.leq(width, 1.0):
+            xs.add(0.0)
+            xs.add(1.0 - width)
+        out = []
+        for x in sorted(xs):
+            x = tol.clamp(x, 0.0, 1.0 - width)
+            out.append((x, self.support_y(x, width)))
+        return out
+
+    def lowest_position(self, width: float) -> tuple[float, float]:
+        """Bottom-left rule: the candidate with minimal ``y``, ties broken by
+        minimal ``x``."""
+        cands = self.candidate_positions(width)
+        return min(cands, key=lambda p: (p[1], p[0]))
+
+    # ------------------------------------------------------------------
+    def place(self, x: float, width: float, height: float) -> float:
+        """Rest a ``width x height`` rectangle with left edge at ``x`` on the
+        skyline; returns the ``y`` it lands at and raises the envelope."""
+        y = self.support_y(x, width)
+        top = y + height
+        new: list[SkySegment] = []
+        for s in self._segs:
+            if tol.leq(s.x2, x) or tol.geq(s.x, x + width):
+                new.append(s)
+                continue
+            # left remainder
+            if tol.lt(s.x, x):
+                new.append(SkySegment(s.x, x - s.x, s.y))
+            # right remainder
+            if tol.gt(s.x2, x + width):
+                new.append(SkySegment(x + width, s.x2 - (x + width), s.y))
+        new.append(SkySegment(x, width, top))
+        new.sort(key=lambda s: s.x)
+        self._segs = _merge_adjacent(new)
+        return y
+
+    def waste_below(self, level: float) -> float:
+        """Area of the region under ``level`` but above the skyline — the
+        holes a level-based packer has committed to waste."""
+        return sum(max(0.0, level - s.y) * s.width for s in self._segs)
+
+
+def _merge_adjacent(segs: list[SkySegment]) -> list[SkySegment]:
+    """Merge consecutive segments at equal height (within tolerance)."""
+    merged: list[SkySegment] = []
+    for s in segs:
+        if merged and tol.eq(merged[-1].y, s.y) and tol.eq(merged[-1].x2, s.x):
+            last = merged.pop()
+            merged.append(SkySegment(last.x, last.width + s.width, last.y))
+        else:
+            merged.append(s)
+    return merged

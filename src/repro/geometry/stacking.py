@@ -1,0 +1,107 @@
+"""Stackings and containment — the machinery of Fig. 3 / Lemma 3.2.
+
+The width-grouping reduction of Section 3 reasons about *stackings*: the
+rectangles of one release class placed left-justified one on top of another
+in non-increasing width order.  A stacking is summarised by its *width
+profile* — a non-increasing step function ``width(y)`` for ``y`` in
+``[0, H)`` where ``H`` is the total stacked height.
+
+Set ``S`` is *contained* in ``S'`` (same release time) when the stacked area
+of ``S'`` can be placed to cover the stacked area of ``S``; because both
+profiles are non-increasing and left-anchored this holds iff the profile of
+``S'`` dominates the profile of ``S`` pointwise (after aligning bases).
+``OPT_f`` is monotone under containment — the inequality chain
+``P_inf ⊆ P(R) ⊆ P(R,W) ⊆ P_sup`` in Lemma 3.2's proof is checked in tests
+with exactly these predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core import tol
+from ..core.rectangle import Rect
+
+__all__ = ["Stacking", "stack", "contains"]
+
+
+@dataclass(frozen=True)
+class Stacking:
+    """A stacking: rectangles sorted by non-increasing width, left-justified.
+
+    ``steps`` holds ``(y_base, height, width)`` triples bottom-up with
+    non-increasing widths.
+    """
+
+    steps: tuple[tuple[float, float, float], ...]
+
+    @property
+    def height(self) -> float:
+        """Total stacked height ``H(S)``."""
+        if not self.steps:
+            return 0.0
+        y, h, _ = self.steps[-1]
+        return y + h
+
+    @property
+    def area(self) -> float:
+        """Total stacked area (equals the rectangle area sum)."""
+        return sum(h * w for _, h, w in self.steps)
+
+    def width_at(self, y: float) -> float:
+        """Profile value: the width of the step containing height ``y``
+        (0 above the stacking)."""
+        if y < 0.0:
+            raise ValueError(f"height must be non-negative, got {y}")
+        for base, h, w in self.steps:
+            if base <= y < base + h:
+                return w
+        return 0.0
+
+    def breakpoints(self) -> list[float]:
+        """All step boundaries (bases and the final top)."""
+        pts = [base for base, _, _ in self.steps]
+        pts.append(self.height)
+        return pts
+
+    def cut_heights(self, n_groups: int) -> list[float]:
+        """The Lemma 3.2 cutting lines ``y = l * H / n_groups`` for
+        ``0 <= l < n_groups``."""
+        H = self.height
+        return [ell * H / n_groups for ell in range(n_groups)]
+
+
+def stack(rects: Iterable[Rect]) -> Stacking:
+    """Build the stacking of ``rects`` (sorted non-increasing width,
+    deterministic tie-break on height then id for reproducibility)."""
+    ordered = sorted(rects, key=lambda r: (-r.width, -r.height, str(r.rid)))
+    steps: list[tuple[float, float, float]] = []
+    y = 0.0
+    for r in ordered:
+        steps.append((y, r.height, r.width))
+        y += r.height
+    return Stacking(tuple(steps))
+
+
+def contains(outer: Stacking, inner: Stacking, atol: float = tol.ATOL) -> bool:
+    """Whether ``outer`` contains ``inner`` (profiles base-aligned).
+
+    Checks profile dominance at every breakpoint of either stacking — the
+    profiles are step functions, so pointwise dominance on the merged
+    breakpoint set implies dominance everywhere.
+    """
+    if tol.lt(outer.height, inner.height, atol):
+        return False
+    pts = sorted(set(outer.breakpoints()) | set(inner.breakpoints()))
+    for y0, y1 in zip(pts, pts[1:]):
+        if y1 - y0 <= atol:
+            # Sub-tolerance slivers arise from float summation-order noise
+            # between the two stackings' cumulative heights; ignore them.
+            continue
+        mid = (y0 + y1) / 2.0
+        if mid >= inner.height:
+            break
+        if tol.lt(outer.width_at(mid), inner.width_at(mid), atol):
+            return False
+    return True

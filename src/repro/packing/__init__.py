@@ -1,0 +1,23 @@
+"""Unconstrained strip packing subroutines (the paper's algorithm ``A``)."""
+
+from .base import PackResult, Packer, SubroutineA, as_subroutine, subroutine_a_bound
+from .bfdh import bfdh
+from .bottom_left import bottom_left, bottom_left_release
+from .ffdh import ffdh
+from .fractional import aptas_plain, fractional_strip_height
+from .nfdh import nfdh
+
+__all__ = [
+    "fractional_strip_height",
+    "aptas_plain",
+    "PackResult",
+    "Packer",
+    "SubroutineA",
+    "as_subroutine",
+    "subroutine_a_bound",
+    "nfdh",
+    "ffdh",
+    "bfdh",
+    "bottom_left",
+    "bottom_left_release",
+]

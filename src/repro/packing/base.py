@@ -1,0 +1,85 @@
+"""The subroutine-A contract and shared packer plumbing.
+
+Algorithm 1 (``DC``) is parameterised by an unconstrained strip packer ``A``
+with two properties the paper states explicitly:
+
+1. ``A(y, S')`` starts the packing at height ``y`` (i.e. the lowest base of
+   the produced placement is exactly ``y``) and returns the vertical extent
+   used;
+2. the guarantee ``A(y, S') <= 2 * AREA(S') + max_s h_s`` holds for every
+   rectangle set ``S'``.
+
+:class:`PackResult` is what every packer in this package returns;
+:func:`as_subroutine` adapts a packer to the exact call signature used by
+``DC`` and asserts property (1) at runtime.  Property (2) is the subject of
+experiment E11 — NFDH satisfies it by its classical analysis, Steinberg's
+algorithm by choosing the target height ``2*AREA + hmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from ..core import tol
+from ..core.placement import Placement
+from ..core.rectangle import Rect, max_height, total_area
+
+__all__ = ["PackResult", "Packer", "SubroutineA", "as_subroutine", "subroutine_a_bound"]
+
+
+@dataclass(frozen=True)
+class PackResult:
+    """Outcome of an unconstrained packing run.
+
+    ``extent`` is ``max(y_s + h_s) - min(y_s)`` — the paper's ``A(y, S')``
+    return value; ``placement`` contains absolute coordinates.
+    """
+
+    placement: Placement
+    extent: float
+
+
+class Packer(Protocol):
+    """An unconstrained strip packer: rectangles -> placement from ``y``."""
+
+    def __call__(self, rects: Sequence[Rect], y: float = 0.0) -> PackResult: ...
+
+
+SubroutineA = Packer  # semantic alias used by DC
+
+
+def subroutine_a_bound(rects: Sequence[Rect]) -> float:
+    """The contract bound ``2 * AREA(S') + max h`` for a rectangle set."""
+    if not rects:
+        return 0.0
+    return 2.0 * total_area(rects) + max_height(rects)
+
+
+def as_subroutine(packer: Packer, *, check_contract: bool = False) -> Packer:
+    """Wrap ``packer`` with runtime verification of the subroutine-A calling
+    convention (base exactly at ``y``; optionally the height bound).
+
+    ``check_contract=True`` additionally asserts the *guarantee* — useful in
+    tests, off by default so heuristics without the proof (e.g. plain
+    bottom-left) can still be plugged into DC for measurement.
+    """
+
+    def wrapped(rects: Sequence[Rect], y: float = 0.0) -> PackResult:
+        result = packer(rects, y)
+        if rects:
+            base = result.placement.base
+            if not tol.eq(base, y, atol=1e-7):
+                raise AssertionError(
+                    f"subroutine A must start packing exactly at y={y:g}; base is {base:g}"
+                )
+            if check_contract:
+                bound = subroutine_a_bound(rects)
+                if tol.gt(result.extent, bound, atol=1e-7):
+                    raise AssertionError(
+                        f"subroutine A contract violated: extent {result.extent:g} > "
+                        f"2*AREA + hmax = {bound:g}"
+                    )
+        return result
+
+    return wrapped

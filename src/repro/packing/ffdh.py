@@ -1,0 +1,44 @@
+"""First-Fit Decreasing Height (FFDH).
+
+Like NFDH but levels are never closed: each rectangle goes on the *lowest*
+already-open level with room, opening a new level only when none fits.
+Classical asymptotic guarantee (Coffman-Garey-Johnson-Tarjan 1980)::
+
+    FFDH(S') <= 1.7 * OPT(S') + h_max
+
+FFDH also satisfies the weaker subroutine-A property (its levels are a
+subset-refinement of NFDH's usage: every level except the first is more than
+half full in width for the rectangles defining subsequent levels), so it can
+be plugged into DC; the library keeps NFDH as the default because its
+``2*AREA + h_max`` bound is the one proved in the paper's citation chain.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.placement import Placement
+from ..core.rectangle import Rect
+from ..geometry.levels import LevelStack
+from .base import PackResult
+
+__all__ = ["ffdh"]
+
+
+def ffdh(rects: Sequence[Rect], y: float = 0.0) -> PackResult:
+    """Pack ``rects`` (no constraints) starting at height ``y``."""
+    placement = Placement()
+    if not rects:
+        return PackResult(placement, 0.0)
+    ordered = sorted(rects, key=lambda r: (-r.height, -r.width, str(r.rid)))
+    stack = LevelStack(base=y)
+    for r in ordered:
+        target = None
+        for level in stack:
+            if level.fits(r):
+                target = level
+                break
+        if target is None:
+            target = stack.open_level(r.height)
+        target.add(r, placement)
+    return PackResult(placement, stack.extent)

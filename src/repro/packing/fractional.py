@@ -1,0 +1,71 @@
+"""Fractional strip packing without release times (the Kenyon-Rémila
+special case the Section 3 machinery builds on).
+
+With a single release class (everything available at time 0) the
+configuration LP of Lemma 3.3 degenerates to the classical fractional
+strip packing LP of [16]: minimise total configuration height subject to
+covering each width's demand.  This module exposes that special case
+directly — useful as a certified lower bound for the unconstrained
+packers (E11) and as the ``R = 0`` sanity anchor for the APTAS tests —
+plus a plain-instance APTAS wrapper (grouping + LP + integralisation with
+no release phases).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance, StripPackingInstance
+from ..core.placement import Placement
+from ..core.rectangle import Rect
+
+__all__ = ["fractional_strip_height", "aptas_plain"]
+
+
+def _as_release_instance(rects: Sequence[Rect], K: int) -> ReleaseInstance:
+    if any(r.release != 0.0 for r in rects):
+        raise InvalidInstanceError(
+            "fractional_strip_height is the no-release special case; "
+            "use repro.release.lp.solve_fractional for release instances"
+        )
+    return ReleaseInstance([r.replace(release=0.0) for r in rects], K)
+
+
+def fractional_strip_height(
+    rects: Sequence[Rect], K: int, *, max_configs: int = 500_000
+) -> float:
+    """``OPT_f`` of a plain strip packing instance with widths >= 1/K.
+
+    A certified lower bound on the integral optimum (and on every packer's
+    output): the Kenyon-Rémila fractional LP over the instance's distinct
+    widths.
+    """
+    from ..release.lp import solve_fractional
+
+    inst = _as_release_instance(rects, K)
+    return solve_fractional(inst, max_configs=max_configs).height
+
+
+def aptas_plain(
+    instance: StripPackingInstance,
+    K: int,
+    eps: float,
+    *,
+    max_configs: int = 500_000,
+) -> Placement:
+    """Algorithm 2 specialised to no release times.
+
+    Accepts any plain instance whose widths are at least ``1/K`` and
+    heights at most 1; runs grouping + configuration LP + integralisation
+    with a single phase (the Lemma 3.1 step is a no-op at ``r_max = 0``).
+    """
+    from ..release.aptas import aptas
+
+    inst = _as_release_instance(list(instance.rects), K)
+    result = aptas(inst, eps, max_configs=max_configs)
+    by_id = instance.by_id()
+    placement = Placement()
+    for rid, pr in result.placement.items():
+        placement.place(by_id[rid], pr.x, pr.y)
+    return placement

@@ -1,0 +1,43 @@
+"""Section 2 algorithms: DC divide-and-conquer, shelf Next-Fit (Algorithm F),
+shelf conversion, precedence-constrained bin packing, list scheduling."""
+
+from .accounting import ShelfColoring, color_shelves, verify_accounting
+from .bin_packing import (
+    BinAssignment,
+    BinPackingInstance,
+    bins_to_placement,
+    chain_lower_bound,
+    precedence_first_fit_decreasing,
+    precedence_next_fit,
+    size_lower_bound,
+    strip_to_bin_instance,
+)
+from .dc import DCBand, DCResult, dc_pack
+from .ggjy_first_fit import ggjy_first_fit
+from .list_schedule import list_schedule
+from .shelf_conversion import is_shelf_solution, shelf_index, to_shelf_solution
+from .shelf_nextfit import ShelfRun, shelf_next_fit
+
+__all__ = [
+    "dc_pack",
+    "DCResult",
+    "DCBand",
+    "shelf_next_fit",
+    "ShelfRun",
+    "to_shelf_solution",
+    "is_shelf_solution",
+    "shelf_index",
+    "BinPackingInstance",
+    "BinAssignment",
+    "strip_to_bin_instance",
+    "bins_to_placement",
+    "precedence_next_fit",
+    "precedence_first_fit_decreasing",
+    "ggjy_first_fit",
+    "chain_lower_bound",
+    "size_lower_bound",
+    "list_schedule",
+    "color_shelves",
+    "ShelfColoring",
+    "verify_accounting",
+]

@@ -1,0 +1,224 @@
+"""Precedence-constrained bin packing (the Section 2.2 reduction target).
+
+Tasks with sizes in ``(0, 1]`` and a partial order must be assigned to a
+sequence of unit-capacity bins so that ``a ≺ b`` implies ``bin(a) <
+bin(b)`` (strictly earlier).  Garey, Graham, Johnson and Yao studied this as
+a special case of resource-constrained scheduling and gave an asymptotic
+2.7-approximation; the paper imports that result for uniform-height strip
+packing via the shelf equivalence, and contributes the absolute
+3-approximation (:mod:`repro.precedence.shelf_nextfit`).
+
+This module provides:
+
+* the two directions of the strip <-> bin equivalence
+  (:func:`strip_to_bin_instance`, :func:`bins_to_placement`);
+* ``precedence_next_fit`` — the bin-packing twin of Algorithm F;
+* ``precedence_first_fit_decreasing`` — the Garey-et-al.-style *level*
+  algorithm: close bins one at a time, filling each greedily
+  (first-fit-decreasing over the currently available tasks), which is the
+  natural 2.7-regime heuristic measured in experiment E5;
+* a longest-chain lower bound on the number of bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from ..core import tol
+from ..core.errors import InvalidInstanceError
+from ..core.instance import PrecedenceInstance
+from ..core.placement import Placement
+from ..core.rectangle import Rect
+from ..dag.graph import TaskDAG
+
+__all__ = [
+    "BinPackingInstance",
+    "BinAssignment",
+    "strip_to_bin_instance",
+    "bins_to_placement",
+    "precedence_next_fit",
+    "precedence_first_fit_decreasing",
+    "chain_lower_bound",
+    "size_lower_bound",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class BinPackingInstance:
+    """Sizes in ``(0, 1]`` plus a precedence DAG over the same ids."""
+
+    sizes: Mapping[Node, float]
+    dag: TaskDAG
+
+    def __post_init__(self) -> None:
+        for tid, sz in self.sizes.items():
+            if not 0.0 < sz <= 1.0 + tol.ATOL:
+                raise InvalidInstanceError(f"task {tid!r}: size must be in (0,1], got {sz!r}")
+        if set(self.sizes) != set(self.dag.nodes()):
+            raise InvalidInstanceError("sizes and DAG must cover the same task ids")
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+@dataclass
+class BinAssignment:
+    """bins[i] = list of task ids in bin ``i`` (0-based sequence order)."""
+
+    bins: list[list[Node]]
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bins)
+
+    def bin_of(self) -> dict[Node, int]:
+        """Mapping task id -> bin index."""
+        return {tid: i for i, tasks in enumerate(self.bins) for tid in tasks}
+
+    def validate(self, instance: BinPackingInstance) -> None:
+        """Raise unless the assignment is feasible: all tasks assigned once,
+        capacities respected, precedence strictly increasing."""
+        where = self.bin_of()
+        missing = set(instance.sizes) - set(where)
+        if missing:
+            raise InvalidInstanceError(f"unassigned tasks: {sorted(map(str, missing))[:5]}")
+        counts: dict[Node, int] = {}
+        for tasks in self.bins:
+            for tid in tasks:
+                counts[tid] = counts.get(tid, 0) + 1
+        dup = [t for t, c in counts.items() if c > 1]
+        if dup:
+            raise InvalidInstanceError(f"tasks assigned twice: {dup[:5]}")
+        for i, tasks in enumerate(self.bins):
+            load = sum(instance.sizes[t] for t in tasks)
+            if tol.gt(load, 1.0):
+                raise InvalidInstanceError(f"bin {i} overfull: load {load:g}")
+        for u, v in instance.dag.edges():
+            if where[u] >= where[v]:
+                raise InvalidInstanceError(
+                    f"precedence violated: {u!r} in bin {where[u]} !< {v!r} in bin {where[v]}"
+                )
+
+
+# ----------------------------------------------------------------------
+# the strip <-> bin equivalence of Section 2.2
+# ----------------------------------------------------------------------
+
+def strip_to_bin_instance(instance: PrecedenceInstance) -> BinPackingInstance:
+    """Uniform-height strip instance -> bin instance (width becomes size)."""
+    heights = {r.height for r in instance.rects}
+    if len(heights) > 1:
+        raise InvalidInstanceError("strip->bin reduction requires uniform heights")
+    return BinPackingInstance(
+        sizes={r.rid: r.width for r in instance.rects}, dag=instance.dag
+    )
+
+
+def bins_to_placement(
+    instance: PrecedenceInstance, assignment: BinAssignment
+) -> Placement:
+    """Bin assignment -> shelf placement (bin ``i`` becomes shelf ``i``)."""
+    by_id = instance.by_id()
+    h = instance.rects[0].height if instance.rects else 1.0
+    placement = Placement()
+    for i, tasks in enumerate(assignment.bins):
+        x = 0.0
+        for tid in tasks:
+            r = by_id[tid]
+            placement.place(r, tol.clamp(x, 0.0, 1.0 - r.width), i * h)
+            x += r.width
+    return placement
+
+
+# ----------------------------------------------------------------------
+# algorithms
+# ----------------------------------------------------------------------
+
+def precedence_next_fit(instance: BinPackingInstance) -> BinAssignment:
+    """Next-Fit with precedence: FIFO available queue, one open bin; close on
+    first misfit or queue exhaustion.  The bin-packing twin of Algorithm F
+    (3-approximate by Theorem 2.6)."""
+    return _run_level_algorithm(instance, order_key=None)
+
+
+def precedence_first_fit_decreasing(instance: BinPackingInstance) -> BinAssignment:
+    """Level algorithm with First-Fit-Decreasing inside each bin.
+
+    While tasks remain: compute the set of available tasks (all predecessors
+    in strictly earlier bins), then fill the current bin by scanning the
+    available tasks in non-increasing size order, adding each that still
+    fits.  This dominates next-fit per bin and is the natural heuristic in
+    the Garey-Graham-Johnson-Yao asymptotic regime.
+    """
+    return _run_level_algorithm(instance, order_key=lambda tid, sz: (-sz, str(tid)))
+
+
+def _run_level_algorithm(instance: BinPackingInstance, order_key) -> BinAssignment:
+    dag = instance.dag
+    sizes = instance.sizes
+    closed: set[Node] = set()
+    remaining = set(sizes)
+    bins: list[list[Node]] = []
+    # FIFO arrival order for the next-fit variant.
+    fifo: list[Node] = []
+    in_fifo: set[Node] = set()
+
+    while remaining:
+        available = [
+            t for t in remaining if all(p in closed for p in dag.predecessors(t))
+        ]
+        if not available:
+            raise AssertionError("no available task on a valid DAG")
+        if order_key is None:
+            for t in sorted(available, key=str):
+                if t not in in_fifo:
+                    fifo.append(t)
+                    in_fifo.add(t)
+            candidates = [t for t in fifo if t in remaining]
+        else:
+            candidates = sorted(available, key=lambda t: order_key(t, sizes[t]))
+        load = 0.0
+        chosen: list[Node] = []
+        for t in candidates:
+            if order_key is None:
+                # Next-Fit: stop at the first task that does not fit.
+                if tol.leq(load + sizes[t], 1.0):
+                    chosen.append(t)
+                    load += sizes[t]
+                else:
+                    break
+            else:
+                if tol.leq(load + sizes[t], 1.0):
+                    chosen.append(t)
+                    load += sizes[t]
+        bins.append(chosen)
+        for t in chosen:
+            remaining.discard(t)
+            in_fifo.discard(t)
+        fifo = [t for t in fifo if t in remaining]
+        closed.update(chosen)
+    return BinAssignment(bins=bins)
+
+
+# ----------------------------------------------------------------------
+# lower bounds
+# ----------------------------------------------------------------------
+
+def chain_lower_bound(instance: BinPackingInstance) -> int:
+    """Longest chain in the DAG: each element needs its own, later bin."""
+    depth: dict[Node, int] = {}
+    for t in instance.dag.topological_order():
+        preds = instance.dag.predecessors(t)
+        depth[t] = 1 + max((depth[p] for p in preds), default=0)
+    return max(depth.values(), default=0)
+
+
+def size_lower_bound(instance: BinPackingInstance) -> int:
+    """Ceiling of the total size: unit bins must hold it all."""
+    import math
+
+    total = sum(instance.sizes.values())
+    return int(math.ceil(total - tol.ATOL))

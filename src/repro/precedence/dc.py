@@ -1,0 +1,133 @@
+"""Algorithm 1 of the paper: ``DC``, the divide-and-conquer
+O(log n)-approximation for precedence-constrained strip packing.
+
+Given an instance ``(S, E)`` the algorithm recomputes the critical-path
+function ``F`` on the current sub-DAG, sets ``H = F(S)``, and splits::
+
+    S_bot = { s : F(s) <= H/2 }                       (recurse below)
+    S_mid = { s : F(s) >  H/2  and  F(s) - h_s <= H/2 }   (antichain; pack with A)
+    S_top = { s : F(s) - h_s > H/2 }                  (recurse above)
+
+``S_mid`` straddles the horizontal line ``H/2`` in the "infinitely wide
+strip" interpretation of ``F``, so by Lemma 2.1 it contains no dependent
+pair and the unconstrained subroutine ``A`` may pack it.  Lemma 2.2
+guarantees ``S_mid`` is non-empty, so the recursion terminates.  Theorem 2.3
+proves::
+
+    DC(S) <= log2(n + 1) * F(S) + 2 * AREA(S) <= (2 + log2(n + 1)) * OPT(S, E)
+
+The implementation mirrors the pseudo-code line by line and additionally
+records the recursion tree (band structure) for introspection/rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from ..core import tol
+from ..core.instance import PrecedenceInstance
+from ..core.placement import Placement
+from ..dag.critical_path import compute_F
+from ..dag.graph import TaskDAG
+from ..packing.base import Packer
+from ..packing.nfdh import nfdh
+
+__all__ = ["DCResult", "DCBand", "dc_pack"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DCBand:
+    """One ``A(S_mid)`` invocation: which ids were packed where.
+
+    Recorded in recursion order (bottom-up in the strip), giving the full
+    horizontal band decomposition the analysis of Theorem 2.3 reasons about.
+    """
+
+    y: float
+    extent: float
+    ids: tuple[Node, ...]
+    depth: int
+
+
+@dataclass
+class DCResult:
+    """Placement plus the recursion-band trace of a ``DC`` run."""
+
+    placement: Placement
+    height: float
+    bands: list[DCBand] = field(default_factory=list)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest recursion level that produced a band."""
+        return max((b.depth for b in self.bands), default=0)
+
+
+def dc_pack(
+    instance: PrecedenceInstance,
+    subroutine: Packer = nfdh,
+) -> DCResult:
+    """Run Algorithm 1 on ``instance`` using ``subroutine`` as ``A``.
+
+    Parameters
+    ----------
+    instance:
+        Precedence-constrained strip packing instance.
+    subroutine:
+        Unconstrained packer honouring the subroutine-A convention
+        (:mod:`repro.packing.base`); default NFDH.
+
+    Returns
+    -------
+    DCResult
+        Valid placement (checked by the caller/tests via
+        :func:`repro.core.placement.validate_placement`) whose height obeys
+        Theorem 2.3.
+    """
+    by_id = instance.by_id()
+    heights = instance.heights()
+    result = DCResult(placement=Placement(), height=0.0)
+
+    def recurse(y: float, ids: list[Node], dag: TaskDAG, depth: int) -> float:
+        """Line-by-line Algorithm 1; returns the extent used above ``y``."""
+        # 1: if S is empty, return 0.
+        if not ids:
+            return 0.0
+        # 2: recalculate F on the induced sub-DAG.
+        F = compute_F(dag, heights)
+        # 3: H = F(S).
+        H = max(F[s] for s in ids)
+        # 4-6: three-way split around H/2.  Comparisons are tolerance-aware
+        # and each rectangle is classified exactly once: exact-half ties
+        # (common in structured instances, e.g. power-of-two chains) must not
+        # land a rectangle in two parts or drop the straddling rectangle from
+        # S_mid, which would break Lemma 2.2's progress guarantee.
+        half = H / 2.0
+        s_bot, s_mid, s_top = [], [], []
+        for s in ids:
+            if tol.gt(F[s] - heights[s], half):
+                s_top.append(s)
+            elif tol.leq(F[s], half):
+                s_bot.append(s)
+            else:
+                s_mid.append(s)
+        # Lemma 2.2: S_mid is never empty, hence both recursions shrink.
+        assert s_mid, "Lemma 2.2 violated: empty S_mid"
+        cur = y
+        # 7-8: place S_bot below.
+        cur += recurse(cur, s_bot, dag.induced(s_bot), depth + 1)
+        # 9-10: pack the antichain S_mid with A starting at cur.
+        pack = subroutine([by_id[s] for s in s_mid], cur)
+        result.placement.merge(pack.placement)
+        result.bands.append(DCBand(y=cur, extent=pack.extent, ids=tuple(s_mid), depth=depth))
+        cur += pack.extent
+        # 11-12: place S_top above.
+        cur += recurse(cur, s_top, dag.induced(s_top), depth + 1)
+        return cur - y
+
+    total = recurse(0.0, list(by_id), instance.dag, depth=0)
+    result.height = total
+    return result

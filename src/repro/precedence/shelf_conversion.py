@@ -1,0 +1,122 @@
+"""The slide-down argument of Section 2.2: any uniform-height packing can be
+converted to a *shelf* packing without increasing the total height.
+
+With common height ``h``, shelf ``i`` is the band ``[(i-1)h, ih)``.  A
+placement is a shelf solution when every rectangle lies inside one shelf.
+The conversion repeatedly picks the *lowest-based* rectangle that spans two
+shelves and slides it down to the floor of the lower shelf it spans.  The
+paper's argument shows no rectangle can obstruct the minimal one:
+
+* an obstructor lying entirely inside the lower shelf would already overlap
+  the spanning rectangle in the original placement (their y-ranges meet);
+* an obstructor whose top lies strictly inside the lower shelf spans two
+  shelves itself with a smaller base — contradicting minimality.
+
+The implementation performs the slides literally, validates non-overlap
+after every step in ``paranoid`` mode, and raises if the argument's
+invariant ever fails (it cannot, on valid input).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core import tol
+from ..core.errors import InvalidInstanceError, InvalidPlacementError
+from ..core.instance import PrecedenceInstance, StripPackingInstance
+from ..core.placement import PlacedRect, Placement, find_overlap
+
+__all__ = ["to_shelf_solution", "is_shelf_solution", "shelf_index"]
+
+
+def _common_height(instance: StripPackingInstance) -> float:
+    heights = {r.height for r in instance.rects}
+    if len(heights) != 1:
+        raise InvalidInstanceError(
+            f"shelf conversion requires uniform heights, got {len(heights)} distinct"
+        )
+    return heights.pop()
+
+
+def shelf_index(y: float, h: float, atol: float = tol.ATOL) -> int | None:
+    """Shelf number (1-based) containing a rectangle based at ``y``; ``None``
+    when the rectangle spans two shelves."""
+    q = y / h
+    nearest = round(q)
+    if abs(q - nearest) * h <= atol:
+        return int(nearest) + 1
+    return None
+
+
+def is_shelf_solution(placement: Placement, h: float, atol: float = tol.ATOL) -> bool:
+    """Whether every rectangle base is aligned to a shelf boundary."""
+    return all(shelf_index(pr.y, h, atol) is not None for pr in placement)
+
+
+def to_shelf_solution(
+    instance: StripPackingInstance,
+    placement: Placement,
+    *,
+    paranoid: bool = False,
+) -> Placement:
+    """Convert a valid uniform-height placement into a shelf solution of the
+    same (or smaller) height.
+
+    Parameters
+    ----------
+    instance:
+        The instance (only used for the common height and for id checking).
+    placement:
+        A valid placement (caller responsibility; validated in tests).
+    paranoid:
+        Re-check non-overlap after every individual slide (tests use this).
+
+    Returns
+    -------
+    Placement
+        A placement where each rectangle lies within one shelf.  Height never
+        increases; precedence constraints are preserved because every move is
+        downward onto a boundary at or above all blocking rectangles.
+    """
+    h = _common_height(instance)
+    current: dict = {rid: pr for rid, pr in placement.items()}
+
+    def spanning() -> list:
+        return [rid for rid, pr in current.items() if shelf_index(pr.y, h) is None]
+
+    guard = 0
+    max_iter = 4 * len(current) + 16
+    while True:
+        span = spanning()
+        if not span:
+            break
+        guard += 1
+        if guard > max_iter:
+            raise InvalidPlacementError("slide-down failed to terminate; input invalid?")
+        # Lowest-based spanning rectangle first (the paper's choice).
+        rid = min(span, key=lambda s: (current[s].y, str(s)))
+        pr = current[rid]
+        # Lower shelf floor: largest multiple of h strictly below pr.y.
+        floor = math.floor(pr.y / h + tol.ATOL) * h
+        # Check nothing obstructs the slide within (floor, pr.y).
+        for other_id, opr in current.items():
+            if other_id == rid:
+                continue
+            x_overlap = tol.lt(pr.x, opr.x2) and tol.lt(opr.x, pr.x2)
+            if not x_overlap:
+                continue
+            if tol.gt(opr.y2, floor) and tol.lt(opr.y, pr.y + pr.rect.height):
+                # By the paper's argument this is impossible for the minimal
+                # spanning rectangle of a valid placement.
+                raise InvalidPlacementError(
+                    f"slide-down obstructed: {other_id!r} blocks {rid!r} "
+                    "(input placement is not valid)"
+                )
+        current[rid] = PlacedRect(pr.rect, pr.x, floor)
+        if paranoid:
+            bad = find_overlap(current.values())
+            if bad is not None:
+                raise InvalidPlacementError(
+                    f"slide created an overlap between {bad[0].rect.rid!r} and {bad[1].rect.rid!r}"
+                )
+    return Placement(current)

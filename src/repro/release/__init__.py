@@ -1,0 +1,46 @@
+"""Section 3: the APTAS for strip packing with release times and its
+reduction pipeline (rounding, grouping, configuration LP, integralization),
+plus the heuristic baselines."""
+
+from .aptas import APTASResult, aptas, aptas_parameters
+from .configurations import Configuration, ConfigurationSet, enumerate_configurations
+from .fractional import FractionalSolution
+from .grouping import GroupedClass, GroupingResult, group_widths
+from .heuristics import release_bottom_left, release_shelf_pack
+from .online import OnlineScheduleResult, online_first_fit
+from .integralize import IntegralizeResult, integralize
+from .lp import (
+    build_demands,
+    optimal_fractional_height,
+    phase_boundaries,
+    solve_configuration_lp,
+    solve_fractional,
+)
+from .rounding import release_grid, round_releases_down, round_releases_up
+
+__all__ = [
+    "aptas",
+    "aptas_parameters",
+    "APTASResult",
+    "round_releases_up",
+    "round_releases_down",
+    "release_grid",
+    "group_widths",
+    "GroupingResult",
+    "GroupedClass",
+    "enumerate_configurations",
+    "Configuration",
+    "ConfigurationSet",
+    "solve_fractional",
+    "solve_configuration_lp",
+    "optimal_fractional_height",
+    "phase_boundaries",
+    "build_demands",
+    "FractionalSolution",
+    "integralize",
+    "IntegralizeResult",
+    "release_shelf_pack",
+    "release_bottom_left",
+    "online_first_fit",
+    "OnlineScheduleResult",
+]

@@ -1,0 +1,150 @@
+"""Algorithm 2 — the asymptotic PTAS for strip packing with release times.
+
+Pipeline (Theorem 3.5), for input instance ``P`` and error ``eps``::
+
+    eps' = eps / 3
+    R    = ceil(1 / eps')                     # release-time budget
+    W    = ceil(1 / eps') * K * (R + 1)       # width budget
+    P(R)    = round_releases_up(P, eps')      # Lemma 3.1
+    P(R,W)  = group_widths(P(R), W)           # Lemma 3.2
+    x*      = configuration LP on P(R,W)      # Lemma 3.3
+    S(R,W)  = integralize(x*)                 # Lemma 3.4
+
+yielding ``S(R,W) <= (1 + eps) * OPT_f(P) + (W + 1)(R + 1)``.  Because the
+reductions only *raise* releases and *widen* widths while preserving ids,
+``S(R,W)``'s coordinates are reused verbatim for the original rectangles,
+giving a valid solution of ``P``.
+
+The theoretical ``W`` grows like ``K / eps^2`` and the configuration count
+is exponential in ``K``; the implementation computes the faithful defaults
+but accepts explicit ``R``/``W`` overrides so experiments can chart quality
+against budget on tractable sizes (the standard engineering
+parameterization for APTAS reproductions — see DESIGN.md).  ``W`` is always
+snapped to a feasible multiple of the realised number of release classes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance
+from ..core.placement import Placement
+from .fractional import FractionalSolution
+from .grouping import GroupingResult, group_widths
+from .integralize import IntegralizeResult, integralize
+from .lp import solve_fractional
+from .rounding import round_releases_up
+
+__all__ = ["APTASResult", "aptas_parameters", "aptas"]
+
+
+@dataclass(frozen=True)
+class APTASResult:
+    """Everything Algorithm 2 produced, end to end.
+
+    ``placement`` is the final solution *of the original instance*; the
+    intermediate artifacts are retained because the experiments verify each
+    lemma's inequality on them.
+    """
+
+    placement: Placement
+    height: float
+    eps: float
+    R: int
+    W: int
+    rounded: ReleaseInstance          # P(R)
+    grouping: GroupingResult          # P(R,W) and its trace
+    fractional: FractionalSolution    # LP solution on P(R,W)
+    integral: IntegralizeResult       # S(R,W)
+
+    @property
+    def additive_budget(self) -> float:
+        """The Theorem 3.5 additive term ``(W + 1) * (R + 1)`` — with the
+        realised occurrence count (<= the bound) available via
+        ``integral.n_occurrences``."""
+        return (self.W + 1) * (self.R + 1)
+
+
+def aptas_parameters(eps: float, K: int) -> tuple[int, int]:
+    """The faithful Algorithm-2 parameters ``(R, W)`` for error ``eps``."""
+    if eps <= 0.0:
+        raise InvalidInstanceError(f"eps must be positive, got {eps}")
+    eps_prime = eps / 3.0
+    R = math.ceil(1.0 / eps_prime)
+    W = math.ceil(1.0 / eps_prime) * K * (R + 1)
+    return R, W
+
+
+def aptas(
+    instance: ReleaseInstance,
+    eps: float,
+    *,
+    W: int | None = None,
+    groups_per_class: int | None = None,
+    max_configs: int = 500_000,
+) -> APTASResult:
+    """Run Algorithm 2 on ``instance`` with error parameter ``eps``.
+
+    Parameters
+    ----------
+    instance:
+        Must satisfy the standard assumptions (``h <= 1``, ``w >= 1/K``);
+        checked up front.
+    eps:
+        Target asymptotic error; ``eps' = eps/3`` drives both reductions.
+    W:
+        Optional explicit width budget (snapped up to a multiple of the
+        realised release-class count).  Default: the faithful
+        ``ceil(1/eps') * K * (R+1)``.
+    groups_per_class:
+        Alternative to ``W``: directly set ``G = W / n_classes``.
+    max_configs:
+        Safety cap on configuration enumeration (raises, never truncates).
+    """
+    instance.check_aptas_assumptions()
+    eps_prime = eps / 3.0
+    R_budget, W_default = aptas_parameters(eps, instance.K)
+
+    # Lemma 3.1 — at most ceil(1/eps') (+1) distinct release times.
+    rounded = round_releases_up(instance, eps_prime)
+    n_classes = max(1, len({r.release for r in rounded.rects}))
+
+    # Lemma 3.2 — width budget, snapped to a multiple of the class count.
+    if groups_per_class is not None:
+        if groups_per_class <= 0:
+            raise InvalidInstanceError("groups_per_class must be positive")
+        W_eff = groups_per_class * n_classes
+    else:
+        W_req = W if W is not None else W_default
+        W_eff = max(n_classes, (W_req // n_classes) * n_classes)
+        if W_eff < W_req:
+            W_eff += n_classes
+    grouping = group_widths(rounded, W_eff)
+
+    # Lemma 3.3 — configuration LP on P(R,W).
+    fractional = solve_fractional(grouping.instance, max_configs=max_configs)
+
+    # Lemma 3.4 — integral conversion.
+    integral = integralize(fractional, grouping.instance)
+
+    # Coordinates transfer verbatim to the original rectangles: the grouped
+    # rectangle at (x, y) is wider and later-released than the original, so
+    # the original fits at the same spot.
+    by_id = instance.by_id()
+    placement = Placement()
+    for rid, pr in integral.placement.items():
+        placement.place(by_id[rid], pr.x, pr.y)
+
+    return APTASResult(
+        placement=placement,
+        height=placement.height,
+        eps=eps,
+        R=R_budget,
+        W=W_eff,
+        rounded=rounded,
+        grouping=grouping,
+        fractional=fractional,
+        integral=integral,
+    )

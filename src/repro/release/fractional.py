@@ -1,0 +1,101 @@
+"""Fractional solutions of the configuration LP (Lemma 3.3).
+
+A fractional solution assigns to every (configuration, phase) pair a
+non-negative height ``x[q][j]``.  Its interpretation: during phase ``j``
+(the band between consecutive release boundaries) the strip's cross-section
+is configuration ``q`` for a total height ``x[q][j]``; rectangles may be
+sliced horizontally and split across occurrences, which is exactly the
+fractional relaxation the paper defines at the start of Section 3.
+
+The verifier checks the three LP constraint families *semantically*
+(non-negativity, per-phase capacity, suffix covering) rather than trusting
+the solver, and computes the realised fractional height
+``rho_R + sum_q x[q][R]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import tol
+from ..core.errors import SolverError
+from .configurations import ConfigurationSet
+
+__all__ = ["FractionalSolution"]
+
+
+@dataclass(frozen=True)
+class FractionalSolution:
+    """LP solution: ``x[q, j]`` heights over configurations x phases.
+
+    ``boundaries`` are the phase starts ``rho_0 = 0 < rho_1 < ... < rho_R``
+    (the final phase is unbounded above); ``demands[i, j]`` is the paper's
+    ``b^i_j`` — total height of width-``i`` rectangles released at
+    ``rho_j``.
+    """
+
+    config_set: ConfigurationSet
+    boundaries: tuple[float, ...]
+    x: np.ndarray           # shape (Q, R+1)
+    demands: np.ndarray     # shape (W, R+1)
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.boundaries)
+
+    @property
+    def objective(self) -> float:
+        """Height packed above the last release boundary."""
+        return float(self.x[:, -1].sum())
+
+    @property
+    def height(self) -> float:
+        """Fractional packing height ``rho_R + objective`` (Lemma 3.3)."""
+        return self.boundaries[-1] + self.objective
+
+    def support(self) -> list[tuple[int, int, float]]:
+        """Distinct occurrences: ``(phase j, config q, height)`` with
+        positive height — Lemma 3.3 bounds their count by
+        ``(W + 1) * (R + 1)``."""
+        out = []
+        Q, P = self.x.shape
+        for j in range(P):
+            for q in range(Q):
+                if self.x[q, j] > tol.ATOL:
+                    out.append((j, q, float(self.x[q, j])))
+        return out
+
+    def phase_gap(self, j: int) -> float:
+        """Capacity of phase ``j`` (infinite for the last phase)."""
+        if j == self.n_phases - 1:
+            return float("inf")
+        return self.boundaries[j + 1] - self.boundaries[j]
+
+    def verify(self, atol: float = 1e-6) -> None:
+        """Raise :class:`SolverError` on any constraint violation."""
+        Q, P = self.x.shape
+        if P != self.n_phases:
+            raise SolverError(f"x has {P} phases, boundaries give {self.n_phases}")
+        if (self.x < -atol).any():
+            raise SolverError("negative configuration height")
+        # (3.3) packing: per-phase capacity.
+        for j in range(P - 1):
+            used = float(self.x[:, j].sum())
+            if used > self.phase_gap(j) + atol:
+                raise SolverError(
+                    f"phase {j} over capacity: {used:g} > {self.phase_gap(j):g}"
+                )
+        # (3.4) covering: suffix supply >= suffix demand per width.
+        A = self.config_set.matrix           # (W, Q)
+        supply = A @ self.x                  # (W, P) heights per width/phase
+        for k in range(P):
+            s = supply[:, k:].sum(axis=1)
+            d = self.demands[:, k:].sum(axis=1)
+            if (s < d - atol).any():
+                i = int(np.argmax(d - s))
+                raise SolverError(
+                    f"covering violated at suffix k={k}, width index {i}: "
+                    f"supply {s[i]:g} < demand {d[i]:g}"
+                )

@@ -1,0 +1,165 @@
+"""Lemma 3.2 — bounding the number of distinct widths (linear grouping).
+
+The instance ``P(R)`` is partitioned into release classes ``P_i`` (all
+rectangles released at ``rho_i``).  Per class, build the *stacking* (the
+rectangles left-justified, non-increasing width bottom-up, Fig. 3) and cut
+it with ``G = W / n_classes`` horizontal lines at heights
+``l * H(P_i) / G``.  A rectangle is a **threshold** rectangle when a cut
+line passes through its interior or aligns with its base; thresholds start
+*groups*, and every rectangle's width is rounded up to its group's threshold
+width ``w_{i,l}``.
+
+The resulting ``P(R,W)`` has at most ``G`` distinct widths per class —
+``W`` in total — and the containment chain of Fig. 4::
+
+    P_inf ⊆ P(R) ⊆ P(R,W) ⊆ P_sup
+
+(with ``P_inf``/``P_sup`` the ``G``-rectangle staircase under/over-
+approximations) yields::
+
+    OPT_f(P(R,W)) <= (1 + K * n_classes / W) * OPT_f(P(R))
+
+because ``P_sup`` exceeds ``P_inf`` by one ``H(P_i) * (R+1)/W`` slab of
+width <= 1 per class and the width floor ``1/K`` converts stacked height to
+area: ``H(P(R))/K <= AREA <= OPT_f``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import tol
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance
+from ..core.rectangle import Rect
+from ..geometry.stacking import Stacking, stack
+
+__all__ = ["GroupedClass", "GroupingResult", "group_widths"]
+
+
+@dataclass(frozen=True)
+class GroupedClass:
+    """Grouping outcome for one release class.
+
+    ``group_of`` maps rid -> group index; ``thresholds`` holds the group
+    widths ``w_{i,l}`` in stacking order (non-increasing).
+    """
+
+    release: float
+    stacking: Stacking
+    thresholds: tuple[float, ...]
+    group_of: dict
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.thresholds)
+
+
+@dataclass(frozen=True)
+class GroupingResult:
+    """Outcome of the Lemma 3.2 reduction.
+
+    ``instance`` is ``P(R,W)`` (same rids, widths rounded up);
+    ``sup_rects``/``inf_rects`` realise the ``P_sup``/``P_inf`` staircase
+    instances used by the containment proof (ids are synthetic).
+    """
+
+    instance: ReleaseInstance
+    classes: tuple[GroupedClass, ...]
+    sup_rects: tuple[Rect, ...]
+    inf_rects: tuple[Rect, ...]
+
+    @property
+    def n_distinct_widths(self) -> int:
+        return len({r.width for r in self.instance.rects})
+
+
+def group_widths(instance: ReleaseInstance, W: int) -> GroupingResult:
+    """Apply the Lemma 3.2 grouping with a budget of ``W`` distinct widths.
+
+    ``W`` must be a positive multiple of the number of release classes
+    (the paper requires ``W`` to be an integer multiple of ``R + 1``).
+    """
+    classes = instance.release_classes()
+    n_classes = max(1, len(classes))
+    if W <= 0 or W % n_classes != 0:
+        raise InvalidInstanceError(
+            f"W must be a positive multiple of the number of release classes "
+            f"({n_classes}), got {W}"
+        )
+    G = W // n_classes
+
+    new_rects: dict = {}
+    grouped: list[GroupedClass] = []
+    sup_rects: list[Rect] = []
+    inf_rects: list[Rect] = []
+
+    for ci, (release, rects) in enumerate(classes.items()):
+        st = stack(rects)
+        H = st.height
+        # Stacking order mirrors geometry.stacking.stack's deterministic sort.
+        ordered = sorted(rects, key=lambda r: (-r.width, -r.height, str(r.rid)))
+        cuts = [ell * H / G for ell in range(G)]
+        # Walk the stack bottom-up; a rectangle is a threshold if any cut
+        # line lands in [base, base + h) — interior or exactly at its base.
+        thresholds: list[float] = []
+        group_of: dict = {}
+        y = 0.0
+        cut_idx = 0
+        for r in ordered:
+            is_threshold = False
+            while cut_idx < len(cuts) and tol.lt(cuts[cut_idx], y + r.height):
+                # cut falls below the rectangle's top; if at/above its base
+                # the rectangle is a threshold.
+                if tol.geq(cuts[cut_idx], y):
+                    is_threshold = True
+                cut_idx += 1
+            if is_threshold or not thresholds:
+                thresholds.append(r.width)
+            group_of[r.rid] = len(thresholds) - 1
+            y += r.height
+        for r in ordered:
+            w_new = thresholds[group_of[r.rid]]
+            assert tol.geq(w_new, r.width), "grouping must round widths up"
+            new_rects[r.rid] = r.replace(width=min(1.0, w_new))
+        grouped.append(
+            GroupedClass(
+                release=release,
+                stacking=st,
+                thresholds=tuple(thresholds),
+                group_of=group_of,
+            )
+        )
+        # P_sup / P_inf staircases: G slabs of height H/G; widths w_{i,l}
+        # (sup) vs w_{i,l+1} with w_{i,G} = 0 (inf -> slab omitted).
+        if H > 0.0:
+            # Slab widths come from the stacking's width profile at the cut
+            # heights: sup slab l covers [c_l, c_{l+1}) at the profile value
+            # of its *bottom* (over-approximation), inf at its *top*
+            # (under-approximation; the top of the last slab is H, width 0).
+            slab_h = H / G
+            for ell in range(G):
+                w_sup = st.width_at(cuts[ell])
+                sup_rects.append(
+                    Rect(rid=f"sup:{ci}:{ell}", width=w_sup, height=slab_h, release=release)
+                )
+                w_inf = st.width_at(cuts[ell + 1]) if ell + 1 < G else 0.0
+                if w_inf > 0.0:
+                    inf_rects.append(
+                        Rect(rid=f"inf:{ci}:{ell}", width=w_inf, height=slab_h, release=release)
+                    )
+
+    out = instance.with_rects([new_rects[r.rid] for r in instance.rects])
+    result = GroupingResult(
+        instance=out,
+        classes=tuple(grouped),
+        sup_rects=tuple(sup_rects),
+        inf_rects=tuple(inf_rects),
+    )
+    if result.n_distinct_widths > W:
+        raise AssertionError(
+            f"grouping produced {result.n_distinct_widths} widths > budget {W}"
+        )
+    return result

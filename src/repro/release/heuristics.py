@@ -1,0 +1,45 @@
+"""Release-time baselines the APTAS is compared against (experiment E10).
+
+* :func:`release_shelf_pack` — batch rectangles by release time and pack
+  each batch with NFDH starting at ``max(release, current top)``.  Simple,
+  fast, and the natural "operating system" policy for reconfigurable
+  devices (cf. Steiger-Walder-Platzner, ref [23] in the paper).
+* :func:`release_bottom_left` — skyline bottom-left lifted to honour
+  releases (re-exported from :mod:`repro.packing.bottom_left`).
+
+Neither has an approximation guarantee with release times; the benchmark
+charts where the APTAS's (1+eps) asymptotics overtake them.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import ReleaseInstance
+from ..core.placement import Placement
+from ..packing.bottom_left import bottom_left_release
+from ..packing.nfdh import nfdh
+
+__all__ = ["release_shelf_pack", "release_bottom_left"]
+
+
+def release_shelf_pack(instance: ReleaseInstance) -> Placement:
+    """Batch-by-release NFDH.
+
+    Rectangles are grouped by release time (ascending); each batch is packed
+    with NFDH as a block starting at the maximum of its release time and the
+    top of everything placed so far.  Valid by construction: batches never
+    interleave vertically.
+    """
+    placement = Placement()
+    top = 0.0
+    for release, rects in instance.release_classes().items():
+        start = max(release, top)
+        result = nfdh(rects, y=start)
+        placement.merge(result.placement)
+        top = start + result.extent
+    return placement
+
+
+def release_bottom_left(instance: ReleaseInstance) -> Placement:
+    """Skyline bottom-left honouring release times (see
+    :func:`repro.packing.bottom_left.bottom_left_release`)."""
+    return bottom_left_release(instance.rects).placement

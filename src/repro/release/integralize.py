@@ -1,0 +1,169 @@
+"""Lemma 3.4 — converting a fractional LP solution to an integral packing.
+
+For every positive variable ``x[q][j]`` (an *occurrence* of configuration
+``q`` in phase ``j``) reserve a full-width slab; inside it every occurrence
+of width ``w_i`` in ``q`` becomes a *column* of width ``w_i`` and capacity
+``x[q][j]``.  Columns are greedily filled with whole rectangles of matching
+width: the last rectangle may overflow the capacity by less than 1 (heights
+are at most 1), the slab expands to cover its columns, and everything above
+shifts up.  With ``k`` occurrences the final height is at most
+``OPT_f + k``; Lemma 3.3 bounds ``k <= (W + 1)(R + 1)``, giving the additive
+term of Theorem 3.5.
+
+Rectangle-to-column assignment processes phases from *latest to earliest*
+and always picks the available rectangle with the latest release (ties:
+tallest first).  The suffix-covering constraints guarantee this greedy
+assigns every rectangle (the classic staircase-transportation argument);
+the implementation still verifies exhaustively and raises on any leftover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..core import tol
+from ..core.errors import SolverError
+from ..core.instance import ReleaseInstance
+from ..core.placement import Placement
+from ..core.rectangle import Rect
+from .fractional import FractionalSolution
+
+__all__ = ["IntegralizeResult", "integralize"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ColumnFill:
+    """One column: which rectangles it received, bottom-up."""
+
+    phase: int
+    config: int
+    width_index: int
+    capacity: float
+    rects: tuple[Rect, ...]
+
+    @property
+    def used_height(self) -> float:
+        return sum(r.height for r in self.rects)
+
+
+@dataclass
+class IntegralizeResult:
+    """Integral packing plus the per-column trace (for tests/rendering)."""
+
+    placement: Placement
+    columns: list[ColumnFill] = field(default_factory=list)
+    n_occurrences: int = 0
+
+    @property
+    def height(self) -> float:
+        return self.placement.height
+
+
+def integralize(
+    solution: FractionalSolution,
+    instance: ReleaseInstance,
+) -> IntegralizeResult:
+    """Convert ``solution`` into an integral placement of ``instance``.
+
+    ``instance`` must be the same ``P(R,W)``-shaped instance the LP was
+    built from: every rectangle's width must be one of the solution's width
+    values and every release one of its phase boundaries.
+    """
+    widths = solution.config_set.widths
+    boundaries = solution.boundaries
+    P = len(boundaries)
+    w_index = {round(w, 12): i for i, w in enumerate(widths)}
+    b_index = {round(b, 12): j for j, b in enumerate(boundaries)}
+
+    # Pools: per width index, rectangles grouped by release phase.
+    pools: dict[int, dict[int, list[Rect]]] = {i: {} for i in range(len(widths))}
+    for r in instance.rects:
+        wi = w_index.get(round(r.width, 12))
+        bj = b_index.get(round(r.release, 12))
+        if wi is None or bj is None:
+            raise SolverError(
+                f"rect {r.rid!r} (w={r.width}, r={r.release}) does not match the LP "
+                "width/boundary structure — run the reductions first"
+            )
+        pools[wi].setdefault(bj, []).append(r)
+    # Deterministic pop order: tallest first within a release class.
+    for wi in pools:
+        for bj in pools[wi]:
+            pools[wi][bj].sort(key=lambda r: (r.height, str(r.rid)))  # pop() = tallest
+
+    support = solution.support()  # (phase, config, height), ascending phase
+
+    # ------------------------------------------------------------------
+    # 1. assign rectangles to columns, phases descending, latest release
+    #    first.
+    # ------------------------------------------------------------------
+    assignments: dict[tuple[int, int, int, int], list[Rect]] = {}
+
+    def take(wi: int, max_phase: int) -> Rect | None:
+        """Pop the available width-``wi`` rectangle with the latest release
+        <= phase ``max_phase`` (then tallest)."""
+        classes = pools[wi]
+        for bj in sorted(classes, reverse=True):
+            if bj <= max_phase and classes[bj]:
+                return classes[bj].pop()
+        return None
+
+    for j, q, h in sorted(support, key=lambda t: -t[0]):
+        counts = solution.config_set.configs[q].counts
+        for wi, cnt in enumerate(counts):
+            for occ in range(cnt):
+                filled = 0.0
+                got: list[Rect] = []
+                while tol.lt(filled, h):
+                    r = take(wi, j)
+                    if r is None:
+                        break
+                    got.append(r)
+                    filled += r.height
+                assignments[(j, q, wi, occ)] = got
+
+    leftover = sum(len(v) for cls in pools.values() for v in cls.values())
+    if leftover:
+        raise SolverError(
+            f"{leftover} rectangles unassigned after greedy fill — covering "
+            "constraints of the fractional solution do not hold"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. realise the placement bottom-up, expanding reserved areas.
+    # ------------------------------------------------------------------
+    result = IntegralizeResult(placement=Placement())
+    result.n_occurrences = len(support)
+    cur_top = 0.0
+    for j, q, h in support:  # ascending phase, stable config order
+        y0 = max(boundaries[j], cur_top)
+        counts = solution.config_set.configs[q].counts
+        x_cursor = 0.0
+        occ_top = y0
+        for wi, cnt in enumerate(counts):
+            for occ in range(cnt):
+                col_rects = assignments.get((j, q, wi, occ), [])
+                y = y0
+                for r in col_rects:
+                    result.placement.place(r, tol.clamp(x_cursor, 0.0, 1.0 - r.width), y)
+                    y += r.height
+                result.columns.append(
+                    ColumnFill(
+                        phase=j,
+                        config=q,
+                        width_index=wi,
+                        capacity=h,
+                        rects=tuple(col_rects),
+                    )
+                )
+                occ_top = max(occ_top, y)
+                x_cursor += widths[wi]
+        if tol.gt(x_cursor, 1.0):
+            raise SolverError(f"configuration {q} wider than the strip: {x_cursor}")
+        cur_top = occ_top
+    return result

@@ -1,0 +1,153 @@
+"""The Lemma 3.3 linear program, assembled and solved with SciPy/HiGHS.
+
+Variables ``x[q][j]`` (height of configuration ``q`` in phase ``j``),
+objective ``min sum_q x[q][R]``, constraints:
+
+* packing (3.3): ``sum_q x[q][j] <= rho_{j+1} - rho_j`` for ``j < R``
+  (phase ``R`` is unbounded above);
+* covering (3.4): for every suffix ``k`` and width ``i``:
+  ``sum_{j>=k} (A . X_j)_i >= sum_{j>=k} b^i_j``;
+* non-negativity.
+
+HiGHS's simplex returns a *basic* optimal solution, so the support-size
+bound of Lemma 3.3 — at most ``(W + 1) * (R + 1)`` distinct occurrences of
+configurations — holds for the solution object and is asserted in tests.
+
+The module also derives the phase boundaries and demand matrix from an
+instance, and exposes :func:`optimal_fractional_height` — the quantity
+``OPT_f(P(R,W)) = rho_R + LP*`` that upper- and lower-bounds everything in
+Section 3's analysis chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core import tol
+from ..core.errors import SolverError
+from ..core.instance import ReleaseInstance
+from .configurations import ConfigurationSet, enumerate_configurations
+from .fractional import FractionalSolution
+
+__all__ = [
+    "phase_boundaries",
+    "build_demands",
+    "solve_configuration_lp",
+    "solve_fractional",
+    "optimal_fractional_height",
+]
+
+
+def phase_boundaries(instance: ReleaseInstance) -> tuple[float, ...]:
+    """Phase starts: ``rho_0 = 0`` plus every distinct release value."""
+    values = sorted({r.release for r in instance.rects})
+    if not values or values[0] > 0.0:
+        values = [0.0] + values
+    return tuple(values)
+
+
+def build_demands(
+    instance: ReleaseInstance,
+    widths: tuple[float, ...],
+    boundaries: tuple[float, ...],
+) -> np.ndarray:
+    """The demand matrix ``b^i_j``: summed heights of rectangles of width
+    ``widths[i]`` released at ``boundaries[j]``.
+
+    Every rectangle must match a width and a boundary exactly (the grouping
+    and rounding reductions guarantee this); a mismatch raises
+    :class:`SolverError` — it means the caller skipped a reduction.
+    """
+    W, P = len(widths), len(boundaries)
+    demands = np.zeros((W, P))
+    w_index = {round(w, 12): i for i, w in enumerate(widths)}
+    b_index = {round(b, 12): j for j, b in enumerate(boundaries)}
+    for r in instance.rects:
+        wi = w_index.get(round(r.width, 12))
+        if wi is None:
+            raise SolverError(f"rect {r.rid!r}: width {r.width!r} not in the LP width list")
+        bj = b_index.get(round(r.release, 12))
+        if bj is None:
+            raise SolverError(f"rect {r.rid!r}: release {r.release!r} not a phase boundary")
+        demands[wi, bj] += r.height
+    return demands
+
+
+def solve_configuration_lp(
+    config_set: ConfigurationSet,
+    boundaries: tuple[float, ...],
+    demands: np.ndarray,
+) -> FractionalSolution:
+    """Assemble and solve the LP; returns a verified fractional solution."""
+    Q = config_set.Q
+    P = len(boundaries)
+    W = len(config_set.widths)
+    if demands.shape != (W, P):
+        raise SolverError(f"demands shape {demands.shape} != ({W}, {P})")
+    if Q == 0:
+        raise SolverError("empty configuration set")
+    n = Q * P  # variable layout: x[q, j] at index q * P + j
+
+    c = np.zeros(n)
+    c[np.arange(Q) * P + (P - 1)] = 1.0  # minimise phase-R usage
+
+    A_rows: list[np.ndarray] = []
+    b_vals: list[float] = []
+
+    # (3.3) packing constraints for phases 0..P-2.
+    for j in range(P - 1):
+        row = np.zeros(n)
+        row[np.arange(Q) * P + j] = 1.0
+        A_rows.append(row)
+        b_vals.append(boundaries[j + 1] - boundaries[j])
+
+    # (3.4) covering constraints: -(suffix supply) <= -(suffix demand).
+    A_mat = config_set.matrix  # (W, Q)
+    for k in range(P):
+        for i in range(W):
+            row = np.zeros(n)
+            for j in range(k, P):
+                row[np.arange(Q) * P + j] -= A_mat[i, :]
+            A_rows.append(row)
+            b_vals.append(-float(demands[i, k:].sum()))
+
+    A_ub = np.vstack(A_rows) if A_rows else None
+    b_ub = np.array(b_vals) if b_vals else None
+
+    res = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=(0, None), method="highs")
+    if not res.success:
+        raise SolverError(f"configuration LP failed: {res.message}")
+
+    x = np.maximum(res.x, 0.0).reshape(Q, P)
+    sol = FractionalSolution(
+        config_set=config_set,
+        boundaries=tuple(boundaries),
+        x=x,
+        demands=demands,
+    )
+    sol.verify()
+    return sol
+
+
+def solve_fractional(
+    instance: ReleaseInstance,
+    *,
+    max_configs: int = 500_000,
+) -> FractionalSolution:
+    """End-to-end: enumerate configurations over the instance's distinct
+    widths, build demands, solve.  The instance must already have its final
+    width/release structure (i.e. be a ``P(R,W)``-shaped instance — or any
+    instance whose distinct widths/releases are few enough to afford)."""
+    widths = tuple(sorted({r.width for r in instance.rects}, reverse=True))
+    config_set = enumerate_configurations(widths, max_configs=max_configs)
+    boundaries = phase_boundaries(instance)
+    demands = build_demands(instance, config_set.widths, boundaries)
+    return solve_configuration_lp(config_set, boundaries, demands)
+
+
+def optimal_fractional_height(
+    instance: ReleaseInstance, *, max_configs: int = 500_000
+) -> float:
+    """``OPT_f`` of the instance: ``rho_R + LP*`` (Lemma 3.3)."""
+    return solve_fractional(instance, max_configs=max_configs).height

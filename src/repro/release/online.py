@@ -1,0 +1,76 @@
+"""Online scheduling with release times — the operating-system view.
+
+The paper motivates release times through operating systems for
+reconfigurable platforms (Steiger-Walder-Platzner, ref [23]): tasks arrive
+over time and the scheduler must commit each placement *without seeing
+future arrivals*.  This module provides that online counterpart to the
+offline algorithms of Section 3:
+
+:func:`online_first_fit` processes tasks in release order and assigns each,
+immediately and irrevocably, to the contiguous column window that lets it
+start earliest (ties: leftmost).  This is the natural online policy on a
+K-column device and the baseline the offline APTAS is measured against in
+the E10/A4 benchmarks — the gap between them is the *price of not knowing
+the future*.
+
+The scheduler works on the column grid: widths must be whole numbers of
+columns (quantise first if needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance
+from ..core.placement import Placement
+
+__all__ = ["OnlineScheduleResult", "online_first_fit"]
+
+
+@dataclass(frozen=True)
+class OnlineScheduleResult:
+    """Placement plus the per-task commit trace (arrival order)."""
+
+    placement: Placement
+    commit_order: tuple
+
+
+def online_first_fit(instance: ReleaseInstance) -> OnlineScheduleResult:
+    """Schedule ``instance`` online, committing tasks in release order.
+
+    For each arriving task needing ``c`` contiguous columns, every window
+    ``[j, j+c)`` is scored by the earliest feasible start
+    ``max(release, max_{col in window} free[col])``; the earliest (then
+    leftmost) window wins and its columns' free times advance to the
+    task's finish.  Decisions never look at unreleased tasks, and within
+    one release batch ties are broken by taller-first (a common OS policy:
+    long jobs first when they arrive together).
+    """
+    K = instance.K
+    free = [0.0] * K
+    placement = Placement()
+    order = sorted(
+        instance.rects, key=lambda r: (r.release, -r.height, str(r.rid))
+    )
+    committed = []
+    for r in order:
+        c_f = r.width * K
+        c = round(c_f)
+        if abs(c_f - c) > 1e-6 or c < 1:
+            raise InvalidInstanceError(
+                f"online scheduler needs whole-column widths; rect {r.rid!r} "
+                f"has width {r.width!r} on a {K}-column device"
+            )
+        best_start = None
+        best_col = None
+        for j in range(K - c + 1):
+            start = max([r.release] + free[j : j + c])
+            if best_start is None or start < best_start - 1e-12:
+                best_start, best_col = start, j
+        assert best_start is not None and best_col is not None
+        placement.place(r, best_col / K, best_start)
+        for col in range(best_col, best_col + c):
+            free[col] = best_start + r.height
+        committed.append(r.rid)
+    return OnlineScheduleResult(placement=placement, commit_order=tuple(committed))

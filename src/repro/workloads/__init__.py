@@ -1,0 +1,36 @@
+"""Workload generators: random rectangles, DAG instances, release-time
+arrivals, the JPEG pipeline, and the paper's adversarial constructions."""
+
+from .adversarial import AdversarialInstance, omega_log_n_instance, ratio3_instance
+from .dags import (
+    layered_precedence_instance,
+    random_precedence_instance,
+    series_parallel_instance,
+    uniform_height_precedence_instance,
+)
+from .jpeg import jpeg_pipeline_instance, jpeg_pipeline_tasks
+from .random_rects import columnar_rects, powerlaw_rects, uniform_rects, unit_height_rects
+from .releases import (
+    bursty_release_instance,
+    poisson_release_instance,
+    staircase_release_instance,
+)
+
+__all__ = [
+    "omega_log_n_instance",
+    "ratio3_instance",
+    "AdversarialInstance",
+    "uniform_rects",
+    "columnar_rects",
+    "powerlaw_rects",
+    "unit_height_rects",
+    "random_precedence_instance",
+    "layered_precedence_instance",
+    "series_parallel_instance",
+    "uniform_height_precedence_instance",
+    "poisson_release_instance",
+    "bursty_release_instance",
+    "staircase_release_instance",
+    "jpeg_pipeline_tasks",
+    "jpeg_pipeline_instance",
+]

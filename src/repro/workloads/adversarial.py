@@ -1,0 +1,141 @@
+"""The paper's two adversarial constructions (Fig. 1 and Fig. 2).
+
+* :func:`omega_log_n_instance` — Lemma 2.4: a family where both elementary
+  lower bounds (``AREA`` and ``F``) stay ~1 while the optimum grows like
+  ``k/2 = Theta(log n)``.  Structure: ``k`` chains; chain ``i`` alternates
+  ``2^(i-1)`` *tall* rectangles (height ``1/2^(i-1)``, width ``1/k``) with
+  full-width, height-``eps`` *wide* rectangles.  The wides force shelf
+  boundaries, so each chain needs ~``1/2`` of fresh height.
+
+* :func:`ratio3_instance` — Lemma 2.7: uniform-height family with
+  ``OPT = 3(F - 1) = 3*AREA - 3*n*eps``: ``2n/3`` wide rectangles (width
+  ``1/2 + eps``) all preceding a chain of ``n/3`` narrow rectangles (width
+  ``eps``), forcing full serialisation.
+
+Both return the instance plus the analytic quantities the benchmarks plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.instance import PrecedenceInstance
+from ..core.rectangle import Rect
+from ..dag.graph import TaskDAG
+
+__all__ = [
+    "AdversarialInstance",
+    "omega_log_n_instance",
+    "ratio3_instance",
+]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """Instance plus the construction's analytic quantities."""
+
+    instance: PrecedenceInstance
+    analytic: dict
+
+
+def omega_log_n_instance(k: int, eps: float = 1e-6) -> AdversarialInstance:
+    """Build the Lemma 2.4 instance for chain count ``k`` (``n = 2^(k+1)-2``).
+
+    Analytic facts recorded:
+
+    * ``F``     -> ``1 + O(eps)`` (each chain's heights sum to 1);
+    * ``area``  -> ``1 + O(eps)`` (tall rectangles cover exactly area 1);
+    * ``opt_lb = k/2`` — the shelf argument of the lemma's proof;
+    * ``n`` and ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < eps < 1.0:
+        raise ValueError(f"eps must be in (0,1), got {eps}")
+
+    rects: list[Rect] = []
+    edges: list[tuple[str, str]] = []
+    n_tall = 2**k - 1          # = n/2
+    tall_width = 1.0 / k
+
+    wide_counter = 0
+
+    def new_wide() -> str:
+        nonlocal wide_counter
+        rid = f"wide:{wide_counter}"
+        wide_counter += 1
+        rects.append(Rect(rid=rid, width=1.0, height=eps))
+        return rid
+
+    # Chain i (1-based): 2^(i-1) tall rectangles of height 1/2^(i-1),
+    # sandwiching a wide rectangle between each contiguous pair.
+    for i in range(1, k + 1):
+        count = 2 ** (i - 1)
+        height = 1.0 / 2 ** (i - 1)
+        prev: str | None = None
+        for j in range(count):
+            rid = f"tall:{i}:{j}"
+            rects.append(Rect(rid=rid, width=tall_width, height=height))
+            if prev is not None:
+                w = new_wide()
+                edges.append((prev, w))
+                edges.append((w, rid))
+            prev = rid
+
+    # The unused wide rectangles (to reach exactly n/2 wides) form their own
+    # chain, which adds only O(n * eps) height.
+    extra = n_tall - wide_counter
+    extra_ids = [new_wide() for _ in range(extra)]
+    edges.extend(zip(extra_ids, extra_ids[1:]))
+
+    n = len(rects)
+    assert n == 2 ** (k + 1) - 2, f"construction size mismatch: {n}"
+
+    instance = PrecedenceInstance(rects, TaskDAG([r.rid for r in rects], edges))
+    analytic = {
+        "k": k,
+        "n": n,
+        "eps": eps,
+        "F": 1.0 + (2 ** (k - 1) - 1) * eps,  # longest chain: chain k
+        "area": 1.0 + n_tall * eps,
+        "opt_lb": k / 2.0,
+    }
+    return AdversarialInstance(instance=instance, analytic=analytic)
+
+
+def ratio3_instance(k: int, eps: float = 1e-6) -> AdversarialInstance:
+    """Build the Lemma 2.7 instance for ``n = 3k`` uniform-height rectangles.
+
+    ``2k`` wide rectangles (width ``1/2 + eps``) each precede the head of a
+    chain of ``k`` narrow rectangles (width ``eps``).  Recorded analytics:
+    ``opt = n`` (full serialisation), ``F = n/3 + 1``, ``area = n/3 + n*eps``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < eps < 0.5:
+        raise ValueError(f"eps must be in (0, 0.5), got {eps}")
+    n = 3 * k
+    rects: list[Rect] = []
+    edges: list[tuple[str, str]] = []
+
+    narrow_ids = [f"narrow:{j}" for j in range(k)]
+    for rid in narrow_ids:
+        rects.append(Rect(rid=rid, width=eps, height=1.0))
+    edges.extend(zip(narrow_ids, narrow_ids[1:]))
+
+    for j in range(2 * k):
+        rid = f"wide:{j}"
+        rects.append(Rect(rid=rid, width=0.5 + eps, height=1.0))
+        edges.append((rid, narrow_ids[0]))
+
+    instance = PrecedenceInstance(rects, TaskDAG([r.rid for r in rects], edges))
+    analytic = {
+        "k": k,
+        "n": n,
+        "eps": eps,
+        "opt": float(n),
+        "F": n / 3.0 + 1.0,
+        "area": n / 3.0 + n * eps,
+    }
+    return AdversarialInstance(instance=instance, analytic=analytic)

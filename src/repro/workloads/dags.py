@@ -1,0 +1,76 @@
+"""Composite workload builders: rectangles + DAGs in one call.
+
+Thin conveniences over :mod:`repro.dag.generators` and
+:mod:`repro.workloads.random_rects`, producing ready-to-solve
+:class:`~repro.core.instance.PrecedenceInstance` objects for the Section 2
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import PrecedenceInstance
+from ..dag.generators import layered_dag, random_order_dag, series_parallel_dag
+from .random_rects import columnar_rects, uniform_rects, unit_height_rects
+
+__all__ = [
+    "random_precedence_instance",
+    "layered_precedence_instance",
+    "series_parallel_instance",
+    "uniform_height_precedence_instance",
+]
+
+
+def random_precedence_instance(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    *,
+    columnar_K: int | None = None,
+) -> PrecedenceInstance:
+    """G(n, p) DAG over uniform (or K-columnar) rectangles."""
+    rects = (
+        columnar_rects(n, columnar_K, rng)
+        if columnar_K is not None
+        else uniform_rects(n, rng)
+    )
+    return PrecedenceInstance(rects, random_order_dag(n, p, rng))
+
+
+def layered_precedence_instance(
+    n: int,
+    n_layers: int,
+    p: float,
+    rng: np.random.Generator,
+    *,
+    columnar_K: int | None = None,
+) -> PrecedenceInstance:
+    """Layered (pipeline-shaped) DAG over random rectangles."""
+    rects = (
+        columnar_rects(n, columnar_K, rng)
+        if columnar_K is not None
+        else uniform_rects(n, rng)
+    )
+    return PrecedenceInstance(rects, layered_dag(n, n_layers, p, rng))
+
+
+def series_parallel_instance(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    series_bias: float = 0.5,
+) -> PrecedenceInstance:
+    """Series-parallel DAG over uniform rectangles."""
+    return PrecedenceInstance(
+        uniform_rects(n, rng), series_parallel_dag(n, rng, series_bias=series_bias)
+    )
+
+
+def uniform_height_precedence_instance(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+) -> PrecedenceInstance:
+    """Unit-height rectangles with a G(n, p) DAG (Section 2.2 regime)."""
+    return PrecedenceInstance(unit_height_rects(n, rng), random_order_dag(n, p, rng))

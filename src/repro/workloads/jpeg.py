@@ -1,0 +1,74 @@
+"""Synthetic JPEG-encoder pipeline — the paper's motivating application.
+
+The introduction motivates precedence-constrained strip packing with
+image-processing pipelines on reconfigurable fabric (ref [4]).  Real JPEG
+task graphs and their per-stage resource profiles are not public, so this
+module builds the closest synthetic equivalent (see DESIGN.md,
+substitutions): the classic blocked encoder
+
+    rgb->ycbcr  ->  tile split  ->  per-tile { DCT -> quantise -> zigzag }
+                ->  entropy (Huffman) coding  ->  bitstream assembly
+
+with a fan-out over ``n_tiles`` parallel tile chains and a reconvergence at
+entropy coding.  Column counts and durations follow the usual hardware
+intuition: DCT is area-hungry (wide), quantisation cheap (narrow, fast),
+entropy coding serial (narrow, long).  All knobs are parameters.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InvalidInstanceError
+from ..fpga.device import Device
+from ..fpga.tasks import FPGATask, build_precedence_instance
+
+__all__ = ["jpeg_pipeline_tasks", "jpeg_pipeline_instance"]
+
+
+def jpeg_pipeline_tasks(
+    n_tiles: int,
+    device: Device,
+    *,
+    dct_cols: int | None = None,
+    time_scale: float = 1.0,
+) -> list[FPGATask]:
+    """Build the pipeline's task list for ``n_tiles`` parallel tiles.
+
+    ``dct_cols`` defaults to roughly a quarter of the device (at least 2
+    columns); the colour-conversion front-end takes half the device, and
+    entropy coding runs on a single column for four time units — numbers
+    chosen to make resource contention (not the critical path) the binding
+    constraint for moderate ``n_tiles``, as in the paper's motivation.
+    """
+    if n_tiles <= 0:
+        raise InvalidInstanceError(f"n_tiles must be positive, got {n_tiles}")
+    K = device.K
+    if K < 2:
+        raise InvalidInstanceError("the pipeline needs at least a 2-column device")
+    dct = dct_cols if dct_cols is not None else max(2, K // 4)
+    if dct > K:
+        raise InvalidInstanceError(f"dct_cols {dct} exceeds device width {K}")
+    t = time_scale
+
+    tasks: list[FPGATask] = [
+        FPGATask(tid="rgb2ycbcr", columns=max(1, K // 2), duration=1.0 * t),
+        FPGATask(tid="tile_split", columns=1, duration=0.5 * t, deps=("rgb2ycbcr",)),
+    ]
+    entropy_deps: list[str] = []
+    for i in range(n_tiles):
+        dct_id = f"dct:{i}"
+        q_id = f"quant:{i}"
+        z_id = f"zigzag:{i}"
+        tasks.append(FPGATask(tid=dct_id, columns=dct, duration=2.0 * t, deps=("tile_split",)))
+        tasks.append(FPGATask(tid=q_id, columns=1, duration=0.5 * t, deps=(dct_id,)))
+        tasks.append(FPGATask(tid=z_id, columns=1, duration=0.5 * t, deps=(q_id,)))
+        entropy_deps.append(z_id)
+    tasks.append(
+        FPGATask(tid="entropy", columns=1, duration=4.0 * t, deps=tuple(entropy_deps))
+    )
+    tasks.append(FPGATask(tid="bitstream", columns=1, duration=0.5 * t, deps=("entropy",)))
+    return tasks
+
+
+def jpeg_pipeline_instance(n_tiles: int, device: Device, **kwargs):
+    """Convenience: tasks -> :class:`repro.core.PrecedenceInstance`."""
+    return build_precedence_instance(jpeg_pipeline_tasks(n_tiles, device, **kwargs), device)

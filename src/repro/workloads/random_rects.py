@@ -1,0 +1,104 @@
+"""Random rectangle generators.
+
+All generators are seeded through a ``numpy.random.Generator`` and return
+plain rectangle lists with integer ids ``0..n-1``; instance wrappers are the
+caller's choice.  Distributions:
+
+* ``uniform_rects``  — widths/heights uniform in configurable ranges;
+* ``columnar_rects`` — widths are whole columns of a K-column device
+  (the paper's FPGA regime, also what the exact solver requires);
+* ``powerlaw_rects`` — heavy-tailed widths (a few near-full-width hogs,
+  many slivers), stressing shelf fragmentation;
+* ``unit_height_rects`` — the Section 2.2 uniform-height regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+from ..core.rectangle import Rect
+
+__all__ = [
+    "uniform_rects",
+    "columnar_rects",
+    "powerlaw_rects",
+    "unit_height_rects",
+]
+
+
+def _check(n: int) -> None:
+    if n < 0:
+        raise InvalidInstanceError(f"n must be non-negative, got {n}")
+
+
+def uniform_rects(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    w_range: tuple[float, float] = (0.05, 1.0),
+    h_range: tuple[float, float] = (0.05, 1.0),
+) -> list[Rect]:
+    """Widths/heights independently uniform in the given ranges."""
+    _check(n)
+    lo_w, hi_w = w_range
+    lo_h, hi_h = h_range
+    if not (0.0 < lo_w <= hi_w <= 1.0):
+        raise InvalidInstanceError(f"invalid width range {w_range}")
+    if not (0.0 < lo_h <= hi_h):
+        raise InvalidInstanceError(f"invalid height range {h_range}")
+    ws = rng.uniform(lo_w, hi_w, size=n)
+    hs = rng.uniform(lo_h, hi_h, size=n)
+    return [Rect(rid=i, width=float(ws[i]), height=float(hs[i])) for i in range(n)]
+
+
+def columnar_rects(
+    n: int,
+    K: int,
+    rng: np.random.Generator,
+    *,
+    max_cols: int | None = None,
+    h_range: tuple[float, float] = (0.1, 1.0),
+) -> list[Rect]:
+    """Widths drawn as ``c/K`` for ``c`` uniform in ``1..max_cols`` (default
+    ``K``); heights uniform — the FPGA/APTAS regime with ``w >= 1/K``."""
+    _check(n)
+    if K <= 0:
+        raise InvalidInstanceError(f"K must be positive, got {K}")
+    hi_c = max_cols if max_cols is not None else K
+    if not 1 <= hi_c <= K:
+        raise InvalidInstanceError(f"max_cols must be in 1..{K}, got {hi_c}")
+    cs = rng.integers(1, hi_c + 1, size=n)
+    hs = rng.uniform(h_range[0], h_range[1], size=n)
+    return [Rect(rid=i, width=int(cs[i]) / K, height=float(hs[i])) for i in range(n)]
+
+
+def powerlaw_rects(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    alpha: float = 1.5,
+    w_min: float = 0.02,
+    h_range: tuple[float, float] = (0.1, 1.0),
+) -> list[Rect]:
+    """Pareto-tailed widths clipped to ``[w_min, 1]``: a few hogs, many
+    slivers — the worst case for level-oriented packers."""
+    _check(n)
+    if alpha <= 0:
+        raise InvalidInstanceError(f"alpha must be positive, got {alpha}")
+    raw = (1.0 + rng.pareto(alpha, size=n)) * w_min
+    ws = np.clip(raw, w_min, 1.0)
+    hs = rng.uniform(h_range[0], h_range[1], size=n)
+    return [Rect(rid=i, width=float(ws[i]), height=float(hs[i])) for i in range(n)]
+
+
+def unit_height_rects(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    w_range: tuple[float, float] = (0.05, 1.0),
+) -> list[Rect]:
+    """Uniform-height (=1) rectangles for the Section 2.2 experiments."""
+    _check(n)
+    ws = rng.uniform(w_range[0], w_range[1], size=n)
+    return [Rect(rid=i, width=float(ws[i]), height=1.0) for i in range(n)]

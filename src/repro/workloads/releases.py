@@ -1,0 +1,113 @@
+"""Release-time workload generators (Section 3 experiments).
+
+The operating-system motivation ([23] in the paper) is an online task queue
+for a reconfigurable device; the synthetic equivalents here are:
+
+* :func:`poisson_release_instance` — tasks arrive as a Poisson process;
+* :func:`bursty_release_instance`  — batched arrivals (frames/batches
+  landing together), the shape image-pipeline front-ends produce;
+* :func:`staircase_release_instance` — adversarially regular arrivals that
+  keep every phase of the LP non-trivial (used by the LP tests).
+
+All produce K-columnar widths and heights <= 1 so the APTAS's standard
+assumptions hold by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance
+from ..core.rectangle import Rect
+
+__all__ = [
+    "poisson_release_instance",
+    "bursty_release_instance",
+    "staircase_release_instance",
+]
+
+
+def _columnar_dims(
+    n: int, K: int, rng: np.random.Generator, max_cols: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    hi_c = max_cols if max_cols is not None else K
+    cs = rng.integers(1, hi_c + 1, size=n)
+    hs = rng.uniform(0.1, 1.0, size=n)
+    return cs, hs
+
+
+def poisson_release_instance(
+    n: int,
+    K: int,
+    rng: np.random.Generator,
+    *,
+    rate: float = 1.0,
+    max_cols: int | None = None,
+) -> ReleaseInstance:
+    """Arrivals with exponential(1/rate) inter-arrival times."""
+    if n < 0:
+        raise InvalidInstanceError(f"n must be non-negative, got {n}")
+    if rate <= 0:
+        raise InvalidInstanceError(f"rate must be positive, got {rate}")
+    gaps = rng.exponential(1.0 / rate, size=n)
+    releases = np.cumsum(gaps) - gaps[0] if n else np.array([])
+    cs, hs = _columnar_dims(n, K, rng, max_cols)
+    rects = [
+        Rect(rid=i, width=int(cs[i]) / K, height=float(hs[i]), release=float(releases[i]))
+        for i in range(n)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+def bursty_release_instance(
+    n: int,
+    K: int,
+    rng: np.random.Generator,
+    *,
+    n_bursts: int = 4,
+    burst_gap: float = 2.0,
+    max_cols: int | None = None,
+) -> ReleaseInstance:
+    """Tasks arrive in ``n_bursts`` batches separated by ``burst_gap``."""
+    if n_bursts <= 0:
+        raise InvalidInstanceError(f"n_bursts must be positive, got {n_bursts}")
+    burst_of = rng.integers(0, n_bursts, size=n)
+    cs, hs = _columnar_dims(n, K, rng, max_cols)
+    rects = [
+        Rect(
+            rid=i,
+            width=int(cs[i]) / K,
+            height=float(hs[i]),
+            release=float(burst_of[i]) * burst_gap,
+        )
+        for i in range(n)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+def staircase_release_instance(
+    n: int,
+    K: int,
+    rng: np.random.Generator,
+    *,
+    n_steps: int = 5,
+    step: float = 1.0,
+    max_cols: int | None = None,
+) -> ReleaseInstance:
+    """Round-robin releases over ``n_steps`` equally spaced times — every LP
+    phase receives demand, exercising the full covering-constraint suffix
+    structure."""
+    if n_steps <= 0:
+        raise InvalidInstanceError(f"n_steps must be positive, got {n_steps}")
+    cs, hs = _columnar_dims(n, K, rng, max_cols)
+    rects = [
+        Rect(
+            rid=i,
+            width=int(cs[i]) / K,
+            height=float(hs[i]),
+            release=float(i % n_steps) * step,
+        )
+        for i in range(n)
+    ]
+    return ReleaseInstance(rects, K)

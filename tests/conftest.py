@@ -1,0 +1,109 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for every test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_rects() -> list[Rect]:
+    """A tiny fixed rectangle set used across unit tests."""
+    return [
+        Rect(rid=0, width=0.5, height=1.0),
+        Rect(rid=1, width=0.25, height=0.5),
+        Rect(rid=2, width=0.75, height=0.25),
+        Rect(rid=3, width=1.0, height=0.125),
+    ]
+
+
+@pytest.fixture
+def chain_instance(small_rects) -> PrecedenceInstance:
+    """4 rectangles in a single chain 0 -> 1 -> 2 -> 3."""
+    return PrecedenceInstance(small_rects, TaskDAG.chain([0, 1, 2, 3]))
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+
+def widths() -> st.SearchStrategy[float]:
+    return st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+def heights(max_value: float = 4.0) -> st.SearchStrategy[float]:
+    return st.floats(min_value=0.01, max_value=max_value, allow_nan=False, allow_infinity=False)
+
+
+def rect_lists(min_size: int = 0, max_size: int = 24, max_h: float = 4.0):
+    """Lists of valid rectangles with ids 0..n-1."""
+    pair = st.tuples(widths(), heights(max_h))
+    return st.lists(pair, min_size=min_size, max_size=max_size).map(
+        lambda ps: [Rect(rid=i, width=w, height=h) for i, (w, h) in enumerate(ps)]
+    )
+
+
+def columnar_rect_lists(K: int, min_size: int = 0, max_size: int = 16, max_h: float = 1.0):
+    """Rectangles on a 1/K column grid with heights <= max_h."""
+    pair = st.tuples(st.integers(min_value=1, max_value=K), heights(max_h))
+    return st.lists(pair, min_size=min_size, max_size=max_size).map(
+        lambda ps: [Rect(rid=i, width=c / K, height=h) for i, (c, h) in enumerate(ps)]
+    )
+
+
+def dags_over(n: int) -> st.SearchStrategy[TaskDAG]:
+    """Random DAGs over nodes 0..n-1 (edges only i -> j for i < j)."""
+    if n < 2:
+        return st.just(TaskDAG.empty(range(n)))
+    all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return st.lists(st.sampled_from(all_pairs), max_size=3 * n, unique=True).map(
+        lambda edges: TaskDAG(range(n), edges)
+    )
+
+
+def precedence_instances(max_size: int = 14, max_h: float = 2.0):
+    """Random precedence instances (rects + compatible DAG)."""
+
+    @st.composite
+    def build(draw):
+        rects = draw(rect_lists(min_size=1, max_size=max_size, max_h=max_h))
+        dag = draw(dags_over(len(rects)))
+        return PrecedenceInstance(rects, dag)
+
+    return build()
+
+
+def release_instances(K: int = 4, max_size: int = 12, max_release: float = 3.0):
+    """Random release instances on a K-column grid (APTAS-ready)."""
+
+    @st.composite
+    def build(draw):
+        triples = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=1, max_value=K),
+                    heights(1.0),
+                    st.floats(min_value=0.0, max_value=max_release, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=max_size,
+            )
+        )
+        rects = [
+            Rect(rid=i, width=c / K, height=h, release=r)
+            for i, (c, h, r) in enumerate(triples)
+        ]
+        return ReleaseInstance(rects, K)
+
+    return build()

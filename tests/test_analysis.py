@@ -1,0 +1,97 @@
+"""Tests for the analysis helpers (ratios, tables, rendering)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import RatioSample, geometric_mean, log_slope, summarize
+from repro.analysis.render import render_placement
+from repro.analysis.report import Table, format_value
+from repro.core.placement import Placement
+from repro.core.rectangle import Rect
+
+
+class TestRatios:
+    def test_ratio(self):
+        assert RatioSample(achieved=3.0, reference=2.0).ratio == 1.5
+
+    def test_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            RatioSample(achieved=1.0, reference=0.0).ratio
+
+    def test_geometric_mean(self):
+        assert math.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_summarize(self):
+        samples = [RatioSample(2.0, 1.0), RatioSample(3.0, 1.0)]
+        s = summarize(samples)
+        assert s["count"] == 2 and s["min"] == 2.0 and s["max"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"count": 0.0}
+
+    def test_log_slope_linear_in_log(self):
+        ns = [2, 4, 8, 16]
+        values = [1.0, 2.0, 3.0, 4.0]  # exactly +1 per doubling
+        assert math.isclose(log_slope(ns, values), 1.0)
+
+    def test_log_slope_flat(self):
+        assert abs(log_slope([2, 4, 8], [5.0, 5.0, 5.0])) < 1e-12
+
+    def test_log_slope_validation(self):
+        with pytest.raises(ValueError):
+            log_slope([1], [1.0])
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["n", "ratio"], title="demo")
+        t.add_row([4, 1.5])
+        out = t.render()
+        assert "demo" in out and "4" in out and "1.5" in out
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.123456789) == "0.1235"
+        assert format_value("x") == "x"
+
+    def test_render_empty_table(self):
+        t = Table(["a"])
+        assert "a" in t.render()
+
+
+class TestRender:
+    def test_empty(self):
+        assert "empty" in render_placement(Placement())
+
+    def test_contains_glyphs(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        p.place(Rect(rid=1, width=0.5, height=1.0), 0.5, 0.0)
+        art = render_placement(p, width_chars=16)
+        assert "A" in art and "B" in art
+
+    def test_header_reports_height(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=1.0, height=2.5), 0.0, 0.0)
+        assert "2.5" in render_placement(p).splitlines()[0]
+
+    def test_row_count_capped(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=1.0, height=100.0), 0.0, 0.0)
+        art = render_placement(p, width_chars=16, max_rows=10)
+        assert len(art.splitlines()) <= 11

@@ -1,0 +1,39 @@
+"""Tests for table export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import table_to_csv, table_to_json, table_to_records
+from repro.analysis.report import Table
+
+
+def sample_table():
+    t = Table(["n", "ratio"], title="demo")
+    t.add_row([4, 1.5])
+    t.add_row([8, 1.25])
+    return t
+
+
+class TestExport:
+    def test_records(self):
+        recs = table_to_records(sample_table())
+        assert recs == [{"n": "4", "ratio": "1.5"}, {"n": "8", "ratio": "1.25"}]
+
+    def test_csv_round_trip(self):
+        text = table_to_csv(sample_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["n", "ratio"]
+        assert rows[1] == ["4", "1.5"]
+        assert len(rows) == 3
+
+    def test_json(self):
+        doc = json.loads(table_to_json(sample_table()))
+        assert doc["title"] == "demo"
+        assert doc["columns"] == ["n", "ratio"]
+        assert doc["rows"][1]["n"] == "8"
+
+    def test_empty_table(self):
+        t = Table(["a"])
+        assert table_to_records(t) == []
+        assert "a" in table_to_csv(t)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialize import dumps_instance
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_info(self):
+        code, text = run_cli(["info"])
+        assert code == 0
+        assert "repro" in text and "dc" in text and "aptas" in text
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        code, text = run_cli(["demo"])
+        assert code == 0
+        assert "DC height" in text and "APTAS height" in text
+
+
+class TestSolve:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        inst = PrecedenceInstance(
+            [Rect(rid=i, width=0.4, height=1.0) for i in range(4)],
+            TaskDAG(range(4), [(0, 1), (1, 2)]),
+        )
+        path = tmp_path / "inst.json"
+        path.write_text(dumps_instance(inst))
+        return path
+
+    def test_solve_default(self, instance_file):
+        code, text = run_cli(["solve", str(instance_file)])
+        assert code == 0
+        assert "height" in text
+
+    def test_solve_named_algorithm(self, instance_file):
+        code, text = run_cli(["solve", str(instance_file), "--algorithm", "dc"])
+        assert code == 0
+
+    def test_solve_writes_output(self, instance_file, tmp_path):
+        out_path = tmp_path / "placement.json"
+        code, text = run_cli(["solve", str(instance_file), "--output", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert len(data["placements"]) == 4
+
+    def test_solve_render(self, instance_file):
+        code, text = run_cli(["solve", str(instance_file), "--render"])
+        assert code == 0
+        assert "height =" in text
+
+    def test_solve_release_instance_with_eps(self, tmp_path):
+        inst = ReleaseInstance(
+            [Rect(rid=0, width=0.5, height=1.0, release=1.0)], K=2
+        )
+        path = tmp_path / "rel.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["solve", str(path), "--eps", "1.0"])
+        assert code == 0
+
+
+class TestBounds:
+    def test_bounds(self, tmp_path):
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=2.0)])
+        path = tmp_path / "inst.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["bounds", str(path)])
+        assert code == 0
+        assert "area" in text and "combined" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])

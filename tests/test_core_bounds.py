@@ -1,0 +1,96 @@
+"""Unit tests for the lower bounds (repro.core.bounds)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.bounds import (
+    area_bound,
+    combined_lower_bound,
+    critical_path_bound,
+    dc_guarantee,
+    hmax_bound,
+    release_bound,
+)
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+from .conftest import rect_lists
+
+
+class TestElementaryBounds:
+    def test_area_bound(self):
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=2.0)])
+        assert area_bound(inst) == 1.0
+
+    def test_hmax_bound(self):
+        inst = StripPackingInstance(
+            [Rect(rid=0, width=0.5, height=2.0), Rect(rid=1, width=0.5, height=3.0)]
+        )
+        assert hmax_bound(inst) == 3.0
+
+    def test_critical_path_chain(self):
+        rs = [Rect(rid=i, width=0.1, height=1.0) for i in range(3)]
+        inst = PrecedenceInstance(rs, TaskDAG.chain([0, 1, 2]))
+        assert critical_path_bound(inst) == 3.0
+
+    def test_critical_path_antichain(self):
+        rs = [Rect(rid=i, width=0.1, height=float(i + 1)) for i in range(3)]
+        inst = PrecedenceInstance(rs, TaskDAG.empty([0, 1, 2]))
+        assert critical_path_bound(inst) == 3.0
+
+    def test_release_bound_dominant_release(self):
+        rs = [Rect(rid=0, width=0.5, height=0.5, release=10.0)]
+        inst = ReleaseInstance(rs, K=2)
+        assert release_bound(inst) == 10.5
+
+    def test_release_bound_dominant_area(self):
+        rs = [Rect(rid=i, width=1.0, height=1.0) for i in range(5)]
+        inst = ReleaseInstance(rs, K=2)
+        assert release_bound(inst) == 5.0
+
+
+class TestCombined:
+    def test_plain(self):
+        inst = StripPackingInstance([Rect(rid=0, width=0.25, height=4.0)])
+        assert combined_lower_bound(inst) == 4.0
+
+    def test_precedence_uses_F(self):
+        rs = [Rect(rid=i, width=0.01, height=1.0) for i in range(5)]
+        inst = PrecedenceInstance(rs, TaskDAG.chain(list(range(5))))
+        assert combined_lower_bound(inst) == 5.0
+
+    def test_release_uses_rmax(self):
+        rs = [Rect(rid=0, width=0.5, height=0.25, release=7.0)]
+        inst = ReleaseInstance(rs, K=2)
+        assert combined_lower_bound(inst) == 7.25
+
+
+class TestDCGuarantee:
+    def test_empty(self):
+        assert dc_guarantee(0, 0.0, 0.0) == 0.0
+
+    def test_formula(self):
+        assert math.isclose(dc_guarantee(3, 1.0, 2.0), math.log2(4) * 2.0 + 2.0)
+
+    def test_monotone_in_n(self):
+        assert dc_guarantee(100, 1.0, 1.0) > dc_guarantee(10, 1.0, 1.0)
+
+
+@given(rect_lists(min_size=1, max_size=12))
+def test_combined_bound_at_least_each_elementary(rects):
+    inst = StripPackingInstance(rects)
+    lb = combined_lower_bound(inst)
+    assert lb >= area_bound(inst) - 1e-12
+    assert lb >= hmax_bound(inst) - 1e-12
+
+
+@given(rect_lists(min_size=1, max_size=10))
+def test_chain_F_is_total_height(rects):
+    """On a chain, the critical-path bound is the full height sum."""
+    inst = PrecedenceInstance(rects, TaskDAG.chain([r.rid for r in rects]))
+    assert math.isclose(
+        critical_path_bound(inst), sum(r.height for r in rects), rel_tol=1e-9
+    )

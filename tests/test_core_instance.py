@@ -1,0 +1,126 @@
+"""Unit tests for the three instance types."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+
+def rects4():
+    return [
+        Rect(rid=0, width=0.5, height=1.0),
+        Rect(rid=1, width=0.25, height=0.5),
+        Rect(rid=2, width=0.75, height=0.25),
+        Rect(rid=3, width=1.0, height=0.125),
+    ]
+
+
+class TestStripPackingInstance:
+    def test_len_iter(self):
+        inst = StripPackingInstance(rects4())
+        assert len(inst) == 4
+        assert [r.rid for r in inst] == [0, 1, 2, 3]
+
+    def test_area(self):
+        inst = StripPackingInstance(rects4())
+        assert math.isclose(inst.area, 0.5 + 0.125 + 0.1875 + 0.125)
+
+    def test_hmax(self):
+        assert StripPackingInstance(rects4()).hmax == 1.0
+
+    def test_by_id(self):
+        inst = StripPackingInstance(rects4())
+        assert inst.by_id()[2].width == 0.75
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)] * 2)
+
+    def test_subset(self):
+        inst = StripPackingInstance(rects4())
+        sub = inst.subset([3, 1])
+        assert [r.rid for r in sub] == [3, 1]
+
+    def test_empty_instance(self):
+        inst = StripPackingInstance([])
+        assert len(inst) == 0 and inst.area == 0.0 and inst.hmax == 0.0
+
+    def test_heights_mapping(self):
+        inst = StripPackingInstance(rects4())
+        assert inst.heights() == {0: 1.0, 1: 0.5, 2: 0.25, 3: 0.125}
+
+
+class TestPrecedenceInstance:
+    def test_requires_matching_universe(self):
+        with pytest.raises(InvalidInstanceError):
+            PrecedenceInstance(rects4(), TaskDAG.empty([0, 1, 2]))
+
+    def test_without_constraints(self):
+        inst = PrecedenceInstance.without_constraints(rects4())
+        assert inst.dag.n_edges == 0
+
+    def test_uniform_height_false(self):
+        inst = PrecedenceInstance.without_constraints(rects4())
+        assert not inst.uniform_height()
+
+    def test_uniform_height_true(self):
+        rs = [Rect(rid=i, width=0.3, height=1.0) for i in range(3)]
+        assert PrecedenceInstance.without_constraints(rs).uniform_height()
+
+    def test_induced_subinstance(self):
+        inst = PrecedenceInstance(rects4(), TaskDAG.chain([0, 1, 2, 3]))
+        sub = inst.induced([1, 2])
+        assert len(sub) == 2
+        assert sub.dag.edges() == [(1, 2)]
+
+    def test_cyclic_dag_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            PrecedenceInstance(rects4(), TaskDAG([0, 1, 2, 3], [(0, 1), (1, 0)]))
+
+
+class TestReleaseInstance:
+    def test_requires_positive_K(self):
+        with pytest.raises(InvalidInstanceError):
+            ReleaseInstance(rects4(), K=0)
+
+    def test_rmax(self):
+        rs = [
+            Rect(rid=0, width=0.5, height=1.0, release=2.0),
+            Rect(rid=1, width=0.5, height=1.0, release=5.0),
+        ]
+        assert ReleaseInstance(rs, K=2).rmax == 5.0
+
+    def test_rmax_empty(self):
+        assert ReleaseInstance([], K=2).rmax == 0.0
+
+    def test_release_classes_sorted(self):
+        rs = [
+            Rect(rid=0, width=0.5, height=1.0, release=2.0),
+            Rect(rid=1, width=0.5, height=1.0, release=0.0),
+            Rect(rid=2, width=0.5, height=1.0, release=2.0),
+        ]
+        classes = ReleaseInstance(rs, K=2).release_classes()
+        assert list(classes.keys()) == [0.0, 2.0]
+        assert [r.rid for r in classes[2.0]] == [0, 2]
+
+    def test_aptas_assumptions_height(self):
+        rs = [Rect(rid=0, width=0.5, height=1.5)]
+        with pytest.raises(InvalidInstanceError):
+            ReleaseInstance(rs, K=2).check_aptas_assumptions()
+
+    def test_aptas_assumptions_width(self):
+        rs = [Rect(rid=0, width=0.1, height=0.5)]
+        with pytest.raises(InvalidInstanceError):
+            ReleaseInstance(rs, K=2).check_aptas_assumptions()
+
+    def test_aptas_assumptions_pass(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        ReleaseInstance(rs, K=2).check_aptas_assumptions()
+
+    def test_with_rects_keeps_K(self):
+        inst = ReleaseInstance(rects4(), K=4)
+        assert inst.with_rects(rects4()[:2]).K == 4

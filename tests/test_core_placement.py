@@ -1,0 +1,202 @@
+"""Unit tests for placements and the shared validator."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidPlacementError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.placement import PlacedRect, Placement, find_overlap, validate_placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+from .conftest import rect_lists
+
+
+def make_placement(pairs):
+    p = Placement()
+    for rect, x, y in pairs:
+        p.place(rect, x, y)
+    return p
+
+
+class TestPlacedRect:
+    def test_edges(self):
+        pr = PlacedRect(Rect(rid=0, width=0.5, height=2.0), 0.25, 1.0)
+        assert pr.x2 == 0.75 and pr.y2 == 3.0
+
+    def test_overlap_detected(self):
+        a = PlacedRect(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        b = PlacedRect(Rect(rid=1, width=0.5, height=1.0), 0.25, 0.5)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_shared_edge_not_overlap(self):
+        a = PlacedRect(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        b = PlacedRect(Rect(rid=1, width=0.5, height=1.0), 0.5, 0.0)
+        assert not a.overlaps(b)
+
+    def test_stacked_not_overlap(self):
+        a = PlacedRect(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        b = PlacedRect(Rect(rid=1, width=0.5, height=1.0), 0.0, 1.0)
+        assert not a.overlaps(b)
+
+
+class TestPlacement:
+    def test_height_empty(self):
+        assert Placement().height == 0.0
+
+    def test_height(self):
+        r = Rect(rid=0, width=0.5, height=2.0)
+        p = make_placement([(r, 0.0, 1.0)])
+        assert p.height == 3.0
+
+    def test_double_place_rejected(self):
+        r = Rect(rid=0, width=0.5, height=2.0)
+        p = make_placement([(r, 0.0, 0.0)])
+        with pytest.raises(InvalidPlacementError):
+            p.place(r, 0.5, 0.0)
+
+    def test_merge_disjoint(self):
+        a = make_placement([(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)])
+        b = make_placement([(Rect(rid=1, width=0.5, height=1.0), 0.5, 0.0)])
+        a.merge(b)
+        assert len(a) == 2
+
+    def test_merge_conflict(self):
+        a = make_placement([(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)])
+        b = make_placement([(Rect(rid=0, width=0.5, height=1.0), 0.5, 0.0)])
+        with pytest.raises(InvalidPlacementError):
+            a.merge(b)
+
+    def test_shifted(self):
+        p = make_placement([(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)])
+        q = p.shifted(2.0)
+        assert q[0].y == 2.0 and p[0].y == 0.0
+
+    def test_extent(self):
+        p = make_placement(
+            [
+                (Rect(rid=0, width=0.5, height=1.0), 0.0, 1.0),
+                (Rect(rid=1, width=0.5, height=1.0), 0.5, 2.0),
+            ]
+        )
+        assert p.base == 1.0 and p.extent() == 2.0
+
+    def test_non_finite_rejected(self):
+        p = Placement()
+        with pytest.raises(InvalidPlacementError):
+            p.place(Rect(rid=0, width=0.5, height=1.0), float("nan"), 0.0)
+
+
+class TestFindOverlap:
+    def test_none_for_valid(self):
+        prs = [
+            PlacedRect(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0),
+            PlacedRect(Rect(rid=1, width=0.5, height=1.0), 0.5, 0.0),
+            PlacedRect(Rect(rid=2, width=1.0, height=1.0), 0.0, 1.0),
+        ]
+        assert find_overlap(prs) is None
+
+    def test_detects_pair(self):
+        prs = [
+            PlacedRect(Rect(rid=0, width=0.6, height=1.0), 0.0, 0.0),
+            PlacedRect(Rect(rid=1, width=0.6, height=1.0), 0.3, 0.5),
+        ]
+        found = find_overlap(prs)
+        assert found is not None
+        assert {found[0].rect.rid, found[1].rect.rid} == {0, 1}
+
+
+class TestValidatePlacement:
+    def test_valid(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, 0.0), (rs[1], 0.5, 0.0)])
+        validate_placement(inst, p)
+
+    def test_missing_rect(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, 0.0)])
+        with pytest.raises(InvalidPlacementError, match="unplaced"):
+            validate_placement(inst, p)
+
+    def test_stray_rect(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, 0.0), (Rect(rid=9, width=0.1, height=0.1), 0.5, 0.0)])
+        with pytest.raises(InvalidPlacementError, match="unknown"):
+            validate_placement(inst, p)
+
+    def test_out_of_strip_right(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.6, 0.0)])
+        with pytest.raises(InvalidPlacementError, match="horizontally"):
+            validate_placement(inst, p)
+
+    def test_below_base(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, -0.5)])
+        with pytest.raises(InvalidPlacementError, match="below"):
+            validate_placement(inst, p)
+
+    def test_overlap(self):
+        rs = [Rect(rid=0, width=0.6, height=1.0), Rect(rid=1, width=0.6, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, 0.0), (rs[1], 0.2, 0.2)])
+        with pytest.raises(InvalidPlacementError, match="overlap"):
+            validate_placement(inst, p)
+
+    def test_altered_dimensions_rejected(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(Rect(rid=0, width=0.4, height=1.0), 0.0, 0.0)])
+        with pytest.raises(InvalidPlacementError, match="altered"):
+            validate_placement(inst, p)
+
+    def test_height_budget(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = make_placement([(rs[0], 0.0, 0.5)])
+        with pytest.raises(InvalidPlacementError, match="budget"):
+            validate_placement(inst, p, max_height=1.0)
+
+    def test_precedence_ok(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = PrecedenceInstance(rs, TaskDAG([0, 1], [(0, 1)]))
+        p = make_placement([(rs[0], 0.0, 0.0), (rs[1], 0.0, 1.0)])
+        validate_placement(inst, p)
+
+    def test_precedence_violated(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = PrecedenceInstance(rs, TaskDAG([0, 1], [(0, 1)]))
+        p = make_placement([(rs[0], 0.0, 0.0), (rs[1], 0.5, 0.5)])
+        with pytest.raises(InvalidPlacementError, match="precedence"):
+            validate_placement(inst, p)
+
+    def test_release_ok(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0, release=1.0)]
+        inst = ReleaseInstance(rs, K=2)
+        p = make_placement([(rs[0], 0.0, 1.0)])
+        validate_placement(inst, p)
+
+    def test_release_violated(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0, release=1.0)]
+        inst = ReleaseInstance(rs, K=2)
+        p = make_placement([(rs[0], 0.0, 0.5)])
+        with pytest.raises(InvalidPlacementError, match="release"):
+            validate_placement(inst, p)
+
+
+@given(rect_lists(min_size=1, max_size=12))
+def test_vertical_stack_always_valid(rects):
+    """Stacking everything vertically is a universally valid placement."""
+    inst = StripPackingInstance(rects)
+    p = Placement()
+    y = 0.0
+    for r in rects:
+        p.place(r, 0.0, y)
+        y += r.height
+    validate_placement(inst, p)
+    assert abs(p.height - sum(r.height for r in rects)) < 1e-9

@@ -1,0 +1,109 @@
+"""Unit tests for Rect and the rectangle helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.rectangle import Rect, check_rects, max_height, max_width, total_area
+
+from .conftest import rect_lists
+
+
+class TestRectValidation:
+    def test_valid_rect(self):
+        r = Rect(rid=0, width=0.5, height=2.0)
+        assert r.area == 1.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=0.0, height=1.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=-0.5, height=1.0)
+
+    def test_width_above_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=1.5, height=1.0)
+
+    def test_width_exactly_one_allowed(self):
+        assert Rect(rid=0, width=1.0, height=1.0).width == 1.0
+
+    def test_zero_height_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=0.5, height=0.0)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=0.5, height=1.0, release=-1.0)
+
+    def test_nan_width_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=float("nan"), height=1.0)
+
+    def test_inf_height_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Rect(rid=0, width=0.5, height=float("inf"))
+
+    def test_release_defaults_to_zero(self):
+        assert Rect(rid=0, width=0.5, height=1.0).release == 0.0
+
+    def test_frozen(self):
+        r = Rect(rid=0, width=0.5, height=1.0)
+        with pytest.raises(AttributeError):
+            r.width = 0.7  # type: ignore[misc]
+
+
+class TestReplace:
+    def test_replace_keeps_rid(self):
+        r = Rect(rid="a", width=0.5, height=1.0)
+        r2 = r.replace(width=0.75)
+        assert r2.rid == "a" and r2.width == 0.75 and r2.height == 1.0
+
+    def test_replace_validates(self):
+        r = Rect(rid="a", width=0.5, height=1.0)
+        with pytest.raises(InvalidInstanceError):
+            r.replace(width=2.0)
+
+    def test_replace_release(self):
+        r = Rect(rid="a", width=0.5, height=1.0, release=1.0)
+        assert r.replace(release=2.0).release == 2.0
+
+
+class TestAggregates:
+    def test_total_area_empty(self):
+        assert total_area([]) == 0.0
+
+    def test_total_area(self):
+        rs = [Rect(rid=i, width=0.5, height=1.0) for i in range(4)]
+        assert math.isclose(total_area(rs), 2.0)
+
+    def test_max_height_empty(self):
+        assert max_height([]) == 0.0
+
+    def test_max_width(self):
+        rs = [Rect(rid=0, width=0.3, height=1.0), Rect(rid=1, width=0.9, height=0.1)]
+        assert max_width(rs) == 0.9
+
+    def test_check_rects_duplicates(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=0, width=0.4, height=1.0)]
+        with pytest.raises(InvalidInstanceError):
+            check_rects(rs)
+
+    def test_check_rects_mapping(self):
+        rs = [Rect(rid="x", width=0.5, height=1.0)]
+        assert check_rects(rs)["x"] is rs[0]
+
+
+@given(rect_lists(max_size=16))
+def test_total_area_equals_sum_of_areas(rects):
+    assert math.isclose(total_area(rects), sum(r.area for r in rects), abs_tol=1e-12)
+
+
+@given(rect_lists(min_size=1, max_size=16))
+def test_max_height_is_attained(rects):
+    hm = max_height(rects)
+    assert any(r.height == hm for r in rects)
+    assert all(r.height <= hm for r in rects)

@@ -1,0 +1,80 @@
+"""Tests for the algorithm registry / solve() dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.core.registry import available_algorithms, solve
+from repro.dag.graph import TaskDAG
+
+
+def plain_inst():
+    return StripPackingInstance(
+        [Rect(rid=i, width=0.25, height=1.0) for i in range(4)]
+    )
+
+
+class TestRegistry:
+    def test_available_lists_all(self):
+        names = available_algorithms()
+        for expected in ("nfdh", "ffdh", "bfdh", "bottom_left", "dc",
+                         "shelf_next_fit", "list_schedule", "aptas",
+                         "release_shelf", "release_bl"):
+            assert expected in names
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidInstanceError, match="unknown algorithm"):
+            solve(plain_inst(), "quantum_annealer")
+
+    @pytest.mark.parametrize("name", ["nfdh", "ffdh", "bfdh", "bottom_left"])
+    def test_plain_algorithms(self, name):
+        inst = plain_inst()
+        p = solve(inst, name)
+        validate_placement(inst, p)
+
+    def test_default_plain_is_nfdh(self):
+        inst = plain_inst()
+        assert solve(inst).height == solve(inst, "nfdh").height
+
+    def test_default_precedence_is_dc(self, rng):
+        from repro.workloads.dags import random_precedence_instance
+
+        inst = random_precedence_instance(12, 0.2, rng)
+        p = solve(inst)
+        validate_placement(inst, p)
+
+    def test_default_uniform_height_precedence_is_shelf(self):
+        rects = [Rect(rid=i, width=0.4, height=1.0) for i in range(4)]
+        inst = PrecedenceInstance(rects, TaskDAG(range(4), [(0, 1)]))
+        p = solve(inst)
+        validate_placement(inst, p)
+        assert p.height == float(int(p.height))  # shelf solution
+
+    def test_default_release_is_aptas(self, rng):
+        from repro.workloads.releases import bursty_release_instance
+
+        inst = bursty_release_instance(10, 4, rng, n_bursts=2)
+        p = solve(inst, eps=1.0)
+        validate_placement(inst, p)
+
+    def test_aptas_requires_release_instance(self):
+        with pytest.raises(InvalidInstanceError):
+            solve(plain_inst(), "aptas")
+
+    def test_release_heuristics_require_release_instance(self):
+        for name in ("release_shelf", "release_bl"):
+            with pytest.raises(InvalidInstanceError):
+                solve(plain_inst(), name)
+
+    def test_dc_on_plain_instance_wraps(self):
+        inst = plain_inst()
+        p = solve(inst, "dc")
+        validate_placement(inst, p)
+
+    def test_validate_false_skips_check(self):
+        inst = plain_inst()
+        p = solve(inst, "nfdh", validate=False)
+        assert len(p) == 4

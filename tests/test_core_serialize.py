@@ -1,0 +1,92 @@
+"""Tests for JSON serialization of instances and placements."""
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.core.serialize import (
+    dumps_instance,
+    instance_from_dict,
+    instance_to_dict,
+    loads_instance,
+    placement_from_dict,
+    placement_to_dict,
+)
+from repro.dag.graph import TaskDAG
+
+
+def rects3():
+    return [
+        Rect(rid="a", width=0.5, height=1.0),
+        Rect(rid="b", width=0.25, height=0.5, release=1.0),
+        Rect(rid="c", width=0.75, height=0.25),
+    ]
+
+
+class TestInstanceRoundTrip:
+    def test_plain(self):
+        inst = StripPackingInstance(rects3())
+        out = loads_instance(dumps_instance(inst))
+        assert type(out) is StripPackingInstance
+        assert [r.rid for r in out.rects] == ["a", "b", "c"]
+        assert out.rects[1].release == 1.0
+
+    def test_precedence(self):
+        inst = PrecedenceInstance(rects3(), TaskDAG(["a", "b", "c"], [("a", "b")]))
+        out = loads_instance(dumps_instance(inst))
+        assert isinstance(out, PrecedenceInstance)
+        assert out.dag.edges() == [("a", "b")]
+
+    def test_release(self):
+        inst = ReleaseInstance(rects3(), K=4)
+        out = loads_instance(dumps_instance(inst))
+        assert isinstance(out, ReleaseInstance)
+        assert out.K == 4
+
+    def test_unknown_type(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"type": "quantum", "rects": []})
+
+    def test_missing_K(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"type": "release", "rects": []})
+
+    def test_missing_field(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"type": "plain", "rects": [{"id": 0, "width": 0.5}]})
+
+    def test_dict_shape(self):
+        inst = PrecedenceInstance(rects3(), TaskDAG(["a", "b", "c"], [("a", "c")]))
+        d = instance_to_dict(inst)
+        assert d["type"] == "precedence"
+        assert d["edges"] == [["a", "c"]]
+        json.dumps(d)  # JSON-ready
+
+
+class TestPlacementRoundTrip:
+    def test_round_trip(self):
+        inst = StripPackingInstance(rects3())
+        from repro.core.registry import solve
+
+        p = solve(inst, "nfdh")
+        d = placement_to_dict(p)
+        q = placement_from_dict(d, inst)
+        validate_placement(inst, q)
+        assert q.height == p.height
+
+    def test_unknown_id_rejected(self):
+        inst = StripPackingInstance(rects3())
+        with pytest.raises(InvalidInstanceError):
+            placement_from_dict({"placements": [{"id": "ghost", "x": 0, "y": 0}]}, inst)
+
+    def test_sorted_output(self):
+        inst = StripPackingInstance(rects3())
+        from repro.core.registry import solve
+
+        d = placement_to_dict(solve(inst, "nfdh"))
+        ids = [e["id"] for e in d["placements"]]
+        assert ids == sorted(ids)

@@ -1,0 +1,78 @@
+"""Unit tests for the tolerance helpers (repro.core.tol)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import tol
+
+
+class TestComparisons:
+    def test_leq_within_tolerance(self):
+        assert tol.leq(1.0 + 1e-12, 1.0)
+
+    def test_leq_beyond_tolerance(self):
+        assert not tol.leq(1.0 + 1e-6, 1.0)
+
+    def test_geq_within_tolerance(self):
+        assert tol.geq(1.0 - 1e-12, 1.0)
+
+    def test_geq_beyond_tolerance(self):
+        assert not tol.geq(1.0 - 1e-6, 1.0)
+
+    def test_lt_strict(self):
+        assert tol.lt(0.0, 1.0)
+        assert not tol.lt(1.0 - 1e-12, 1.0)
+
+    def test_gt_strict(self):
+        assert tol.gt(1.0, 0.0)
+        assert not tol.gt(1.0 + 1e-12, 1.0)
+
+    def test_eq(self):
+        assert tol.eq(0.1 + 0.2, 0.3)
+        assert not tol.eq(0.1, 0.2)
+
+    def test_is_zero(self):
+        assert tol.is_zero(1e-12)
+        assert not tol.is_zero(1e-6)
+
+    def test_custom_atol(self):
+        assert tol.leq(1.5, 1.0, atol=1.0)
+        assert not tol.leq(1.5, 1.0, atol=0.1)
+
+
+class TestClamp:
+    def test_clamp_inside(self):
+        assert tol.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_below(self):
+        assert tol.clamp(-0.1, 0.0, 1.0) == 0.0
+
+    def test_clamp_above(self):
+        assert tol.clamp(1.1, 0.0, 1.0) == 1.0
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_lt_gt_mutually_exclusive(x):
+    """x can never be both strictly below and strictly above a value."""
+    assert not (tol.lt(x, 0.0) and tol.gt(x, 0.0))
+
+
+@given(
+    st.floats(min_value=-1e6, max_value=1e6),
+    st.floats(min_value=-1e6, max_value=1e6),
+)
+def test_trichotomy_with_tolerance(a, b):
+    """Exactly one of lt / eq-band / gt holds for any pair."""
+    cases = [tol.lt(a, b), (not tol.lt(a, b)) and (not tol.gt(a, b)), tol.gt(a, b)]
+    assert sum(cases) == 1
+
+
+@given(st.floats(min_value=-10, max_value=10))
+def test_leq_complements_gt(x):
+    assert tol.leq(x, 0.0) == (not tol.gt(x, 0.0))
+
+
+@given(st.floats(min_value=-10, max_value=10))
+def test_geq_complements_lt(x):
+    assert tol.geq(x, 0.0) == (not tol.lt(x, 0.0))

@@ -1,0 +1,104 @@
+"""Unit tests for the recursive bound F (repro.dag.critical_path)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.dag.critical_path import F_of_set, compute_F, critical_path, start_lower_bounds
+from repro.dag.graph import TaskDAG
+
+from .conftest import dags_over
+
+
+class TestComputeF:
+    def test_single_node(self):
+        dag = TaskDAG.empty([0])
+        assert compute_F(dag, {0: 2.0}) == {0: 2.0}
+
+    def test_chain_cumulative(self):
+        dag = TaskDAG.chain([0, 1, 2])
+        F = compute_F(dag, {0: 1.0, 1: 2.0, 2: 3.0})
+        assert F == {0: 1.0, 1: 3.0, 2: 6.0}
+
+    def test_diamond_takes_max(self):
+        dag = TaskDAG([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        F = compute_F(dag, {0: 1.0, 1: 5.0, 2: 2.0, 3: 1.0})
+        assert F[3] == 1.0 + max(6.0, 3.0)
+
+    def test_missing_heights(self):
+        dag = TaskDAG.empty([0, 1])
+        with pytest.raises(InvalidInstanceError):
+            compute_F(dag, {0: 1.0})
+
+    def test_F_of_set_empty(self):
+        assert F_of_set(TaskDAG.empty([]), {}) == 0.0
+
+    def test_start_lower_bounds(self):
+        dag = TaskDAG.chain([0, 1])
+        lb = start_lower_bounds(dag, {0: 1.0, 1: 2.0})
+        assert lb == {0: 0.0, 1: 1.0}
+
+
+class TestCriticalPath:
+    def test_empty(self):
+        assert critical_path(TaskDAG.empty([]), {}) == []
+
+    def test_chain(self):
+        dag = TaskDAG.chain([0, 1, 2])
+        assert critical_path(dag, {0: 1.0, 1: 1.0, 2: 1.0}) == [0, 1, 2]
+
+    def test_path_weight_equals_F(self):
+        dag = TaskDAG([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        heights = {0: 1.0, 1: 5.0, 2: 2.0, 3: 1.5}
+        path = critical_path(dag, heights)
+        assert math.isclose(sum(heights[n] for n in path), F_of_set(dag, heights))
+
+    def test_path_is_a_chain(self):
+        dag = TaskDAG([0, 1, 2], [(0, 2), (1, 2)])
+        heights = {0: 3.0, 1: 1.0, 2: 1.0}
+        path = critical_path(dag, heights)
+        for u, v in zip(path, path[1:]):
+            assert v in dag.successors(u)
+
+
+@given(dags_over(8), st.data())
+def test_F_is_monotone_along_edges(dag, data):
+    heights = {
+        n: data.draw(st.floats(min_value=0.1, max_value=3.0), label=f"h{n}")
+        for n in dag.nodes()
+    }
+    F = compute_F(dag, heights)
+    for u, v in dag.edges():
+        assert F[v] >= F[u] + heights[v] - 1e-9
+
+
+@given(dags_over(8), st.data())
+def test_F_at_least_height(dag, data):
+    heights = {
+        n: data.draw(st.floats(min_value=0.1, max_value=3.0), label=f"h{n}")
+        for n in dag.nodes()
+    }
+    F = compute_F(dag, heights)
+    for n in dag.nodes():
+        assert F[n] >= heights[n] - 1e-12
+
+
+@given(dags_over(8), st.data())
+def test_critical_path_realises_F(dag, data):
+    if len(dag) == 0:
+        return
+    heights = {
+        n: data.draw(st.floats(min_value=0.1, max_value=3.0), label=f"h{n}")
+        for n in dag.nodes()
+    }
+    path = critical_path(dag, heights)
+    assert math.isclose(
+        sum(heights[n] for n in path), F_of_set(dag, heights), rel_tol=1e-9
+    )
+    # Path must start at a source and follow edges.
+    assert dag.in_degree(path[0]) == 0
+    for u, v in zip(path, path[1:]):
+        assert v in dag.successors(u)

@@ -1,0 +1,96 @@
+"""Unit tests for DAG generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.dag.generators import (
+    chain_forest,
+    in_tree,
+    layered_dag,
+    out_tree,
+    random_order_dag,
+    series_parallel_dag,
+)
+
+
+class TestRandomOrderDag:
+    def test_size(self, rng):
+        dag = random_order_dag(20, 0.1, rng)
+        assert len(dag) == 20
+
+    def test_p_zero_no_edges(self, rng):
+        assert random_order_dag(10, 0.0, rng).n_edges == 0
+
+    def test_p_one_tournament(self, rng):
+        dag = random_order_dag(6, 1.0, rng)
+        assert dag.n_edges == 6 * 5 // 2
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            random_order_dag(5, 1.5, rng)
+
+    def test_negative_n(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            random_order_dag(-1, 0.5, rng)
+
+    def test_reproducible(self):
+        a = random_order_dag(12, 0.3, np.random.default_rng(7))
+        b = random_order_dag(12, 0.3, np.random.default_rng(7))
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestLayeredDag:
+    def test_every_nonsource_has_predecessor(self, rng):
+        dag = layered_dag(30, 5, 0.2, rng)
+        sources = dag.sources()
+        for n in dag.nodes():
+            if n not in sources:
+                assert dag.in_degree(n) >= 1
+
+    def test_single_layer_no_edges(self, rng):
+        assert layered_dag(10, 1, 0.5, rng).n_edges == 0
+
+    def test_bad_layers(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            layered_dag(10, 0, 0.5, rng)
+
+
+class TestSeriesParallel:
+    def test_acyclic_and_sized(self, rng):
+        dag = series_parallel_dag(25, rng)
+        assert len(dag) == 25
+        dag.topological_order()  # must not raise
+
+    def test_all_series_is_chainlike(self, rng):
+        dag = series_parallel_dag(10, rng, series_bias=1.0)
+        # Fully serial composition: one source, one sink.
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+    def test_all_parallel_no_edges(self, rng):
+        assert series_parallel_dag(10, rng, series_bias=0.0).n_edges == 0
+
+
+class TestChainsAndTrees:
+    def test_chain_forest(self):
+        dag = chain_forest([3, 2])
+        assert set(dag.edges()) == {(0, 1), (1, 2), (3, 4)}
+
+    def test_chain_forest_invalid(self):
+        with pytest.raises(InvalidInstanceError):
+            chain_forest([0, 2])
+
+    def test_out_tree_parents(self):
+        dag = out_tree(7, 2)
+        assert dag.predecessors(3) == {1} and dag.predecessors(4) == {1}
+        assert dag.sources() == [0]
+
+    def test_in_tree_is_reverse(self):
+        out = out_tree(7, 2)
+        inn = in_tree(7, 2)
+        assert {(v, u) for u, v in out.edges()} == set(inn.edges())
+
+    def test_tree_bad_branching(self):
+        with pytest.raises(InvalidInstanceError):
+            out_tree(5, 0)

@@ -1,0 +1,121 @@
+"""Unit tests for TaskDAG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.dag.graph import TaskDAG
+
+from .conftest import dags_over
+
+
+class TestConstruction:
+    def test_empty(self):
+        dag = TaskDAG.empty([1, 2, 3])
+        assert len(dag) == 3 and dag.n_edges == 0
+
+    def test_chain(self):
+        dag = TaskDAG.chain([1, 2, 3])
+        assert dag.edges() == [(1, 2), (2, 3)]
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(InvalidInstanceError):
+            TaskDAG([1, 2], [(1, 3)])
+
+    def test_self_loop(self):
+        with pytest.raises(InvalidInstanceError):
+            TaskDAG([1], [(1, 1)])
+
+    def test_cycle_detected(self):
+        with pytest.raises(InvalidInstanceError):
+            TaskDAG([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+
+    def test_duplicate_edge_ignored(self):
+        dag = TaskDAG([1, 2], [(1, 2), (1, 2)])
+        assert dag.n_edges == 1
+
+    def test_add_edge_cycle_check(self):
+        dag = TaskDAG([1, 2], [(1, 2)])
+        with pytest.raises(InvalidInstanceError):
+            dag.add_edge(2, 1)
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self):
+        # 1 -> {2, 3} -> 4
+        return TaskDAG([1, 2, 3, 4], [(1, 2), (1, 3), (2, 4), (3, 4)])
+
+    def test_neighbourhoods(self, diamond):
+        assert diamond.successors(1) == {2, 3}
+        assert diamond.predecessors(4) == {2, 3}
+        assert diamond.in_degree(1) == 0 and diamond.out_degree(4) == 0
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == [1]
+        assert diamond.sinks() == [4]
+
+    def test_reachability(self, diamond):
+        assert diamond.reachable_from(1) == {2, 3, 4}
+        assert diamond.ancestors(4) == {1, 2, 3}
+        assert diamond.has_path(1, 4)
+        assert not diamond.has_path(2, 3)
+
+    def test_independence(self, diamond):
+        assert diamond.independent(2, 3)
+        assert not diamond.independent(1, 4)
+
+    def test_topological_order(self, diamond):
+        order = diamond.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_induced(self, diamond):
+        sub = diamond.induced([2, 3, 4])
+        assert set(sub.nodes()) == {2, 3, 4}
+        assert set(sub.edges()) == {(2, 4), (3, 4)}
+
+    def test_induced_unknown_node(self, diamond):
+        with pytest.raises(InvalidInstanceError):
+            diamond.induced([2, 99])
+
+    def test_transitive_reduction(self):
+        dag = TaskDAG([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+        assert set(dag.transitive_reduction_edges()) == {(1, 2), (2, 3)}
+
+    def test_as_mapping(self, diamond):
+        m = diamond.as_mapping()
+        assert m[1] == {2, 3} and m[4] == frozenset()
+
+
+@given(dags_over(8))
+def test_topological_order_is_valid(dag):
+    order = dag.topological_order()
+    assert sorted(order) == sorted(dag.nodes())
+    pos = {n: i for i, n in enumerate(order)}
+    for u, v in dag.edges():
+        assert pos[u] < pos[v]
+
+
+@given(dags_over(7))
+def test_reachability_consistent_with_ancestors(dag):
+    for u in dag.nodes():
+        for v in dag.reachable_from(u):
+            assert u in dag.ancestors(v)
+
+
+@given(dags_over(7), st.data())
+def test_induced_preserves_edges(dag, data):
+    keep = data.draw(st.sets(st.sampled_from(dag.nodes()), min_size=1))
+    sub = dag.induced(keep)
+    expected = {(u, v) for u, v in dag.edges() if u in keep and v in keep}
+    assert set(sub.edges()) == expected
+
+
+@given(dags_over(7))
+def test_transitive_reduction_preserves_reachability(dag):
+    reduced = TaskDAG(dag.nodes(), dag.transitive_reduction_edges())
+    for u in dag.nodes():
+        assert reduced.reachable_from(u) == dag.reachable_from(u)

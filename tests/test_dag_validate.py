@@ -1,0 +1,63 @@
+"""Unit tests for DAG validators, including the Lemma 2.1 level-set
+antichain property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.dag.graph import TaskDAG
+from repro.dag.validate import check_same_universe, is_antichain, level_set
+
+from .conftest import dags_over
+
+
+class TestUniverse:
+    def test_match(self):
+        check_same_universe(TaskDAG.empty([1, 2]), [2, 1])
+
+    def test_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            check_same_universe(TaskDAG.empty([1, 2]), [1, 3])
+
+
+class TestAntichain:
+    def test_empty_is_antichain(self):
+        assert is_antichain(TaskDAG.empty([1]), [])
+
+    def test_independent_pair(self):
+        dag = TaskDAG([1, 2, 3], [(1, 3), (2, 3)])
+        assert is_antichain(dag, [1, 2])
+
+    def test_dependent_pair(self):
+        dag = TaskDAG.chain([1, 2, 3])
+        assert not is_antichain(dag, [1, 3])
+
+
+class TestLevelSet:
+    def test_chain_level(self):
+        dag = TaskDAG.chain([0, 1, 2])
+        heights = {0: 1.0, 1: 1.0, 2: 1.0}
+        # F = 1, 2, 3; level at y=1.5 -> node 1 (F=2 > 1.5, F-h=1 <= 1.5)
+        assert level_set(dag, heights, 1.5) == [1]
+
+    def test_level_at_zero(self):
+        dag = TaskDAG.empty([0, 1])
+        heights = {0: 1.0, 1: 2.0}
+        assert set(level_set(dag, heights, 0.0)) == {0, 1}
+
+    def test_level_above_all(self):
+        dag = TaskDAG.empty([0])
+        assert level_set(dag, {0: 1.0}, 5.0) == []
+
+
+@given(dags_over(8), st.data(), st.floats(min_value=0.0, max_value=10.0))
+def test_lemma_2_1_level_sets_are_antichains(dag, data, y):
+    """Lemma 2.1: rectangles straddling any horizontal line in the
+    infinite-width interpretation are pairwise independent."""
+    heights = {
+        n: data.draw(st.floats(min_value=0.1, max_value=3.0), label=f"h{n}")
+        for n in dag.nodes()
+    }
+    ls = level_set(dag, heights, y)
+    assert is_antichain(dag, ls)

@@ -1,0 +1,180 @@
+"""Edge-case sweep across modules: degenerate sizes, boundary widths,
+zero-release regimes, single-element structures.
+
+These pin behaviours that the property suites rarely sample but users hit
+immediately (empty inputs, exactly-full shelves, width exactly 1, all
+releases equal, one-task pipelines).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+
+
+class TestFullWidthRectangles:
+    """Width exactly 1: every algorithm must serialise them."""
+
+    def rects(self, n=3):
+        return [Rect(rid=i, width=1.0, height=1.0) for i in range(n)]
+
+    def test_nfdh(self):
+        from repro.packing import nfdh
+
+        assert math.isclose(nfdh(self.rects()).extent, 3.0)
+
+    def test_bottom_left(self):
+        from repro.packing import bottom_left
+
+        assert math.isclose(bottom_left(self.rects()).extent, 3.0)
+
+    def test_dc(self):
+        from repro.precedence.dc import dc_pack
+
+        inst = PrecedenceInstance.without_constraints(self.rects())
+        assert math.isclose(dc_pack(inst).height, 3.0)
+
+    def test_shelf_next_fit(self):
+        from repro.precedence.shelf_nextfit import shelf_next_fit
+
+        inst = PrecedenceInstance.without_constraints(self.rects())
+        assert math.isclose(shelf_next_fit(inst).height, 3.0)
+
+    def test_aptas(self):
+        from repro.release.aptas import aptas
+
+        inst = ReleaseInstance(self.rects(), K=1)
+        res = aptas(inst, eps=1.0)
+        validate_placement(inst, res.placement)
+        assert res.height >= 3.0 - 1e-9
+
+
+class TestExactlyFullShelf:
+    def test_widths_summing_to_one(self):
+        from repro.packing import nfdh
+
+        rects = [Rect(rid=i, width=0.25, height=1.0) for i in range(8)]
+        result = nfdh(rects)
+        # 4 fit per level exactly; 2 levels.
+        assert math.isclose(result.extent, 2.0)
+
+    def test_shelf_next_fit_exact_fill(self):
+        from repro.precedence.shelf_nextfit import shelf_next_fit
+
+        rects = [Rect(rid=i, width=0.5, height=1.0) for i in range(4)]
+        inst = PrecedenceInstance.without_constraints(rects)
+        run = shelf_next_fit(inst)
+        assert run.height == 2.0
+        assert all(math.isclose(s.used_width, 1.0) for s in run.shelves)
+
+
+class TestSingletonStructures:
+    def test_dc_single_chain_element(self):
+        from repro.precedence.dc import dc_pack
+
+        inst = PrecedenceInstance([Rect(rid=0, width=0.5, height=2.0)], TaskDAG.empty([0]))
+        result = dc_pack(inst)
+        assert len(result.bands) == 1 and result.bands[0].ids == (0,)
+
+    def test_exact_single(self):
+        from repro.exact import solve_exact
+
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        assert solve_exact(inst, K=2).height == 1.0
+
+    def test_aptas_single_class_single_width(self):
+        from repro.release.aptas import aptas
+
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=1.0, release=1.0) for i in range(4)], K=2
+        )
+        res = aptas(inst, eps=1.0)
+        validate_placement(inst, res.placement)
+        # Two side-by-side pairs above the release; optimal is 3.0.
+        assert res.height <= 3.0 + res.integral.n_occurrences
+
+
+class TestZeroReleaseRegime:
+    """All releases 0: Section 3 machinery must degenerate gracefully."""
+
+    def rects(self):
+        return [Rect(rid=i, width=0.25, height=0.5) for i in range(8)]
+
+    def test_rounding_noop(self):
+        from repro.release.rounding import round_releases_up
+
+        inst = ReleaseInstance(self.rects(), K=4)
+        assert round_releases_up(inst, 0.3) is inst
+
+    def test_single_phase_lp(self):
+        from repro.release.lp import phase_boundaries, solve_fractional
+
+        inst = ReleaseInstance(self.rects(), K=4)
+        assert phase_boundaries(inst) == (0.0,)
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 1.0, rel_tol=1e-6)  # 8 * 0.125 area
+
+    def test_aptas_matches_plain_wrapper(self):
+        from repro.packing.fractional import aptas_plain
+        from repro.release.aptas import aptas
+
+        inst = ReleaseInstance(self.rects(), K=4)
+        res = aptas(inst, eps=1.0)
+        plain = aptas_plain(StripPackingInstance(self.rects()), K=4, eps=1.0)
+        assert math.isclose(res.height, plain.height, rel_tol=1e-9)
+
+
+class TestTallChains:
+    def test_deep_chain_dc_recursion(self):
+        """A 200-element chain: recursion must stay within Python limits and
+        produce exactly the serial height."""
+        from repro.precedence.dc import dc_pack
+
+        n = 200
+        rects = [Rect(rid=i, width=0.1, height=1.0) for i in range(n)]
+        inst = PrecedenceInstance(rects, TaskDAG.chain(list(range(n))))
+        result = dc_pack(inst)
+        assert math.isclose(result.height, float(n))
+
+    def test_deep_chain_shelf(self):
+        from repro.precedence.shelf_nextfit import shelf_next_fit
+
+        n = 150
+        rects = [Rect(rid=i, width=0.1, height=1.0) for i in range(n)]
+        inst = PrecedenceInstance(rects, TaskDAG.chain(list(range(n))))
+        run = shelf_next_fit(inst)
+        assert run.height == float(n)
+        assert run.n_skips == n
+
+
+class TestGeometryBoundaries:
+    def test_shelf_boundaries(self):
+        from repro.core.placement import Placement
+        from repro.geometry.occupancy import shelf_boundaries
+
+        p = Placement()
+        p.place(Rect(rid=0, width=1.0, height=2.5), 0.0, 0.0)
+        bounds = shelf_boundaries(p, shelf_height=1.0)
+        assert list(bounds) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_skyline_tiny_widths(self):
+        from repro.geometry.skyline import Skyline
+
+        sky = Skyline()
+        for i in range(50):
+            x, _ = sky.lowest_position(0.02)
+            sky.place(x, 0.02, 1.0)
+        assert math.isclose(sky.max_y, 1.0)
+
+    def test_render_many_rects_cycles_glyphs(self):
+        from repro.analysis.render import render_placement
+        from repro.packing import nfdh
+
+        rects = [Rect(rid=i, width=0.05, height=0.5) for i in range(70)]
+        art = render_placement(nfdh(rects).placement)
+        assert "height" in art.splitlines()[0]

@@ -1,0 +1,150 @@
+"""Tests for the exact branch-and-bound solver."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import BudgetExceededError, InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.exact.branch_and_bound import columns_of, solve_exact
+from repro.packing.nfdh import nfdh
+
+from .conftest import columnar_rect_lists
+
+
+def cinst(specs, K=4):
+    """specs: (cols, height) pairs."""
+    return StripPackingInstance(
+        [Rect(rid=i, width=c / K, height=h) for i, (c, h) in enumerate(specs)]
+    )
+
+
+class TestColumnsOf:
+    def test_valid(self):
+        assert columns_of(0.5, 4) == 2
+
+    def test_off_grid(self):
+        with pytest.raises(InvalidInstanceError):
+            columns_of(0.3, 4)
+
+
+class TestExactPlain:
+    def test_empty(self):
+        res = solve_exact(StripPackingInstance([]), K=4)
+        assert res.height == 0.0
+
+    def test_single(self):
+        inst = cinst([(2, 1.5)])
+        res = solve_exact(inst, K=4)
+        assert math.isclose(res.height, 1.5)
+
+    def test_perfect_row(self):
+        inst = cinst([(1, 1.0)] * 4)
+        res = solve_exact(inst, K=4)
+        validate_placement(inst, res.placement)
+        assert math.isclose(res.height, 1.0)
+
+    def test_forced_stack(self):
+        inst = cinst([(3, 1.0), (3, 1.0)])
+        res = solve_exact(inst, K=4)
+        assert math.isclose(res.height, 2.0)
+
+    def test_interlocking(self):
+        # 2 cols x 2.0 tall + two (2 cols x 1.0): optimum 2.0.
+        inst = cinst([(2, 2.0), (2, 1.0), (2, 1.0)])
+        res = solve_exact(inst, K=4)
+        assert math.isclose(res.height, 2.0)
+
+    def test_upper_bound_accepted(self):
+        inst = cinst([(2, 1.0), (2, 1.0)])
+        ub = nfdh(list(inst.rects)).extent
+        res = solve_exact(inst, K=4, upper_bound=ub + 1e-9)
+        assert math.isclose(res.height, 1.0)
+
+    def test_budget_exceeded(self):
+        rng = np.random.default_rng(0)
+        rects = [
+            Rect(rid=i, width=int(rng.integers(1, 4)) / 8, height=float(rng.uniform(0.3, 1.0)))
+            for i in range(12)
+        ]
+        inst = StripPackingInstance(rects)
+        with pytest.raises(BudgetExceededError):
+            solve_exact(inst, K=8, max_nodes=50)
+
+    def test_never_beats_lower_bound(self, rng):
+        from repro.core.bounds import combined_lower_bound
+
+        rects = [
+            Rect(rid=i, width=int(rng.integers(1, 4)) / 4, height=float(rng.uniform(0.2, 1.0)))
+            for i in range(6)
+        ]
+        inst = StripPackingInstance(rects)
+        res = solve_exact(inst, K=4)
+        assert res.height >= combined_lower_bound(inst) - 1e-9
+
+
+class TestExactPrecedence:
+    def test_chain_serialises(self):
+        rects = [Rect(rid=i, width=0.25, height=1.0) for i in range(3)]
+        inst = PrecedenceInstance(rects, TaskDAG.chain([0, 1, 2]))
+        res = solve_exact(inst, K=4)
+        validate_placement(inst, res.placement)
+        assert math.isclose(res.height, 3.0)
+
+    def test_diamond_optimal(self):
+        rects = [Rect(rid=i, width=0.5, height=1.0) for i in range(4)]
+        inst = PrecedenceInstance(rects, TaskDAG([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)]))
+        res = solve_exact(inst, K=2)
+        validate_placement(inst, res.placement)
+        assert math.isclose(res.height, 3.0)
+
+    def test_exact_at_most_dc(self, rng):
+        from repro.precedence.dc import dc_pack
+        from repro.workloads.dags import random_precedence_instance
+
+        inst = random_precedence_instance(7, 0.3, rng, columnar_K=3)
+        dc_h = dc_pack(inst).height
+        res = solve_exact(inst, K=3, max_nodes=500_000)
+        validate_placement(inst, res.placement)
+        assert res.height <= dc_h + 1e-9
+
+
+class TestExactRelease:
+    def test_release_respected(self):
+        rects = [Rect(rid=0, width=0.5, height=1.0, release=2.0)]
+        inst = ReleaseInstance(rects, K=2)
+        res = solve_exact(inst, K=2)
+        assert math.isclose(res.height, 3.0)
+
+    def test_work_fits_in_release_gap(self):
+        rects = [
+            Rect(rid=0, width=1.0, height=1.0, release=0.0),
+            Rect(rid=1, width=1.0, height=1.0, release=3.0),
+        ]
+        inst = ReleaseInstance(rects, K=2)
+        res = solve_exact(inst, K=2)
+        validate_placement(inst, res.placement)
+        assert math.isclose(res.height, 4.0)
+
+    def test_parallel_after_release(self):
+        rects = [
+            Rect(rid=0, width=0.5, height=1.0, release=1.0),
+            Rect(rid=1, width=0.5, height=1.0, release=1.0),
+        ]
+        inst = ReleaseInstance(rects, K=2)
+        res = solve_exact(inst, K=2)
+        assert math.isclose(res.height, 2.0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(columnar_rect_lists(K=3, min_size=1, max_size=6))
+def test_exact_no_worse_than_heuristics(rects):
+    inst = StripPackingInstance(rects)
+    res = solve_exact(inst, K=3, max_nodes=400_000)
+    validate_placement(inst, res.placement)
+    assert res.height <= nfdh(rects).extent + 1e-9

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; bit-rot there is a release
+blocker, so the suite runs each one in-process (small parameters) and
+checks for its expected output markers.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "all three placements validated" in out
+
+
+def test_fpga_jpeg_pipeline(capsys):
+    out = run_example("fpga_jpeg_pipeline.py", ["3", "8"], capsys)
+    assert "DC makespan" in out and "per-column busy time" in out
+
+
+def test_online_release_scheduling(capsys):
+    out = run_example("online_release_scheduling.py", ["15", "4"], capsys)
+    assert "fractional optimum" in out and "APTAS pipeline internals" in out
+
+
+def test_adversarial_gallery(capsys):
+    out = run_example("adversarial_gallery.py", [], capsys)
+    assert "Omega(log n)" in out and "factor 3" in out
+
+
+def test_bin_packing_workflow(capsys):
+    out = run_example("bin_packing_workflow.py", ["10"], capsys)
+    assert "bin packing view" in out and "slide-down conversion" in out

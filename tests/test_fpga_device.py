@@ -1,0 +1,88 @@
+"""Tests for the device model and width quantisation."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.fpga.device import Device, quantize_instance, quantize_width
+
+
+class TestDevice:
+    def test_bad_K(self):
+        with pytest.raises(InvalidInstanceError):
+            Device(K=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(InvalidInstanceError):
+            Device(K=4, reconfig_latency=-1.0)
+
+    def test_column_width(self):
+        assert Device(K=8).column_width == 0.125
+
+    def test_columns_for(self):
+        dev = Device(K=8)
+        assert dev.columns_for(0.125) == 1
+        assert dev.columns_for(0.3) == 3
+        assert dev.columns_for(1.0) == 8
+
+    def test_x_of_column(self):
+        dev = Device(K=4)
+        assert dev.x_of_column(2) == 0.5
+        with pytest.raises(InvalidInstanceError):
+            dev.x_of_column(4)
+
+    def test_column_of_x(self):
+        dev = Device(K=4)
+        assert dev.column_of_x(0.75) == 3
+        with pytest.raises(InvalidInstanceError):
+            dev.column_of_x(0.3)
+
+
+class TestQuantize:
+    def test_rounds_up(self):
+        assert quantize_width(0.3, 4) == 0.5
+
+    def test_exact_unchanged(self):
+        assert quantize_width(0.5, 4) == 0.5
+
+    def test_never_exceeds_one(self):
+        assert quantize_width(0.99, 4) == 1.0
+
+    def test_minimum_one_column(self):
+        assert quantize_width(0.01, 4) == 0.25
+
+    def test_instance_type_preserved(self):
+        rects = [Rect(rid=0, width=0.3, height=1.0)]
+        plain = quantize_instance(StripPackingInstance(rects), 4)
+        assert isinstance(plain, StripPackingInstance)
+        assert plain.rects[0].width == 0.5
+
+        rel = quantize_instance(ReleaseInstance(rects, K=4), 4)
+        assert isinstance(rel, ReleaseInstance) and rel.K == 4
+
+        from repro.dag.graph import TaskDAG
+
+        prec = quantize_instance(
+            PrecedenceInstance(rects, TaskDAG.empty([0])), 4
+        )
+        assert isinstance(prec, PrecedenceInstance)
+
+    def test_quantized_placement_transfers(self):
+        """A valid placement of the quantised instance is valid for the
+        original (widths only grew)."""
+        from repro.core.placement import Placement, validate_placement
+
+        rects = [Rect(rid=0, width=0.3, height=1.0), Rect(rid=1, width=0.4, height=1.0)]
+        inst = StripPackingInstance(rects)
+        q = quantize_instance(inst, 4)  # both widths become 0.5
+        p = Placement()
+        p.place(q.rects[0], 0.0, 0.0)
+        p.place(q.rects[1], 0.5, 0.0)
+        validate_placement(q, p)
+        rebound = Placement()
+        for rid, pr in p.items():
+            rebound.place(inst.by_id()[rid], pr.x, pr.y)
+        validate_placement(inst, rebound)

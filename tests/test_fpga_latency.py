@@ -1,0 +1,94 @@
+"""Tests for the reconfiguration-latency dilation pass."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement, validate_placement
+from repro.core.rectangle import Rect
+from repro.fpga.device import Device
+from repro.fpga.latency import dilate_for_reconfiguration
+from repro.fpga.schedule import schedule_from_placement
+from repro.fpga.simulator import simulate
+
+
+def stacked_placement(K=4):
+    """Two tasks back-to-back on the same columns."""
+    p = Placement()
+    p.place(Rect(rid=0, width=2 / K, height=1.0), 0.0, 0.0)
+    p.place(Rect(rid=1, width=2 / K, height=1.0), 0.0, 1.0)
+    return p
+
+
+class TestDilation:
+    def test_zero_latency_identity(self):
+        dev = Device(K=4, reconfig_latency=0.0)
+        p = stacked_placement()
+        q = dilate_for_reconfiguration(p, dev)
+        assert q[0].y == p[0].y and q[1].y == p[1].y
+
+    def test_gap_inserted(self):
+        dev = Device(K=4, reconfig_latency=0.5)
+        q = dilate_for_reconfiguration(stacked_placement(), dev)
+        assert math.isclose(q[1].y, 1.5)
+
+    def test_disjoint_columns_untouched(self):
+        dev = Device(K=4, reconfig_latency=0.5)
+        p = Placement()
+        p.place(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        p.place(Rect(rid=1, width=0.5, height=1.0), 0.5, 1.0)
+        q = dilate_for_reconfiguration(p, dev)
+        assert q[1].y == 1.0  # different columns: no push needed
+
+    def test_simulates_with_latency(self):
+        dev = Device(K=4, reconfig_latency=0.5)
+        q = dilate_for_reconfiguration(stacked_placement(), dev)
+        sched = schedule_from_placement(q, dev)
+        rep = simulate(sched)  # must not raise a double-claim
+        assert rep.makespan >= 2.5 - 1e-9
+
+    def test_original_would_fail_simulation(self):
+        from repro.core.errors import InvalidPlacementError
+
+        dev = Device(K=4, reconfig_latency=0.5)
+        sched = schedule_from_placement(stacked_placement(), dev)
+        with pytest.raises(InvalidPlacementError):
+            simulate(sched)
+
+    def test_precedence_preserved(self, rng):
+        from repro.precedence.dc import dc_pack
+        from repro.workloads.jpeg import jpeg_pipeline_instance
+
+        dev = Device(K=8, reconfig_latency=0.25)
+        inst = jpeg_pipeline_instance(4, dev)
+        base = dc_pack(inst).placement
+        dilated = dilate_for_reconfiguration(base, dev, dag=inst.dag)
+        validate_placement(inst, dilated)
+        sched = schedule_from_placement(dilated, dev)
+        sched.validate(dag=inst.dag)
+        rep = simulate(sched)
+        assert rep.makespan >= base.height - 1e-9
+
+    def test_dilation_bounded(self, rng):
+        """Makespan growth is at most lat per task (loose bound)."""
+        from repro.packing.nfdh import nfdh
+        from repro.workloads.random_rects import columnar_rects
+
+        lat = 0.3
+        dev = Device(K=4, reconfig_latency=lat)
+        rects = columnar_rects(15, 4, rng)
+        base = nfdh(rects).placement
+        dilated = dilate_for_reconfiguration(base, dev)
+        assert dilated.height <= base.height + lat * len(rects) + 1e-9
+
+    def test_releases_still_respected(self, rng):
+        from repro.core.instance import ReleaseInstance
+        from repro.release.heuristics import release_shelf_pack
+        from repro.workloads.releases import bursty_release_instance
+
+        dev = Device(K=4, reconfig_latency=0.2)
+        inst = bursty_release_instance(12, 4, rng, n_bursts=2)
+        base = release_shelf_pack(inst)
+        dilated = dilate_for_reconfiguration(base, dev)
+        validate_placement(inst, dilated)

@@ -1,0 +1,119 @@
+"""Tests for schedules and placement->schedule conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidPlacementError
+from repro.core.placement import Placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.fpga.device import Device
+from repro.fpga.schedule import Schedule, ScheduledTask, schedule_from_placement
+
+
+class TestScheduledTask:
+    def test_duration(self):
+        t = ScheduledTask(tid=0, col=0, n_cols=2, start=1.0, end=3.0)
+        assert t.duration == 2.0
+        assert list(t.columns()) == [0, 1]
+
+    def test_conflicts(self):
+        a = ScheduledTask(tid=0, col=0, n_cols=2, start=0.0, end=2.0)
+        b = ScheduledTask(tid=1, col=1, n_cols=2, start=1.0, end=3.0)
+        c = ScheduledTask(tid=2, col=2, n_cols=2, start=0.0, end=2.0)
+        d = ScheduledTask(tid=3, col=0, n_cols=2, start=2.0, end=4.0)
+        assert a.conflicts(b)
+        assert not a.conflicts(c)  # disjoint columns
+        assert not a.conflicts(d)  # back-to-back in time
+
+
+class TestSchedule:
+    def test_add_validates_columns(self):
+        sched = Schedule(Device(K=4))
+        with pytest.raises(InvalidPlacementError):
+            sched.add(ScheduledTask(tid=0, col=3, n_cols=2, start=0.0, end=1.0))
+
+    def test_add_validates_duration(self):
+        sched = Schedule(Device(K=4))
+        with pytest.raises(InvalidPlacementError):
+            sched.add(ScheduledTask(tid=0, col=0, n_cols=1, start=1.0, end=1.0))
+
+    def test_makespan(self):
+        sched = Schedule(Device(K=4))
+        sched.add(ScheduledTask(tid=0, col=0, n_cols=1, start=0.0, end=2.0))
+        sched.add(ScheduledTask(tid=1, col=1, n_cols=1, start=1.0, end=5.0))
+        assert sched.makespan == 5.0
+
+    def test_validate_conflict(self):
+        sched = Schedule(Device(K=4))
+        sched.add(ScheduledTask(tid=0, col=0, n_cols=2, start=0.0, end=2.0))
+        sched.add(ScheduledTask(tid=1, col=1, n_cols=1, start=1.0, end=3.0))
+        with pytest.raises(InvalidPlacementError, match="concurrently"):
+            sched.validate()
+
+    def test_validate_precedence(self):
+        sched = Schedule(Device(K=4))
+        sched.add(ScheduledTask(tid=0, col=0, n_cols=1, start=0.0, end=2.0))
+        sched.add(ScheduledTask(tid=1, col=1, n_cols=1, start=1.0, end=3.0))
+        dag = TaskDAG([0, 1], [(0, 1)])
+        with pytest.raises(InvalidPlacementError, match="precedence"):
+            sched.validate(dag=dag)
+
+    def test_validate_release(self):
+        sched = Schedule(Device(K=4))
+        sched.add(ScheduledTask(tid=0, col=0, n_cols=1, start=0.5, end=1.5))
+        with pytest.raises(InvalidPlacementError, match="release"):
+            sched.validate(releases={0: 1.0})
+
+    def test_utilisation(self):
+        sched = Schedule(Device(K=2))
+        sched.add(ScheduledTask(tid=0, col=0, n_cols=2, start=0.0, end=1.0))
+        assert math.isclose(sched.utilisation(), 1.0)
+
+    def test_getitem(self):
+        sched = Schedule(Device(K=2))
+        t = ScheduledTask(tid="x", col=0, n_cols=1, start=0.0, end=1.0)
+        sched.add(t)
+        assert sched["x"] is t
+        with pytest.raises(KeyError):
+            sched["missing"]
+
+
+class TestFromPlacement:
+    def test_round_trip(self):
+        dev = Device(K=4)
+        rects = [Rect(rid=0, width=0.5, height=2.0), Rect(rid=1, width=0.25, height=1.0)]
+        p = Placement()
+        p.place(rects[0], 0.0, 0.0)
+        p.place(rects[1], 0.5, 1.0)
+        sched = schedule_from_placement(p, dev)
+        sched.validate()
+        assert sched[0].col == 0 and sched[0].n_cols == 2
+        assert sched[1].col == 2 and sched[1].start == 1.0
+
+    def test_off_grid_x_rejected(self):
+        dev = Device(K=4)
+        p = Placement()
+        p.place(Rect(rid=0, width=0.25, height=1.0), 0.1, 0.0)
+        with pytest.raises(InvalidPlacementError):
+            schedule_from_placement(p, dev)
+
+    def test_fractional_width_rejected(self):
+        dev = Device(K=4)
+        p = Placement()
+        p.place(Rect(rid=0, width=0.3, height=1.0), 0.0, 0.0)
+        with pytest.raises(InvalidPlacementError, match="whole number"):
+            schedule_from_placement(p, dev)
+
+    def test_packer_output_converts(self, rng):
+        from repro.packing.nfdh import nfdh
+        from repro.workloads.random_rects import columnar_rects
+
+        dev = Device(K=8)
+        rects = columnar_rects(20, 8, rng)
+        result = nfdh(rects)
+        sched = schedule_from_placement(result.placement, dev)
+        sched.validate()
+        assert math.isclose(sched.makespan, result.extent, abs_tol=1e-9)

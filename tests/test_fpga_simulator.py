@@ -1,0 +1,99 @@
+"""Tests for the event-driven device simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidPlacementError
+from repro.fpga.device import Device
+from repro.fpga.schedule import Schedule, ScheduledTask
+from repro.fpga.simulator import simulate
+
+
+def sched_of(tasks, K=4, lat=0.0):
+    s = Schedule(Device(K=K, reconfig_latency=lat))
+    for t in tasks:
+        s.add(ScheduledTask(*t))
+    return s
+
+
+class TestSimulate:
+    def test_empty(self):
+        rep = simulate(sched_of([]))
+        assert rep.makespan == 0.0 and rep.n_tasks == 0
+
+    def test_single_task(self):
+        rep = simulate(sched_of([(0, 0, 2, 0.0, 1.5)]))
+        assert rep.makespan == 1.5
+        assert rep.n_tasks == 1
+        assert math.isclose(rep.busy_column_time, 3.0)
+
+    def test_back_to_back_same_columns(self):
+        """A task starting exactly when another ends on the same columns must
+        not be flagged (free processed before claim)."""
+        rep = simulate(sched_of([(0, 0, 2, 0.0, 1.0), (1, 0, 2, 1.0, 2.0)]))
+        assert rep.makespan == 2.0
+
+    def test_conflict_detected(self):
+        with pytest.raises(InvalidPlacementError, match="double-claimed"):
+            simulate(sched_of([(0, 0, 2, 0.0, 2.0), (1, 1, 2, 1.0, 3.0)]))
+
+    def test_utilisation(self):
+        rep = simulate(sched_of([(0, 0, 4, 0.0, 1.0)]))
+        assert math.isclose(rep.utilisation(4), 1.0)
+
+    def test_column_busy_accounting(self):
+        rep = simulate(sched_of([(0, 0, 1, 0.0, 2.0), (1, 1, 1, 0.0, 3.0)]))
+        assert rep.column_busy[0] == 2.0 and rep.column_busy[1] == 3.0
+        assert rep.column_busy[2] == 0.0
+
+    def test_events_ordered(self):
+        rep = simulate(sched_of([(0, 0, 1, 0.0, 1.0), (1, 1, 1, 0.5, 2.0)]))
+        times = [e.time for e in rep.events]
+        assert times == sorted(times)
+
+
+class TestReconfigLatency:
+    def test_latency_conflict(self):
+        """With latency 0.5, a task claiming columns at start-0.5 collides
+        with the previous occupant that runs until exactly that start."""
+        with pytest.raises(InvalidPlacementError):
+            simulate(sched_of([(0, 0, 2, 0.0, 1.0), (1, 0, 2, 1.25, 2.0)], lat=0.5))
+
+    def test_latency_with_gap_ok(self):
+        rep = simulate(sched_of([(0, 0, 2, 0.0, 1.0), (1, 0, 2, 1.5, 2.0)], lat=0.5))
+        assert rep.makespan == 2.0
+        assert any(e.kind == "reconfig" for e in rep.events)
+
+    def test_no_reconfig_events_without_latency(self):
+        rep = simulate(sched_of([(0, 0, 2, 0.0, 1.0)]))
+        assert not any(e.kind == "reconfig" for e in rep.events)
+
+
+class TestEndToEnd:
+    def test_dc_jpeg_pipeline_simulates(self, rng):
+        from repro.fpga.schedule import schedule_from_placement
+        from repro.precedence.dc import dc_pack
+        from repro.workloads.jpeg import jpeg_pipeline_instance
+
+        dev = Device(K=8)
+        inst = jpeg_pipeline_instance(3, dev)
+        result = dc_pack(inst)
+        sched = schedule_from_placement(result.placement, dev)
+        rep = simulate(sched)
+        assert math.isclose(rep.makespan, result.height, abs_tol=1e-9)
+        assert rep.n_tasks == len(inst)
+
+    def test_aptas_output_simulates(self, rng):
+        from repro.fpga.schedule import schedule_from_placement
+        from repro.release.aptas import aptas
+        from repro.workloads.releases import bursty_release_instance
+
+        K = 4
+        inst = bursty_release_instance(15, K, rng, n_bursts=3)
+        res = aptas(inst, eps=1.0)
+        sched = schedule_from_placement(res.placement, Device(K=K))
+        sched.validate(releases={r.rid: r.release for r in inst.rects})
+        rep = simulate(sched)
+        assert math.isclose(rep.makespan, res.height, abs_tol=1e-9)

@@ -1,0 +1,67 @@
+"""Tests for the FPGA task API."""
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.fpga.device import Device
+from repro.fpga.tasks import FPGATask, build_precedence_instance, build_release_instance
+
+
+class TestFPGATask:
+    def test_valid(self):
+        t = FPGATask(tid="a", columns=2, duration=1.0)
+        assert t.deps == () and t.release == 0.0
+
+    def test_bad_columns(self):
+        with pytest.raises(InvalidInstanceError):
+            FPGATask(tid="a", columns=0, duration=1.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(InvalidInstanceError):
+            FPGATask(tid="a", columns=1, duration=0.0)
+
+    def test_bad_release(self):
+        with pytest.raises(InvalidInstanceError):
+            FPGATask(tid="a", columns=1, duration=1.0, release=-1.0)
+
+
+class TestBuildPrecedence:
+    def test_basic(self):
+        dev = Device(K=4)
+        tasks = [
+            FPGATask(tid="a", columns=2, duration=1.0),
+            FPGATask(tid="b", columns=4, duration=2.0, deps=("a",)),
+        ]
+        inst = build_precedence_instance(tasks, dev)
+        assert len(inst) == 2
+        assert inst.by_id()["a"].width == 0.5
+        assert inst.dag.edges() == [("a", "b")]
+
+    def test_too_wide(self):
+        dev = Device(K=2)
+        with pytest.raises(InvalidInstanceError):
+            build_precedence_instance([FPGATask(tid="a", columns=3, duration=1.0)], dev)
+
+    def test_unknown_dep(self):
+        dev = Device(K=4)
+        with pytest.raises(InvalidInstanceError):
+            build_precedence_instance(
+                [FPGATask(tid="a", columns=1, duration=1.0, deps=("ghost",))], dev
+            )
+
+
+class TestBuildRelease:
+    def test_basic(self):
+        dev = Device(K=4)
+        tasks = [FPGATask(tid="a", columns=1, duration=0.5, release=2.0)]
+        inst = build_release_instance(tasks, dev)
+        assert inst.K == 4 and inst.rects[0].release == 2.0
+
+    def test_deps_rejected(self):
+        dev = Device(K=4)
+        tasks = [
+            FPGATask(tid="a", columns=1, duration=0.5),
+            FPGATask(tid="b", columns=1, duration=0.5, deps=("a",)),
+        ]
+        with pytest.raises(InvalidInstanceError):
+            build_release_instance(tasks, dev)

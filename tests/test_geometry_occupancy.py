@@ -1,0 +1,77 @@
+"""Unit tests for occupancy metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.placement import PlacedRect, Placement
+from repro.core.rectangle import Rect
+from repro.geometry.occupancy import band_density, occupancy_profile, union_area, utilisation
+from repro.packing.nfdh import nfdh
+
+from .conftest import rect_lists
+
+
+def placed(w, h, x, y, rid=0):
+    return PlacedRect(Rect(rid=rid, width=w, height=h), x, y)
+
+
+class TestUnionArea:
+    def test_empty(self):
+        assert union_area([]) == 0.0
+
+    def test_single(self):
+        assert math.isclose(union_area([placed(0.5, 2.0, 0.0, 0.0)]), 1.0)
+
+    def test_disjoint_sum(self):
+        items = [placed(0.5, 1.0, 0.0, 0.0, 0), placed(0.5, 1.0, 0.5, 0.0, 1)]
+        assert math.isclose(union_area(items), 1.0)
+
+    def test_overlapping_counted_once(self):
+        items = [placed(0.5, 1.0, 0.0, 0.0, 0), placed(0.5, 1.0, 0.0, 0.0, 1)]
+        assert math.isclose(union_area(items), 0.5)
+
+    def test_partial_overlap(self):
+        items = [placed(0.6, 1.0, 0.0, 0.0, 0), placed(0.6, 1.0, 0.4, 0.0, 1)]
+        assert math.isclose(union_area(items), 1.0)
+
+
+class TestProfilesAndDensity:
+    def test_occupancy_profile_flat(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=0.5, height=1.0), 0.0, 0.0)
+        ys, ws = occupancy_profile(p, n_samples=16)
+        assert np.allclose(ws, 0.5)
+
+    def test_band_density_full(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=1.0, height=1.0), 0.0, 0.0)
+        assert math.isclose(band_density(p, 0.0, 1.0), 1.0)
+
+    def test_band_density_clipped(self):
+        p = Placement()
+        p.place(Rect(rid=0, width=1.0, height=1.0), 0.0, 0.5)
+        assert math.isclose(band_density(p, 0.0, 1.0), 0.5)
+
+    def test_band_density_degenerate(self):
+        assert band_density(Placement(), 1.0, 1.0) == 0.0
+
+    def test_utilisation_empty(self):
+        assert utilisation(Placement()) == 0.0
+
+
+@given(rect_lists(min_size=1, max_size=14))
+def test_union_area_of_valid_packing_is_area_sum(rects):
+    """For non-overlapping placements, union area == sum of areas."""
+    result = nfdh(rects)
+    total = sum(r.area for r in rects)
+    assert math.isclose(union_area(iter(result.placement)), total, rel_tol=1e-9)
+
+
+@given(rect_lists(min_size=1, max_size=14))
+def test_utilisation_between_0_and_1(rects):
+    result = nfdh(rects)
+    u = utilisation(result.placement)
+    assert 0.0 < u <= 1.0 + 1e-9

@@ -1,0 +1,100 @@
+"""Unit tests for the skyline structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidPlacementError
+from repro.geometry.skyline import Skyline
+
+
+class TestBasics:
+    def test_initial_flat(self):
+        sky = Skyline()
+        segs = sky.segments()
+        assert len(segs) == 1 and segs[0].y == 0.0 and segs[0].width == 1.0
+
+    def test_support_flat(self):
+        assert Skyline().support_y(0.25, 0.5) == 0.0
+
+    def test_support_out_of_strip(self):
+        with pytest.raises(InvalidPlacementError):
+            Skyline().support_y(0.8, 0.5)
+
+    def test_place_raises_envelope(self):
+        sky = Skyline()
+        y = sky.place(0.0, 0.5, 1.0)
+        assert y == 0.0
+        assert sky.support_y(0.0, 0.5) == 1.0
+        assert sky.support_y(0.5, 0.5) == 0.0
+
+    def test_place_spanning_segments(self):
+        sky = Skyline()
+        sky.place(0.0, 0.5, 1.0)
+        sky.place(0.5, 0.5, 2.0)
+        # A full-width rectangle rests on the taller part.
+        assert sky.support_y(0.0, 1.0) == 2.0
+
+    def test_max_min_y(self):
+        sky = Skyline()
+        sky.place(0.0, 0.5, 1.0)
+        assert sky.max_y == 1.0 and sky.min_y == 0.0
+
+    def test_merge_equal_heights(self):
+        sky = Skyline()
+        sky.place(0.0, 0.5, 1.0)
+        sky.place(0.5, 0.5, 1.0)
+        assert len(sky.segments()) == 1  # merged back into one flat segment
+
+    def test_waste_below(self):
+        sky = Skyline()
+        sky.place(0.0, 0.5, 1.0)
+        assert abs(sky.waste_below(1.0) - 0.5) < 1e-12
+
+
+class TestPositions:
+    def test_lowest_position_prefers_low_then_left(self):
+        sky = Skyline()
+        sky.place(0.0, 0.5, 2.0)  # left tower
+        x, y = sky.lowest_position(0.5)
+        assert (x, y) == (0.5, 0.0)
+
+    def test_candidates_include_walls(self):
+        sky = Skyline()
+        cands = sky.candidate_positions(0.4)
+        xs = [x for x, _ in cands]
+        assert 0.0 in xs and any(abs(x - 0.6) < 1e-12 for x in xs)
+
+    def test_full_width_rect(self):
+        sky = Skyline()
+        x, y = sky.lowest_position(1.0)
+        assert (x, y) == (0.0, 0.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=1.0),
+            st.floats(min_value=0.05, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_skyline_invariants(dims):
+    """After any sequence of bottom-left placements the skyline partitions
+    [0,1], is non-negative, and max_y only grows."""
+    sky = Skyline()
+    last_max = 0.0
+    for w, h in dims:
+        x, _ = sky.lowest_position(w)
+        sky.place(x, w, h)
+        segs = sky.segments()
+        # contiguous partition of [0, 1]
+        assert abs(segs[0].x) < 1e-9
+        for a, b in zip(segs, segs[1:]):
+            assert abs(a.x2 - b.x) < 1e-9
+        assert abs(segs[-1].x2 - 1.0) < 1e-9
+        assert all(s.y >= -1e-9 for s in segs)
+        assert sky.max_y >= last_max - 1e-9
+        last_max = sky.max_y

@@ -1,0 +1,95 @@
+"""Unit tests for stackings and containment (Fig. 3 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.rectangle import Rect
+from repro.geometry.stacking import Stacking, contains, stack
+
+from .conftest import rect_lists
+
+
+class TestStack:
+    def test_empty(self):
+        st = stack([])
+        assert st.height == 0.0 and st.area == 0.0
+
+    def test_sorted_non_increasing_width(self):
+        rects = [
+            Rect(rid=0, width=0.2, height=1.0),
+            Rect(rid=1, width=0.8, height=0.5),
+            Rect(rid=2, width=0.5, height=0.25),
+        ]
+        st = stack(rects)
+        widths = [w for _, _, w in st.steps]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_height_is_sum(self):
+        rects = [Rect(rid=i, width=0.5, height=0.5) for i in range(4)]
+        assert math.isclose(stack(rects).height, 2.0)
+
+    def test_width_at(self):
+        rects = [
+            Rect(rid=0, width=0.8, height=1.0),
+            Rect(rid=1, width=0.2, height=1.0),
+        ]
+        st = stack(rects)
+        assert st.width_at(0.5) == 0.8
+        assert st.width_at(1.5) == 0.2
+        assert st.width_at(5.0) == 0.0
+
+    def test_width_at_negative_raises(self):
+        with pytest.raises(ValueError):
+            stack([Rect(rid=0, width=0.5, height=1.0)]).width_at(-0.1)
+
+    def test_cut_heights(self):
+        st = stack([Rect(rid=0, width=0.5, height=2.0)])
+        assert st.cut_heights(4) == [0.0, 0.5, 1.0, 1.5]
+
+
+class TestContains:
+    def test_reflexive(self):
+        st = stack([Rect(rid=0, width=0.5, height=1.0)])
+        assert contains(st, st)
+
+    def test_wider_contains_narrower(self):
+        inner = stack([Rect(rid=0, width=0.3, height=1.0)])
+        outer = stack([Rect(rid=0, width=0.6, height=1.0)])
+        assert contains(outer, inner)
+        assert not contains(inner, outer)
+
+    def test_taller_needed(self):
+        inner = stack([Rect(rid=0, width=0.3, height=2.0)])
+        outer = stack([Rect(rid=0, width=0.6, height=1.0)])
+        assert not contains(outer, inner)
+
+    def test_staircase_dominance(self):
+        inner = stack(
+            [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.25, height=1.0)]
+        )
+        outer = stack(
+            [Rect(rid=0, width=0.6, height=1.2), Rect(rid=1, width=0.3, height=1.0)]
+        )
+        assert contains(outer, inner)
+
+    def test_crossing_profiles_not_contained(self):
+        a = stack([Rect(rid=0, width=0.9, height=0.5), Rect(rid=1, width=0.1, height=1.5)])
+        b = stack([Rect(rid=0, width=0.5, height=2.0)])
+        assert not contains(a, b)
+        assert not contains(b, a)
+
+
+@given(rect_lists(min_size=1, max_size=10))
+def test_widening_rects_preserves_containment(rects):
+    """Rounding widths up (as Lemma 3.2 does) always contains the original."""
+    inner = stack(rects)
+    wider = [r.replace(width=min(1.0, r.width * 1.25)) for r in rects]
+    outer = stack(wider)
+    assert contains(outer, inner)
+
+
+@given(rect_lists(min_size=1, max_size=10))
+def test_stack_area_equals_rect_area(rects):
+    assert math.isclose(stack(rects).area, sum(r.area for r in rects), rel_tol=1e-9)

@@ -1,0 +1,134 @@
+"""Cross-module integration tests: full pipelines spanning several
+subsystems, mirroring how a downstream user composes the library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve, validate_placement
+from repro.core.bounds import combined_lower_bound
+from repro.core.serialize import dumps_instance, loads_instance, placement_to_dict
+from repro.exact.branch_and_bound import solve_exact
+from repro.fpga.device import Device, quantize_instance
+from repro.fpga.schedule import schedule_from_placement
+from repro.fpga.simulator import simulate
+from repro.precedence.bin_packing import (
+    bins_to_placement,
+    precedence_first_fit_decreasing,
+    strip_to_bin_instance,
+)
+from repro.precedence.dc import dc_pack
+from repro.precedence.ggjy_first_fit import ggjy_first_fit
+from repro.precedence.shelf_conversion import is_shelf_solution, to_shelf_solution
+from repro.precedence.shelf_nextfit import shelf_next_fit
+from repro.release.aptas import aptas
+from repro.workloads.dags import uniform_height_precedence_instance
+from repro.workloads.jpeg import jpeg_pipeline_instance
+from repro.workloads.releases import bursty_release_instance
+
+
+class TestPrecedencePipeline:
+    """DC -> device schedule -> simulator, then the Section 2.2 loop:
+    shelf algorithm <-> bin packing <-> shelf conversion."""
+
+    def test_quantize_solve_schedule_simulate(self, rng):
+        from repro.workloads.dags import random_precedence_instance
+
+        K = 8
+        inst = random_precedence_instance(24, 0.1, rng)  # continuous widths
+        device = Device(K=K)
+        q = quantize_instance(inst, K)
+        result = dc_pack(q)
+        validate_placement(q, result.placement)
+        # Transfer to the original (narrower) instance.
+        rebound = {rid: pr for rid, pr in result.placement.items()}
+        from repro.core.placement import Placement
+
+        original = Placement()
+        for rid, pr in rebound.items():
+            original.place(inst.by_id()[rid], pr.x, pr.y)
+        validate_placement(inst, original)
+        # Execute the quantised placement on the device.
+        sched = schedule_from_placement(result.placement, device)
+        sched.validate(dag=inst.dag)
+        rep = simulate(sched)
+        assert math.isclose(rep.makespan, result.height, abs_tol=1e-9)
+
+    def test_uniform_height_triangle(self, rng):
+        """shelf_next_fit, bin-packing round trip and shelf conversion all
+        agree on feasibility and heights relate as proven."""
+        inst = uniform_height_precedence_instance(30, 0.08, rng)
+        # Algorithm F directly.
+        run = shelf_next_fit(inst)
+        validate_placement(inst, run.placement)
+        # Through the bin equivalence with two different bin algorithms.
+        bin_inst = strip_to_bin_instance(inst)
+        for algo in (precedence_first_fit_decreasing, ggjy_first_fit):
+            assignment = algo(bin_inst)
+            assignment.validate(bin_inst)
+            placement = bins_to_placement(inst, assignment)
+            validate_placement(inst, placement)
+            assert is_shelf_solution(placement, 1.0)
+        # Slide-down conversion of F's own output is a no-op height-wise.
+        converted = to_shelf_solution(inst, run.placement)
+        assert converted.height <= run.placement.height + 1e-9
+
+    def test_exact_certifies_dc_on_small_jpeg(self):
+        dev = Device(K=4)
+        inst = jpeg_pipeline_instance(2, dev)
+        dc_h = dc_pack(inst).height
+        exact = solve_exact(inst, K=4, max_nodes=1_500_000)
+        validate_placement(inst, exact.placement)
+        assert exact.height <= dc_h + 1e-9
+        assert dc_h <= (2 + math.log2(len(inst) + 1)) * exact.height + 1e-7
+
+
+class TestReleasePipeline:
+    def test_aptas_to_device(self, rng):
+        K = 4
+        inst = bursty_release_instance(20, K, rng, n_bursts=3)
+        res = aptas(inst, eps=1.0)
+        validate_placement(inst, res.placement)
+        sched = schedule_from_placement(res.placement, Device(K=K))
+        sched.validate(releases={r.rid: r.release for r in inst.rects})
+        rep = simulate(sched)
+        assert math.isclose(rep.makespan, res.height, abs_tol=1e-9)
+
+    def test_exact_certifies_aptas_on_tiny_instance(self, rng):
+        K = 3
+        inst = bursty_release_instance(6, K, rng, n_bursts=2)
+        res = aptas(inst, eps=1.0)
+        exact = solve_exact(inst, K=K, max_nodes=1_000_000)
+        assert exact.height <= res.height + 1e-9
+
+
+class TestSerializationPipeline:
+    def test_json_round_trip_preserves_solution_quality(self, rng):
+        from repro.workloads.dags import random_precedence_instance
+
+        inst = random_precedence_instance(15, 0.1, rng)
+        text = dumps_instance(inst)
+        restored = loads_instance(text)
+        h1 = solve(inst).height
+        h2 = solve(restored).height
+        assert math.isclose(h1, h2)
+
+    def test_solve_registry_matches_direct_calls(self, rng):
+        from repro.workloads.dags import random_precedence_instance
+
+        inst = random_precedence_instance(15, 0.1, rng)
+        assert math.isclose(solve(inst, "dc").height, dc_pack(inst).height)
+
+
+class TestLowerBoundConsistency:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_algorithm_respects_every_bound(self, seed):
+        from repro.workloads.dags import random_precedence_instance
+
+        rng = np.random.default_rng(seed)
+        inst = random_precedence_instance(18, 0.1, rng)
+        lb = combined_lower_bound(inst)
+        for algo in ("dc", "list_schedule"):
+            h = solve(inst, algo).height
+            assert h >= lb - 1e-9

@@ -1,0 +1,102 @@
+"""Unit and property tests for the skyline bottom-left packers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.instance import ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.packing.bottom_left import bottom_left, bottom_left_release
+
+from .conftest import rect_lists
+
+
+class TestBottomLeft:
+    def test_empty(self):
+        assert bottom_left([]).extent == 0.0
+
+    def test_perfect_fit(self):
+        rs = [
+            Rect(rid=0, width=0.5, height=1.0),
+            Rect(rid=1, width=0.5, height=1.0),
+        ]
+        assert math.isclose(bottom_left(rs).extent, 1.0)
+
+    def test_fills_holes_unlike_nfdh(self):
+        # A tall tower on the left; BL should tuck short wide pieces beside it.
+        rs = [
+            Rect(rid=0, width=0.4, height=2.0),
+            Rect(rid=1, width=0.6, height=1.0),
+            Rect(rid=2, width=0.6, height=1.0),
+        ]
+        result = bottom_left(rs)
+        assert math.isclose(result.extent, 2.0)
+
+    def test_custom_order(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=2.0)]
+        result = bottom_left(rs, order=lambda r: str(r.rid))
+        # id order: rect 0 first at (0,0), rect 1 beside it.
+        assert result.placement[0].x == 0.0
+        assert result.placement[1].x == 0.5
+
+    def test_valid(self, rng):
+        from repro.workloads.random_rects import powerlaw_rects
+
+        rects = powerlaw_rects(50, rng)
+        result = bottom_left(rects)
+        validate_placement(StripPackingInstance(rects), result.placement)
+
+
+class TestBottomLeftRelease:
+    def test_empty(self):
+        assert bottom_left_release([]).extent == 0.0
+
+    def test_release_respected(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0, release=2.0)]
+        result = bottom_left_release(rs)
+        assert result.placement[0].y >= 2.0
+
+    def test_no_releases_behaves_like_packing(self):
+        rs = [Rect(rid=i, width=0.5, height=1.0) for i in range(4)]
+        result = bottom_left_release(rs)
+        assert math.isclose(result.placement.height, 2.0)
+
+    def test_valid_with_releases(self, rng):
+        from repro.workloads.releases import poisson_release_instance
+
+        inst = poisson_release_instance(30, 5, rng, rate=2.0)
+        result = bottom_left_release(inst.rects)
+        validate_placement(inst, result.placement)
+
+
+@given(rect_lists(min_size=1, max_size=16, max_h=2.0))
+def test_bottom_left_valid_and_bounded(rects):
+    inst = StripPackingInstance(rects)
+    result = bottom_left(rects)
+    validate_placement(inst, result.placement)
+    # Trivial upper bound: the vertical stack.
+    assert result.extent <= sum(r.height for r in rects) + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.floats(min_value=0.1, max_value=1.0),
+            st.floats(min_value=0.0, max_value=3.0),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_bottom_left_release_valid(triples):
+    rects = [
+        Rect(rid=i, width=c / 4, height=h, release=r)
+        for i, (c, h, r) in enumerate(triples)
+    ]
+    inst = ReleaseInstance(rects, K=4)
+    result = bottom_left_release(rects)
+    validate_placement(inst, result.placement)

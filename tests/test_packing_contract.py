@@ -1,0 +1,65 @@
+"""Tests of the subroutine-A contract machinery (repro.packing.base)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.placement import Placement
+from repro.core.rectangle import Rect
+from repro.packing.base import PackResult, as_subroutine, subroutine_a_bound
+from repro.packing.nfdh import nfdh
+
+from .conftest import rect_lists
+
+
+class TestBound:
+    def test_empty(self):
+        assert subroutine_a_bound([]) == 0.0
+
+    def test_formula(self):
+        rs = [Rect(rid=0, width=0.5, height=2.0)]
+        assert subroutine_a_bound(rs) == 2.0 * 1.0 + 2.0
+
+
+class TestWrapper:
+    def test_accepts_conforming_packer(self):
+        wrapped = as_subroutine(nfdh, check_contract=True)
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.75, height=0.5)]
+        result = wrapped(rs, y=2.0)
+        assert result.placement.base == 2.0
+
+    def test_rejects_wrong_base(self):
+        def bad(rects, y=0.0):
+            p = Placement()
+            for r in rects:
+                p.place(r, 0.0, y + 1.0)  # starts too high
+            return PackResult(p, 1.0)
+
+        wrapped = as_subroutine(bad)
+        with pytest.raises(AssertionError, match="start packing"):
+            wrapped([Rect(rid=0, width=0.5, height=1.0)], y=0.0)
+
+    def test_rejects_contract_violation(self):
+        def sparse(rects, y=0.0):
+            # Stack everything with big gaps: violates 2*AREA + hmax badly.
+            p = Placement()
+            cur = y
+            for r in rects:
+                p.place(r, 0.0, cur)
+                cur += r.height * 10.0
+            # report correct extent but ensure base == y by construction
+            return PackResult(p, p.extent())
+
+        wrapped = as_subroutine(sparse, check_contract=True)
+        rs = [Rect(rid=i, width=0.1, height=1.0) for i in range(4)]
+        with pytest.raises(AssertionError, match="contract"):
+            wrapped(rs, y=0.0)
+
+    def test_empty_input_passthrough(self):
+        wrapped = as_subroutine(nfdh, check_contract=True)
+        assert wrapped([], y=5.0).extent == 0.0
+
+
+@given(rect_lists(min_size=1, max_size=16, max_h=2.0))
+def test_nfdh_passes_contract_check_under_hypothesis(rects):
+    wrapped = as_subroutine(nfdh, check_contract=True)
+    wrapped(rects, y=0.0)  # must not raise

@@ -1,0 +1,87 @@
+"""Tests for the no-release fractional LP and plain APTAS wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.exact.branch_and_bound import solve_exact
+from repro.packing.fractional import aptas_plain, fractional_strip_height
+from repro.packing.nfdh import nfdh
+
+from .conftest import columnar_rect_lists
+
+
+def crects(specs, K=4):
+    return [Rect(rid=i, width=c / K, height=h) for i, (c, h) in enumerate(specs)]
+
+
+class TestFractionalHeight:
+    def test_single_full_width(self):
+        assert math.isclose(fractional_strip_height(crects([(4, 1.0)]), 4), 1.0, rel_tol=1e-6)
+
+    def test_parallel_fit(self):
+        rects = crects([(1, 1.0)] * 4)
+        assert math.isclose(fractional_strip_height(rects, 4), 1.0, rel_tol=1e-6)
+
+    def test_equals_area_when_perfectly_divisible(self):
+        # widths 1/2 each: fractional packing can always achieve exactly
+        # the area bound by slicing.
+        rects = crects([(2, 0.7), (2, 0.4), (2, 0.9)], K=4)
+        area = sum(r.area for r in rects)
+        assert math.isclose(fractional_strip_height(rects, 4), area, rel_tol=1e-6)
+
+    def test_rejects_release_times(self):
+        rects = [Rect(rid=0, width=0.5, height=1.0, release=1.0)]
+        with pytest.raises(InvalidInstanceError):
+            fractional_strip_height(rects, 2)
+
+    def test_lower_bounds_every_packer(self, rng):
+        from repro.workloads.random_rects import columnar_rects
+
+        rects = columnar_rects(15, 4, rng)
+        frac = fractional_strip_height(rects, 4)
+        assert nfdh(rects).extent >= frac - 1e-6
+
+    def test_lower_bounds_exact(self, rng):
+        from repro.workloads.random_rects import columnar_rects
+
+        rects = columnar_rects(6, 3, rng)
+        inst = StripPackingInstance(rects)
+        frac = fractional_strip_height(rects, 3)
+        opt = solve_exact(inst, K=3).height
+        assert opt >= frac - 1e-6
+
+
+class TestAptasPlain:
+    def test_valid_and_bounded(self, rng):
+        from repro.workloads.random_rects import columnar_rects
+
+        rects = columnar_rects(20, 4, rng)
+        inst = StripPackingInstance(rects)
+        p = aptas_plain(inst, K=4, eps=1.0)
+        validate_placement(inst, p)
+        frac = fractional_strip_height(rects, 4)
+        # Theorem 3.5 with R = 0-ish: one phase, additive <= occurrences.
+        assert p.height >= frac - 1e-6
+
+    def test_heights_above_one_rejected(self):
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=2.0)])
+        with pytest.raises(InvalidInstanceError):
+            aptas_plain(inst, K=2, eps=1.0)
+
+
+@settings(deadline=None, max_examples=20)
+@given(columnar_rect_lists(K=3, min_size=1, max_size=8))
+def test_fractional_sandwich(rects):
+    """area <= OPT_f <= OPT <= NFDH for columnar instances."""
+    inst = StripPackingInstance(rects)
+    frac = fractional_strip_height(rects, 3)
+    area = sum(r.area for r in rects)
+    assert frac >= area - 1e-6
+    assert nfdh(rects).extent >= frac - 1e-6

@@ -1,0 +1,109 @@
+"""Unit and property tests for NFDH / FFDH / BFDH."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.instance import StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect, max_height, total_area
+from repro.packing.base import subroutine_a_bound
+from repro.packing.bfdh import bfdh
+from repro.packing.ffdh import ffdh
+from repro.packing.nfdh import nfdh
+
+from .conftest import rect_lists
+
+ALGOS = [nfdh, ffdh, bfdh]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestLevelAlgorithms:
+    def test_empty(self, algo):
+        result = algo([])
+        assert result.extent == 0.0 and len(result.placement) == 0
+
+    def test_single_rect(self, algo):
+        r = Rect(rid=0, width=0.5, height=2.0)
+        result = algo([r])
+        assert result.extent == 2.0
+        assert result.placement[0].x == 0.0 and result.placement[0].y == 0.0
+
+    def test_two_side_by_side(self, algo):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        result = algo(rs)
+        assert math.isclose(result.extent, 1.0)
+
+    def test_two_stacked(self, algo):
+        rs = [Rect(rid=0, width=0.8, height=1.0), Rect(rid=1, width=0.8, height=0.5)]
+        result = algo(rs)
+        assert math.isclose(result.extent, 1.5)
+
+    def test_starts_at_y(self, algo):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        result = algo(rs, y=3.0)
+        assert result.placement[0].y == 3.0
+
+    def test_valid_placement(self, algo, rng):
+        from repro.workloads.random_rects import uniform_rects
+
+        rects = uniform_rects(40, rng)
+        result = algo(rects)
+        validate_placement(StripPackingInstance(rects), result.placement)
+
+    def test_extent_matches_placement(self, algo, rng):
+        from repro.workloads.random_rects import uniform_rects
+
+        rects = uniform_rects(25, rng)
+        result = algo(rects)
+        assert math.isclose(result.extent, result.placement.extent(), abs_tol=1e-9)
+
+
+class TestNFDHSpecific:
+    def test_level_heights_non_increasing(self, rng):
+        from repro.workloads.random_rects import uniform_rects
+
+        rects = uniform_rects(30, rng)
+        result = nfdh(rects)
+        # First rect of each level defines the level height; collect by y.
+        by_y: dict[float, float] = {}
+        for pr in result.placement:
+            by_y.setdefault(pr.y, 0.0)
+            by_y[pr.y] = max(by_y[pr.y], pr.rect.height)
+        levels = [by_y[y] for y in sorted(by_y)]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_nfdh_worse_or_equal_to_ffdh(self, rng):
+        from repro.workloads.random_rects import uniform_rects
+
+        rects = uniform_rects(60, rng)
+        assert ffdh(rects).extent <= nfdh(rects).extent + 1e-9
+
+
+@given(rect_lists(min_size=1, max_size=20, max_h=2.0))
+def test_nfdh_subroutine_a_guarantee(rects):
+    """The classical bound: NFDH(S) <= 2*AREA(S) + hmax."""
+    result = nfdh(rects)
+    assert result.extent <= subroutine_a_bound(rects) + 1e-9
+
+
+@given(rect_lists(min_size=1, max_size=20, max_h=2.0))
+def test_ffdh_also_meets_contract_bound(rects):
+    """FFDH never uses more levels than NFDH, so it inherits the bound."""
+    result = ffdh(rects)
+    assert result.extent <= subroutine_a_bound(rects) + 1e-9
+
+
+@given(rect_lists(min_size=1, max_size=18, max_h=2.0))
+def test_all_level_algorithms_produce_valid_placements(rects):
+    inst = StripPackingInstance(rects)
+    for algo in ALGOS:
+        validate_placement(inst, algo(rects).placement)
+
+
+@given(rect_lists(min_size=1, max_size=18, max_h=2.0))
+def test_extent_at_least_lower_bounds(rects):
+    lower = max(total_area(rects), max_height(rects))
+    for algo in ALGOS:
+        assert algo(rects).extent >= lower - 1e-9

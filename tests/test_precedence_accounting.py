@@ -1,0 +1,61 @@
+"""Tests for the Theorem 2.6 red/green shelf accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import critical_path_bound
+from repro.core.instance import PrecedenceInstance
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.precedence.accounting import color_shelves, verify_accounting
+from repro.precedence.shelf_nextfit import shelf_next_fit
+
+
+def unit_instance(widths, edges=()):
+    rects = [Rect(rid=i, width=w, height=1.0) for i, w in enumerate(widths)]
+    return PrecedenceInstance(rects, TaskDAG(range(len(widths)), edges))
+
+
+class TestColoring:
+    def test_empty_run(self):
+        run = shelf_next_fit(unit_instance([]))
+        coloring = color_shelves(run)
+        assert coloring.colors == ()
+
+    def test_two_dense_shelves_red(self):
+        # widths 0.6 + 0.6: two shelves, combined load 1.2 >= 1 -> both red.
+        run = shelf_next_fit(unit_instance([0.6, 0.6]))
+        coloring = color_shelves(run)
+        assert coloring.colors == ("red", "red")
+
+    def test_sparse_chain_green(self):
+        inst = unit_instance([0.1, 0.1, 0.1], edges=[(0, 1), (1, 2)])
+        run = shelf_next_fit(inst)
+        coloring = color_shelves(run)
+        assert set(coloring.colors) == {"green"}
+
+    def test_counts(self):
+        run = shelf_next_fit(unit_instance([0.6, 0.6]))
+        c = color_shelves(run)
+        assert c.n_red == 2 and c.n_green == 0
+
+
+class TestVerifyAccounting:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_proof_inequalities_on_random_runs(self, seed):
+        from repro.workloads.dags import uniform_height_precedence_instance
+
+        rng = np.random.default_rng(seed)
+        inst = uniform_height_precedence_instance(32, 0.1, rng)
+        run = shelf_next_fit(inst)
+        area = sum(r.width for r in inst.rects)  # in shelf-height units
+        stats = verify_accounting(run, area=area, opt_lower=critical_path_bound(inst))
+        assert stats["total"] == stats["red"] + stats["green"]
+        # Theorem 2.6 end-to-end: height <= 2*AREA + OPT (in shelves).
+        assert stats["total"] <= 2 * area + critical_path_bound(inst) + 1e-9
+
+    def test_green_shelves_are_skips(self):
+        inst = unit_instance([0.1, 0.1], edges=[(0, 1)])
+        run = shelf_next_fit(inst)
+        stats = verify_accounting(run, area=0.2, opt_lower=2.0)
+        assert stats["green"] <= stats["skips"]

@@ -1,0 +1,136 @@
+"""Tests for precedence-constrained bin packing and the strip equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.precedence.bin_packing import (
+    BinAssignment,
+    BinPackingInstance,
+    bins_to_placement,
+    chain_lower_bound,
+    precedence_first_fit_decreasing,
+    precedence_next_fit,
+    size_lower_bound,
+    strip_to_bin_instance,
+)
+
+from .conftest import dags_over
+
+
+def bp(sizes, edges=()):
+    return BinPackingInstance(
+        sizes=dict(enumerate(sizes)), dag=TaskDAG(range(len(sizes)), edges)
+    )
+
+
+class TestInstanceValidation:
+    def test_bad_size(self):
+        with pytest.raises(InvalidInstanceError):
+            bp([1.5])
+
+    def test_mismatched_universe(self):
+        with pytest.raises(InvalidInstanceError):
+            BinPackingInstance(sizes={0: 0.5}, dag=TaskDAG.empty([0, 1]))
+
+
+class TestAssignmentValidation:
+    def test_valid(self):
+        inst = bp([0.5, 0.5, 0.5])
+        a = BinAssignment(bins=[[0, 1], [2]])
+        a.validate(inst)
+
+    def test_overfull(self):
+        inst = bp([0.7, 0.7])
+        with pytest.raises(InvalidInstanceError, match="overfull"):
+            BinAssignment(bins=[[0, 1]]).validate(inst)
+
+    def test_unassigned(self):
+        inst = bp([0.5, 0.5])
+        with pytest.raises(InvalidInstanceError, match="unassigned"):
+            BinAssignment(bins=[[0]]).validate(inst)
+
+    def test_duplicate(self):
+        inst = bp([0.5])
+        with pytest.raises(InvalidInstanceError, match="twice"):
+            BinAssignment(bins=[[0], [0]]).validate(inst)
+
+    def test_precedence_strictly_earlier(self):
+        inst = bp([0.4, 0.4], edges=[(0, 1)])
+        with pytest.raises(InvalidInstanceError, match="precedence"):
+            BinAssignment(bins=[[0, 1]]).validate(inst)
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algo", [precedence_next_fit, precedence_first_fit_decreasing])
+    def test_no_precedence_simple(self, algo):
+        inst = bp([0.5, 0.5, 0.5, 0.5])
+        a = algo(inst)
+        a.validate(inst)
+        assert a.n_bins == 2
+
+    @pytest.mark.parametrize("algo", [precedence_next_fit, precedence_first_fit_decreasing])
+    def test_chain_one_per_bin(self, algo):
+        inst = bp([0.1, 0.1, 0.1], edges=[(0, 1), (1, 2)])
+        a = algo(inst)
+        a.validate(inst)
+        assert a.n_bins == 3
+
+    def test_ffd_no_worse_than_nf_on_random(self, rng):
+        from repro.dag.generators import random_order_dag
+
+        n = 30
+        sizes = dict(enumerate(rng.uniform(0.05, 0.9, size=n)))
+        dag = random_order_dag(n, 0.05, rng)
+        inst = BinPackingInstance(sizes=sizes, dag=dag)
+        nf = precedence_next_fit(inst)
+        ffd = precedence_first_fit_decreasing(inst)
+        nf.validate(inst)
+        ffd.validate(inst)
+        assert ffd.n_bins <= nf.n_bins + 2  # FFD can rarely lose a bin or two to ordering
+
+    def test_lower_bounds(self):
+        inst = bp([0.6, 0.6, 0.6], edges=[(0, 1)])
+        assert size_lower_bound(inst) == 2
+        assert chain_lower_bound(inst) == 2
+
+
+class TestStripEquivalence:
+    def test_strip_to_bin_requires_uniform(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=2.0)]
+        inst = PrecedenceInstance.without_constraints(rs)
+        with pytest.raises(InvalidInstanceError):
+            strip_to_bin_instance(inst)
+
+    def test_round_trip(self, rng):
+        from repro.workloads.dags import uniform_height_precedence_instance
+
+        inst = uniform_height_precedence_instance(25, 0.08, rng)
+        bin_inst = strip_to_bin_instance(inst)
+        a = precedence_first_fit_decreasing(bin_inst)
+        a.validate(bin_inst)
+        placement = bins_to_placement(inst, a)
+        validate_placement(inst, placement)
+        assert math.isclose(placement.height, a.n_bins * 1.0)
+
+
+@settings(deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=14),
+    st.data(),
+)
+def test_both_algorithms_always_feasible(sizes, data):
+    dag = data.draw(dags_over(len(sizes)))
+    inst = BinPackingInstance(sizes=dict(enumerate(sizes)), dag=dag)
+    for algo in (precedence_next_fit, precedence_first_fit_decreasing):
+        a = algo(inst)
+        a.validate(inst)
+        assert a.n_bins >= max(size_lower_bound(inst), chain_lower_bound(inst)) - 0

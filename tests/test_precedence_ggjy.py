@@ -1,0 +1,95 @@
+"""Tests for GGJY First Fit precedence bin packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import TaskDAG
+from repro.precedence.bin_packing import (
+    BinPackingInstance,
+    chain_lower_bound,
+    precedence_next_fit,
+    size_lower_bound,
+)
+from repro.precedence.ggjy_first_fit import ggjy_first_fit
+
+from .conftest import dags_over
+
+
+def bp(sizes, edges=()):
+    return BinPackingInstance(
+        sizes=dict(enumerate(sizes)), dag=TaskDAG(range(len(sizes)), edges)
+    )
+
+
+class TestGGJYFirstFit:
+    def test_no_precedence_ffd_like(self):
+        a = ggjy_first_fit(bp([0.6, 0.4, 0.6, 0.4]))
+        a.validate(bp([0.6, 0.4, 0.6, 0.4]))
+        assert a.n_bins == 2
+
+    def test_chain(self):
+        inst = bp([0.1, 0.1, 0.1], edges=[(0, 1), (1, 2)])
+        a = ggjy_first_fit(inst)
+        a.validate(inst)
+        assert a.n_bins == 3
+
+    def test_backfill_beats_level_algorithms(self):
+        """First Fit can put a late-ready small task into an old bin; the
+        level algorithms cannot."""
+        # 0 -> 1; 2 independent and small.  NF: bin0={0, 2?}...
+        # Construct: bin0 gets 0 (0.9); 1 must go later; 2 (0.05) becomes
+        # ready late in NF terms but FF backfills bin 0.
+        inst = bp([0.9, 0.9, 0.05], edges=[(0, 1), (0, 2)])
+        ff = ggjy_first_fit(inst)
+        ff.validate(inst)
+        assert ff.n_bins == 2  # bin0: {0}, bin1: {1, 2}
+
+    def test_strictly_later_than_predecessors(self):
+        inst = bp([0.05, 0.05, 0.05], edges=[(0, 2), (1, 2)])
+        a = ggjy_first_fit(inst)
+        a.validate(inst)
+        where = a.bin_of()
+        assert where[2] > max(where[0], where[1])
+
+    @pytest.mark.parametrize("order", ["topological", "decreasing"])
+    def test_orders_both_feasible(self, order, rng):
+        from repro.dag.generators import random_order_dag
+
+        n = 25
+        sizes = dict(enumerate(rng.uniform(0.05, 0.9, size=n)))
+        dag = random_order_dag(n, 0.08, rng)
+        inst = BinPackingInstance(sizes=sizes, dag=dag)
+        a = ggjy_first_fit(inst, order=order)
+        a.validate(inst)
+
+    def test_never_worse_than_next_fit_plus_slack(self, rng):
+        from repro.dag.generators import random_order_dag
+
+        worse = 0
+        for seed in range(6):
+            r = np.random.default_rng(seed)
+            n = 30
+            sizes = dict(enumerate(r.uniform(0.05, 0.9, size=n)))
+            dag = random_order_dag(n, 0.05, r)
+            inst = BinPackingInstance(sizes=sizes, dag=dag)
+            ff = ggjy_first_fit(inst)
+            nf = precedence_next_fit(inst)
+            ff.validate(inst)
+            if ff.n_bins > nf.n_bins:
+                worse += 1
+        assert worse <= 1  # back-filling should essentially never lose
+
+
+@settings(deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=14),
+    st.data(),
+)
+def test_ggjy_always_feasible_and_lower_bounded(sizes, data):
+    dag = data.draw(dags_over(len(sizes)))
+    inst = BinPackingInstance(sizes=dict(enumerate(sizes)), dag=dag)
+    a = ggjy_first_fit(inst)
+    a.validate(inst)
+    assert a.n_bins >= max(size_lower_bound(inst), chain_lower_bound(inst))

@@ -1,0 +1,69 @@
+"""Tests for the greedy list-scheduling baseline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.instance import PrecedenceInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.precedence.list_schedule import list_schedule
+
+from .conftest import precedence_instances
+
+
+class TestListSchedule:
+    def test_empty(self):
+        inst = PrecedenceInstance.without_constraints([])
+        assert list_schedule(inst).height == 0.0
+
+    def test_antichain_parallel(self):
+        rs = [Rect(rid=i, width=0.25, height=1.0) for i in range(4)]
+        inst = PrecedenceInstance.without_constraints(rs)
+        p = list_schedule(inst)
+        assert math.isclose(p.height, 1.0)
+
+    def test_chain_serial(self):
+        rs = [Rect(rid=i, width=0.1, height=1.0) for i in range(4)]
+        inst = PrecedenceInstance(rs, TaskDAG.chain(list(range(4))))
+        p = list_schedule(inst)
+        validate_placement(inst, p)
+        assert math.isclose(p.height, 4.0)
+
+    def test_fills_gaps_beside_tall_rect(self):
+        rs = [
+            Rect(rid=0, width=0.5, height=3.0),
+            Rect(rid=1, width=0.5, height=1.0),
+            Rect(rid=2, width=0.5, height=1.0),
+            Rect(rid=3, width=0.5, height=1.0),
+        ]
+        inst = PrecedenceInstance(rs, TaskDAG([0, 1, 2, 3], [(1, 2), (2, 3)]))
+        p = list_schedule(inst)
+        validate_placement(inst, p)
+        # Chain 1->2->3 runs beside the tall rect 0.
+        assert math.isclose(p.height, 3.0)
+
+    def test_respects_earliest_start(self):
+        rs = [Rect(rid=0, width=1.0, height=2.0), Rect(rid=1, width=0.1, height=0.5)]
+        inst = PrecedenceInstance(rs, TaskDAG([0, 1], [(0, 1)]))
+        p = list_schedule(inst)
+        assert p[1].y >= 2.0
+
+    def test_valid_on_random(self, rng):
+        from repro.workloads.dags import layered_precedence_instance
+
+        inst = layered_precedence_instance(40, 6, 0.2, rng)
+        p = list_schedule(inst)
+        validate_placement(inst, p)
+
+
+@settings(deadline=None)
+@given(precedence_instances(max_size=12))
+def test_list_schedule_valid_under_hypothesis(inst):
+    p = list_schedule(inst)
+    validate_placement(inst, p)
+    # Never worse than full serialisation.
+    assert p.height <= sum(r.height for r in inst.rects) + 1e-9

@@ -1,0 +1,130 @@
+"""Tests for the slide-down shelf conversion (Section 2.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, StripPackingInstance
+from repro.core.placement import Placement, validate_placement
+from repro.core.rectangle import Rect
+from repro.precedence.shelf_conversion import is_shelf_solution, shelf_index, to_shelf_solution
+
+
+class TestShelfIndex:
+    def test_aligned(self):
+        assert shelf_index(0.0, 1.0) == 1
+        assert shelf_index(2.0, 1.0) == 3
+
+    def test_spanning(self):
+        assert shelf_index(0.5, 1.0) is None
+
+    def test_non_unit_height(self):
+        assert shelf_index(1.0, 0.5) == 3
+        assert shelf_index(0.75, 0.5) is None
+
+
+class TestConversion:
+    def test_requires_uniform(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=2.0)]
+        inst = StripPackingInstance(rs)
+        with pytest.raises(InvalidInstanceError):
+            to_shelf_solution(inst, Placement())
+
+    def test_already_shelf_noop(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = Placement()
+        p.place(rs[0], 0.0, 1.0)
+        out = to_shelf_solution(inst, p)
+        assert out[0].y == 1.0
+
+    def test_single_spanning_rect_slides_to_floor(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = Placement()
+        p.place(rs[0], 0.0, 1.5)
+        out = to_shelf_solution(inst, p, paranoid=True)
+        assert out[0].y == 1.0
+
+    def test_stacked_spanning_rects(self):
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = StripPackingInstance(rs)
+        p = Placement()
+        p.place(rs[0], 0.0, 0.5)
+        p.place(rs[1], 0.0, 1.5)
+        out = to_shelf_solution(inst, p, paranoid=True)
+        assert out[0].y == 0.0 and out[1].y == 1.0
+
+    def test_height_never_increases(self):
+        rs = [Rect(rid=i, width=0.3, height=1.0) for i in range(3)]
+        inst = StripPackingInstance(rs)
+        p = Placement()
+        p.place(rs[0], 0.0, 0.25)
+        p.place(rs[1], 0.3, 0.5)
+        p.place(rs[2], 0.6, 0.75)
+        out = to_shelf_solution(inst, p, paranoid=True)
+        assert out.height <= p.height + 1e-9
+        assert is_shelf_solution(out, 1.0)
+
+    def test_preserves_precedence(self):
+        from repro.dag.graph import TaskDAG
+
+        rs = [Rect(rid=0, width=0.5, height=1.0), Rect(rid=1, width=0.5, height=1.0)]
+        inst = PrecedenceInstance(rs, TaskDAG([0, 1], [(0, 1)]))
+        p = Placement()
+        p.place(rs[0], 0.0, 0.5)
+        p.place(rs[1], 0.0, 1.7)
+        out = to_shelf_solution(inst, p, paranoid=True)
+        validate_placement(inst, out)
+        assert is_shelf_solution(out, 1.0)
+
+
+def _random_valid_uniform_placement(n, rng):
+    """Random valid unit-height placement built by a randomized skyline drop
+    with random float bases (often spanning shelves)."""
+    rects = [
+        Rect(rid=i, width=float(rng.uniform(0.1, 0.6)), height=1.0) for i in range(n)
+    ]
+    placement = Placement()
+    placed = []
+    for r in rects:
+        # try random x positions until one fits at a random lifted y
+        for _ in range(200):
+            x = float(rng.uniform(0.0, 1.0 - r.width))
+            y_min = 0.0
+            for q in placed:
+                if x < q[1] + q[0].width and q[1] < x + r.width:
+                    y_min = max(y_min, q[2] + q[0].height)
+            y = y_min + float(rng.uniform(0.0, 0.8))
+            ok = True
+            for q in placed:
+                if (
+                    x < q[1] + q[0].width
+                    and q[1] < x + r.width
+                    and y < q[2] + q[0].height
+                    and q[2] < y + r.height
+                ):
+                    ok = False
+                    break
+            if ok:
+                placement.place(r, x, y)
+                placed.append((r, x, y))
+                break
+        else:  # pragma: no cover
+            raise AssertionError("random placement generation failed")
+    return StripPackingInstance(rects), placement
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_conversion_on_random_valid_placements(seed):
+    rng = np.random.default_rng(seed)
+    inst, p = _random_valid_uniform_placement(12, rng)
+    validate_placement(inst, p)
+    out = to_shelf_solution(inst, p, paranoid=True)
+    validate_placement(inst, out)
+    assert is_shelf_solution(out, 1.0)
+    assert out.height <= p.height + 1e-9

@@ -1,0 +1,134 @@
+"""Library-wide property-based suite.
+
+Hypothesis-driven invariants that cut across modules: every algorithm on
+every generated instance produces a placement that the shared validator
+accepts and whose height respects the appropriate bounds.  These are the
+"no algorithm self-certifies" checks promised in DESIGN.md.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    area_bound,
+    combined_lower_bound,
+    critical_path_bound,
+    dc_guarantee,
+)
+from repro.core.instance import PrecedenceInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.core.serialize import dumps_instance, loads_instance
+from repro.packing import bfdh, bottom_left, ffdh, nfdh
+from repro.precedence.dc import dc_pack
+from repro.precedence.list_schedule import list_schedule
+
+from .conftest import precedence_instances, rect_lists, release_instances
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=60, **COMMON)
+@given(rect_lists(min_size=1, max_size=20, max_h=3.0))
+def test_every_plain_packer_is_valid_and_sandwiched(rects):
+    """lower bound <= packer <= full serialisation, for all four packers."""
+    inst = StripPackingInstance(rects)
+    lb = combined_lower_bound(inst)
+    serial = sum(r.height for r in rects)
+    for packer in (nfdh, ffdh, bfdh, bottom_left):
+        result = packer(rects)
+        validate_placement(inst, result.placement)
+        assert lb - 1e-9 <= result.extent <= serial + 1e-9
+
+
+@settings(max_examples=40, **COMMON)
+@given(precedence_instances(max_size=12, max_h=2.0))
+def test_dc_and_list_schedule_agree_on_feasibility(inst):
+    for solver in (lambda i: dc_pack(i).placement, list_schedule):
+        placement = solver(inst)
+        validate_placement(inst, placement)
+
+
+@settings(max_examples=40, **COMMON)
+@given(precedence_instances(max_size=12, max_h=2.0))
+def test_dc_beats_full_serialisation_and_obeys_theorem(inst):
+    result = dc_pack(inst)
+    serial = sum(r.height for r in inst.rects)
+    assert result.height <= serial + 1e-9
+    bound = dc_guarantee(len(inst), area_bound(inst), critical_path_bound(inst))
+    assert result.height <= bound + 1e-7
+
+
+@settings(max_examples=40, **COMMON)
+@given(precedence_instances(max_size=10, max_h=2.0))
+def test_serialization_round_trip_identity(inst):
+    restored = loads_instance(dumps_instance(inst))
+    assert isinstance(restored, PrecedenceInstance)
+    assert [r.rid for r in restored.rects] == [r.rid for r in inst.rects]
+    assert set(restored.dag.edges()) == set(inst.dag.edges())
+    assert all(
+        a.width == b.width and a.height == b.height and a.release == b.release
+        for a, b in zip(inst.rects, restored.rects)
+    )
+
+
+@settings(max_examples=25, **COMMON)
+@given(release_instances(K=4, max_size=10))
+def test_release_heuristics_dominate_fractional_bound(inst):
+    """Both heuristics produce integral solutions, so they sit at or above
+    the certified fractional optimum."""
+    from repro.release.heuristics import release_bottom_left, release_shelf_pack
+    from repro.release.lp import optimal_fractional_height
+
+    frac = optimal_fractional_height(inst)
+    for heur in (release_shelf_pack, release_bottom_left):
+        p = heur(inst)
+        validate_placement(inst, p)
+        assert p.height >= frac - 1e-6
+
+
+@settings(max_examples=20, **COMMON)
+@given(release_instances(K=3, max_size=7))
+def test_aptas_full_lemma_chain(inst):
+    """Every inequality in Algorithm 2's analysis, end to end, per run."""
+    from repro.release.aptas import aptas
+    from repro.release.lp import optimal_fractional_height
+
+    eps = 1.2
+    res = aptas(inst, eps=eps)
+    validate_placement(inst, res.placement)
+    # Lemma 3.1 inequality.
+    base = optimal_fractional_height(inst)
+    rounded = optimal_fractional_height(res.rounded)
+    assert rounded <= (1 + eps / 3) * base + 1e-6
+    # Lemma 3.2 inequality (with realised parameters).
+    grouped = res.fractional.height
+    n_classes = len({r.release for r in res.rounded.rects})
+    lemma_32 = 1 + inst.K * n_classes / res.W
+    assert grouped <= lemma_32 * rounded + 1e-6
+    # Lemma 3.4 inequality.
+    assert res.integral.height <= grouped + res.integral.n_occurrences + 1e-6
+    # Theorem 3.5 composition.
+    assert res.height <= (1 + eps) * base + res.integral.n_occurrences + 1e-6
+
+
+@settings(max_examples=30, **COMMON)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4), st.floats(min_value=0.05, max_value=1.0)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_exact_is_a_fixpoint_of_itself(specs):
+    """Running exact on its own output cost cannot improve it."""
+    from repro.exact.branch_and_bound import solve_exact
+
+    rects = [Rect(rid=i, width=c / 4, height=h) for i, (c, h) in enumerate(specs)]
+    inst = StripPackingInstance(rects)
+    first = solve_exact(inst, K=4, max_nodes=300_000)
+    second = solve_exact(inst, K=4, upper_bound=first.height + 1e-9, max_nodes=300_000)
+    assert math.isclose(first.height, second.height, rel_tol=1e-9)

@@ -1,0 +1,128 @@
+"""End-to-end tests for Algorithm 2 (the APTAS, Theorem 3.5)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.release.aptas import aptas, aptas_parameters
+from repro.release.lp import optimal_fractional_height
+
+from .conftest import release_instances
+
+
+def inst_of(specs, K=4):
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestParameters:
+    def test_faithful_parameters(self):
+        R, W = aptas_parameters(1.0, K=4)
+        # eps' = 1/3, R = 3, W = 3 * 4 * 4 = 48
+        assert R == 3 and W == 48
+
+    def test_eps_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            aptas_parameters(0.0, K=4)
+
+    def test_smaller_eps_larger_budgets(self):
+        R1, W1 = aptas_parameters(1.0, K=4)
+        R2, W2 = aptas_parameters(0.5, K=4)
+        assert R2 >= R1 and W2 >= W1
+
+
+class TestAPTAS:
+    def test_checks_assumptions(self):
+        bad = ReleaseInstance([Rect(rid=0, width=0.5, height=2.0)], K=4)
+        with pytest.raises(InvalidInstanceError):
+            aptas(bad, eps=1.0)
+
+    def test_single_rect(self):
+        inst = inst_of([(4, 1.0, 0.0)])
+        res = aptas(inst, eps=1.0)
+        validate_placement(inst, res.placement)
+        assert res.height >= 1.0 - 1e-9
+
+    def test_all_zero_releases(self):
+        inst = inst_of([(1, 1.0, 0.0)] * 4)
+        res = aptas(inst, eps=1.0)
+        validate_placement(inst, res.placement)
+
+    def test_theorem_3_5_bound(self):
+        """S(R,W) <= (1+eps) * OPT_f(P) + (W+1)(R+1) with the realised
+        occurrence count standing in for the worst-case additive term."""
+        rng = np.random.default_rng(11)
+        specs = [
+            (int(rng.integers(1, 5)), float(rng.uniform(0.2, 1.0)),
+             float(rng.uniform(0.0, 4.0)))
+            for _ in range(30)
+        ]
+        inst = inst_of(specs)
+        eps = 0.9
+        res = aptas(inst, eps=eps)
+        validate_placement(inst, res.placement)
+        opt_f = optimal_fractional_height(inst)
+        assert res.height <= (1 + eps) * opt_f + res.integral.n_occurrences + 1e-6
+        # and the realised occurrences respect Lemma 3.3's cap
+        W_real = len({r.width for r in res.grouping.instance.rects})
+        R_real = len(res.fractional.boundaries)
+        assert res.integral.n_occurrences <= (W_real + 1) * R_real
+
+    def test_intermediate_artifacts_consistent(self):
+        inst = inst_of([(2, 0.5, 0.0), (3, 0.8, 2.0), (1, 0.4, 4.0)])
+        res = aptas(inst, eps=1.0)
+        # rounded releases never below originals
+        by_id = {r.rid: r for r in res.rounded.rects}
+        for r in inst.rects:
+            assert by_id[r.rid].release >= r.release
+        # grouped widths never below rounded widths
+        g_by_id = {r.rid: r for r in res.grouping.instance.rects}
+        for r in res.rounded.rects:
+            assert g_by_id[r.rid].width >= r.width - 1e-12
+        # fractional solution verifies
+        res.fractional.verify()
+
+    def test_groups_per_class_override(self):
+        inst = inst_of([(1, 0.5, 0.0), (2, 0.5, 1.0), (3, 0.5, 2.0)])
+        res = aptas(inst, eps=1.0, groups_per_class=1)
+        validate_placement(inst, res.placement)
+
+    def test_bad_groups_per_class(self):
+        inst = inst_of([(1, 0.5, 0.0)])
+        with pytest.raises(InvalidInstanceError):
+            aptas(inst, eps=1.0, groups_per_class=0)
+
+    def test_quality_improves_with_eps_on_large_instance(self):
+        """Asymptotics: with generous work per phase, smaller eps should not
+        make the solution (relative to OPT_f) worse by much."""
+        rng = np.random.default_rng(42)
+        specs = [
+            (int(rng.integers(1, 4)), float(rng.uniform(0.5, 1.0)),
+             float(rng.choice([0.0, 8.0, 16.0])))
+            for _ in range(80)
+        ]
+        inst = inst_of(specs)
+        res_coarse = aptas(inst, eps=1.5)
+        res_fine = aptas(inst, eps=0.6)
+        for res in (res_coarse, res_fine):
+            validate_placement(inst, res.placement)
+        opt_f = optimal_fractional_height(inst)
+        assert res_fine.height / opt_f <= res_coarse.height / opt_f + 0.5
+
+
+@settings(deadline=None, max_examples=15)
+@given(release_instances(K=3, max_size=8))
+def test_aptas_valid_under_hypothesis(inst):
+    res = aptas(inst, eps=1.2)
+    validate_placement(inst, res.placement)
+    # Height at least the trivial lower bounds.
+    assert res.height >= max(r.release + r.height for r in inst.rects) - 1e-9

@@ -1,0 +1,119 @@
+"""Tests for configuration enumeration (Lemma 3.3 support)."""
+
+import math
+from itertools import combinations_with_replacement
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SolverError
+from repro.release.configurations import enumerate_configurations
+
+
+class TestEnumeration:
+    def test_single_width_full(self):
+        cs = enumerate_configurations([1.0])
+        assert cs.Q == 1
+        assert cs.configs[0].counts == (1,)
+
+    def test_single_width_half(self):
+        cs = enumerate_configurations([0.5])
+        # one or two copies of 0.5
+        assert {c.counts for c in cs.configs} == {(1,), (2,)}
+
+    def test_quarter_width_counts(self):
+        cs = enumerate_configurations([0.25])
+        assert {c.counts for c in cs.configs} == {(1,), (2,), (3,), (4,)}
+
+    def test_two_widths(self):
+        cs = enumerate_configurations([0.5, 0.25])
+        expected = set()
+        for a in range(3):
+            for b in range(5):
+                if a + b >= 1 and 0.5 * a + 0.25 * b <= 1.0 + 1e-9:
+                    expected.add((a, b))
+        assert {c.counts for c in cs.configs} == expected
+
+    def test_widths_sorted_descending(self):
+        cs = enumerate_configurations([0.25, 0.75, 0.5])
+        assert cs.widths == (0.75, 0.5, 0.25)
+
+    def test_total_width_never_exceeds_one(self):
+        cs = enumerate_configurations([0.3, 0.45, 0.7])
+        for c in cs.configs:
+            assert c.total_width <= 1.0 + 1e-9
+
+    def test_include_empty(self):
+        cs = enumerate_configurations([0.5], include_empty=True)
+        assert cs.configs[0].is_empty()
+
+    def test_duplicate_widths_rejected(self):
+        with pytest.raises(SolverError):
+            enumerate_configurations([0.5, 0.5])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SolverError):
+            enumerate_configurations([1.5])
+
+    def test_max_configs_guard(self):
+        widths = [i / 100 for i in range(1, 30)]
+        with pytest.raises(SolverError, match="max_configs"):
+            enumerate_configurations(widths, max_configs=50)
+
+    def test_matrix_shape_and_counts(self):
+        cs = enumerate_configurations([0.5, 0.25])
+        A = cs.matrix
+        assert A.shape == (2, cs.Q)
+        for q, cfg in enumerate(cs.configs):
+            assert tuple(int(v) for v in A[:, q]) == cfg.counts
+
+    def test_config_index(self):
+        cs = enumerate_configurations([0.5, 0.25])
+        q = cs.config_index((1, 2))
+        assert cs.configs[q].counts == (1, 2)
+        with pytest.raises(KeyError):
+            cs.config_index((9, 9))
+
+
+class TestKBound:
+    @pytest.mark.parametrize("K", [2, 3, 4, 5])
+    def test_at_most_K_items_per_config(self, K):
+        """Widths >= 1/K imply configurations hold at most K rectangles."""
+        widths = [c / K for c in range(1, K + 1)]
+        cs = enumerate_configurations(widths)
+        for c in cs.configs:
+            assert c.n_items() <= K
+
+    def test_exhaustive_vs_bruteforce(self):
+        """Cross-check the DFS against brute-force multiset enumeration."""
+        widths = (0.6, 0.35, 0.2)
+        cs = enumerate_configurations(list(widths))
+        brute = set()
+        for size in range(1, 6):
+            for combo in combinations_with_replacement(range(3), size):
+                total = sum(widths[i] for i in combo)
+                if total <= 1.0 + 1e-9:
+                    counts = tuple(combo.count(i) for i in range(3))
+                    brute.add(counts)
+        assert {c.counts for c in cs.configs} == brute
+
+
+@settings(deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=6).map(lambda c: c / 6),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+def test_enumeration_complete_and_feasible(widths):
+    cs = enumerate_configurations(widths)
+    # Every config feasible; every single-width config present.
+    for c in cs.configs:
+        assert c.total_width <= 1.0 + 1e-9 and c.n_items() >= 1
+    for i in range(len(cs.widths)):
+        single = tuple(1 if j == i else 0 for j in range(len(cs.widths)))
+        assert any(c.counts == single for c in cs.configs)

@@ -1,0 +1,130 @@
+"""Tests for Lemma 3.2 width grouping and the Fig. 3/4 containment chain."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance
+from repro.core.rectangle import Rect
+from repro.geometry.stacking import contains, stack
+from repro.release.grouping import group_widths
+
+from .conftest import release_instances
+
+
+def inst_of(widths, K=8, releases=None):
+    releases = releases or [0.0] * len(widths)
+    rects = [
+        Rect(rid=i, width=w, height=0.5, release=r)
+        for i, (w, r) in enumerate(zip(widths, releases))
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestValidation:
+    def test_W_not_multiple_rejected(self):
+        inst = inst_of([0.5, 0.25], releases=[0.0, 1.0])
+        with pytest.raises(InvalidInstanceError):
+            group_widths(inst, 3)  # 2 classes, 3 not a multiple
+
+    def test_W_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            group_widths(inst_of([0.5]), 0)
+
+
+class TestGrouping:
+    def test_widths_only_grow(self):
+        inst = inst_of([0.5, 0.25, 0.125, 0.75])
+        out = group_widths(inst, 2)
+        for orig, new in zip(inst.rects, out.instance.rects):
+            assert new.width >= orig.width - 1e-12
+            assert new.rid == orig.rid
+
+    def test_distinct_width_budget(self, rng):
+        widths = [float(w) for w in rng.uniform(0.1, 1.0, size=40)]
+        inst = inst_of(widths)
+        out = group_widths(inst, 4)
+        assert out.n_distinct_widths <= 4
+
+    def test_single_group_rounds_to_max(self):
+        inst = inst_of([0.3, 0.5, 0.7])
+        out = group_widths(inst, 1)
+        assert all(math.isclose(r.width, 0.7) for r in out.instance.rects)
+
+    def test_more_groups_than_rects_noop(self):
+        inst = inst_of([0.3, 0.5, 0.7])
+        out = group_widths(inst, 8)
+        assert sorted(r.width for r in out.instance.rects) == [0.3, 0.5, 0.7]
+
+    def test_per_class_grouping(self):
+        inst = inst_of([0.3, 0.9, 0.2, 0.8], releases=[0.0, 0.0, 1.0, 1.0])
+        out = group_widths(inst, 2)  # one group per class
+        by_id = {r.rid: r for r in out.instance.rects}
+        assert math.isclose(by_id[0].width, 0.9)  # class 0 rounds to its max
+        assert math.isclose(by_id[2].width, 0.8)  # class 1 rounds to its max
+
+    def test_releases_unchanged(self):
+        inst = inst_of([0.3, 0.9], releases=[0.0, 2.0])
+        out = group_widths(inst, 2)
+        assert [r.release for r in out.instance.rects] == [0.0, 2.0]
+
+
+class TestContainmentChain:
+    """The Lemma 3.2 proof chain P_inf ⊆ P(R) ⊆ P(R,W) ⊆ P_sup, checked
+    per release class via stacking containment."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain_on_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        widths = [float(w) for w in rng.uniform(0.13, 1.0, size=25)]
+        releases = [float(rng.choice([0.0, 1.0, 2.0])) for _ in widths]
+        inst = inst_of(widths, releases=releases)
+        n_classes = len({r.release for r in inst.rects})
+        out = group_widths(inst, 4 * n_classes)
+
+        orig_classes = inst.release_classes()
+        new_classes = out.instance.release_classes()
+        sup_by_release: dict[float, list[Rect]] = {}
+        inf_by_release: dict[float, list[Rect]] = {}
+        for r in out.sup_rects:
+            sup_by_release.setdefault(r.release, []).append(r)
+        for r in out.inf_rects:
+            inf_by_release.setdefault(r.release, []).append(r)
+
+        for release in orig_classes:
+            orig_stack = stack(orig_classes[release])
+            new_stack = stack(new_classes[release])
+            sup_stack = stack(sup_by_release.get(release, []))
+            inf_stack = stack(inf_by_release.get(release, []))
+            assert contains(orig_stack, inf_stack), "P_inf ⊆ P(R) fails"
+            assert contains(new_stack, orig_stack), "P(R) ⊆ P(R,W) fails"
+            assert contains(sup_stack, new_stack), "P(R,W) ⊆ P_sup fails"
+
+    def test_sup_exceeds_inf_by_one_slab_per_class(self, rng):
+        widths = [float(w) for w in rng.uniform(0.2, 1.0, size=12)]
+        inst = inst_of(widths)
+        G = 3
+        out = group_widths(inst, G)
+        H = stack(inst.rects).height
+        # sup has G slabs, inf at most G-1 (top slab has width 0).
+        assert len(out.sup_rects) == G
+        assert len(out.inf_rects) <= G - 1
+        slab_h = H / G
+        for r in out.sup_rects:
+            assert math.isclose(r.height, slab_h, rel_tol=1e-9)
+
+
+@settings(deadline=None)
+@given(release_instances(K=4, max_size=12))
+def test_grouped_instance_valid_and_wider(inst):
+    n_classes = len({r.release for r in inst.rects})
+    out = group_widths(inst, 2 * n_classes)
+    assert len(out.instance.rects) == len(inst.rects)
+    by_id = out.instance.by_id()
+    for r in inst.rects:
+        assert by_id[r.rid].width >= r.width - 1e-12
+        assert by_id[r.rid].release == r.release
+        assert by_id[r.rid].height == r.height

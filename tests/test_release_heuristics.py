@@ -1,0 +1,75 @@
+"""Tests for the release-time heuristic baselines."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.instance import ReleaseInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.release.heuristics import release_bottom_left, release_shelf_pack
+
+from .conftest import release_instances
+
+HEURISTICS = [release_shelf_pack, release_bottom_left]
+
+
+def inst_of(specs, K=4):
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+@pytest.mark.parametrize("heur", HEURISTICS)
+class TestHeuristics:
+    def test_empty(self, heur):
+        inst = inst_of([])
+        assert heur(inst).height == 0.0
+
+    def test_single(self, heur):
+        inst = inst_of([(2, 1.0, 3.0)])
+        p = heur(inst)
+        validate_placement(inst, p)
+        assert math.isclose(p.height, 4.0)
+
+    def test_no_releases_packs_parallel(self, heur):
+        inst = inst_of([(1, 1.0, 0.0)] * 4)
+        p = heur(inst)
+        validate_placement(inst, p)
+        assert math.isclose(p.height, 1.0)
+
+    def test_valid_on_random(self, heur, rng):
+        from repro.workloads.releases import poisson_release_instance
+
+        inst = poisson_release_instance(40, 6, rng, rate=3.0)
+        p = heur(inst)
+        validate_placement(inst, p)
+
+
+class TestShelfSpecific:
+    def test_batches_never_interleave(self):
+        inst = inst_of([(1, 1.0, 0.0), (1, 1.0, 0.0), (1, 1.0, 5.0)])
+        p = release_shelf_pack(inst)
+        assert p[2].y >= 5.0
+        assert p[0].y2 <= p[2].y + 1e-9
+
+    def test_bl_can_beat_shelf_on_gaps(self, rng):
+        """Bottom-left tucks later-released narrow rects beside earlier tall
+        ones; batch-shelf cannot."""
+        inst = inst_of([(2, 1.0, 0.0), (2, 0.2, 0.1)])
+        shelf = release_shelf_pack(inst)
+        bl = release_bottom_left(inst)
+        assert bl.height <= shelf.height + 1e-9
+
+
+@settings(deadline=None)
+@given(release_instances(K=4, max_size=12))
+def test_heuristics_valid_under_hypothesis(inst):
+    for heur in HEURISTICS:
+        p = heur(inst)
+        validate_placement(inst, p)
+        assert p.height >= max(r.release + r.height for r in inst.rects) - 1e-9

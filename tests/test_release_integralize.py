@@ -1,0 +1,87 @@
+"""Tests for the Lemma 3.4 fractional-to-integral conversion."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.instance import ReleaseInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.release.integralize import integralize
+from repro.release.lp import solve_fractional
+
+from .conftest import release_instances
+
+
+def inst_of(specs, K=4):
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+def run_pipeline(inst):
+    sol = solve_fractional(inst)
+    result = integralize(sol, inst)
+    validate_placement(inst, result.placement)
+    return sol, result
+
+
+class TestIntegralize:
+    def test_single_rect(self):
+        inst = inst_of([(4, 1.0, 0.0)])
+        sol, result = run_pipeline(inst)
+        assert math.isclose(result.height, 1.0, rel_tol=1e-6)
+
+    def test_respects_releases(self):
+        inst = inst_of([(4, 1.0, 3.0), (4, 1.0, 0.0)])
+        sol, result = run_pipeline(inst)
+        for _, pr in result.placement.items():
+            assert pr.y >= pr.rect.release - 1e-9
+
+    def test_lemma_3_4_additive_bound(self):
+        rng = np.random.default_rng(5)
+        specs = [
+            (int(rng.integers(1, 5)), float(rng.uniform(0.2, 1.0)),
+             float(rng.choice([0.0, 1.0, 2.0])))
+            for _ in range(25)
+        ]
+        inst = inst_of(specs)
+        sol, result = run_pipeline(inst)
+        k = result.n_occurrences
+        assert result.height <= sol.height + k + 1e-6
+
+    def test_column_trace_covers_all_rects(self):
+        inst = inst_of([(2, 0.5, 0.0), (2, 0.7, 1.0), (1, 0.3, 1.0)])
+        sol, result = run_pipeline(inst)
+        traced = [r.rid for col in result.columns for r in col.rects]
+        assert sorted(traced) == [0, 1, 2]
+
+    def test_columns_match_config_widths(self):
+        inst = inst_of([(2, 0.5, 0.0), (2, 0.7, 0.0)])
+        sol, result = run_pipeline(inst)
+        for col in result.columns:
+            for r in col.rects:
+                assert math.isclose(r.width, sol.config_set.widths[col.width_index])
+
+    def test_perfect_parallel_packing(self):
+        # Four 1-column unit rects: LP packs them side by side; the integral
+        # conversion should stay within height 1 + additive slack of the
+        # single occurrence.
+        inst = inst_of([(1, 1.0, 0.0)] * 4)
+        sol, result = run_pipeline(inst)
+        assert result.height <= sol.height + result.n_occurrences + 1e-9
+
+
+@settings(deadline=None, max_examples=25)
+@given(release_instances(K=3, max_size=8))
+def test_integralize_always_valid_and_bounded(inst):
+    """End-to-end Lemma 3.3 + 3.4 under hypothesis: the integral packing is
+    valid and within OPT_f + #occurrences."""
+    sol = solve_fractional(inst)
+    result = integralize(sol, inst)
+    validate_placement(inst, result.placement)
+    assert result.height <= sol.height + result.n_occurrences + 1e-6

@@ -1,0 +1,168 @@
+"""Tests for the Lemma 3.3 configuration LP."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import SolverError
+from repro.core.instance import ReleaseInstance
+from repro.core.rectangle import Rect
+from repro.release.configurations import enumerate_configurations
+from repro.release.lp import (
+    build_demands,
+    optimal_fractional_height,
+    phase_boundaries,
+    solve_configuration_lp,
+    solve_fractional,
+)
+
+from .conftest import release_instances
+
+
+def inst_of(specs, K=4):
+    """specs: list of (cols, height, release)."""
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestBoundaries:
+    def test_zero_prepended(self):
+        inst = inst_of([(1, 0.5, 1.0), (2, 0.5, 3.0)])
+        assert phase_boundaries(inst) == (0.0, 1.0, 3.0)
+
+    def test_zero_release_not_duplicated(self):
+        inst = inst_of([(1, 0.5, 0.0), (2, 0.5, 2.0)])
+        assert phase_boundaries(inst) == (0.0, 2.0)
+
+
+class TestDemands:
+    def test_accumulates_heights(self):
+        inst = inst_of([(2, 0.5, 0.0), (2, 0.7, 0.0), (1, 0.3, 1.0)])
+        bounds = phase_boundaries(inst)
+        widths = (0.5, 0.25)
+        d = build_demands(inst, widths, bounds)
+        assert math.isclose(d[0, 0], 1.2)  # width 0.5 at release 0
+        assert math.isclose(d[1, 1], 0.3)  # width 0.25 at release 1
+
+    def test_unknown_width_raises(self):
+        inst = inst_of([(3, 0.5, 0.0)])
+        with pytest.raises(SolverError, match="width"):
+            build_demands(inst, (0.5,), (0.0,))
+
+    def test_unknown_release_raises(self):
+        inst = inst_of([(2, 0.5, 5.0)])
+        with pytest.raises(SolverError, match="boundary"):
+            build_demands(inst, (0.5,), (0.0,))
+
+
+class TestSolve:
+    def test_no_releases_equals_fractional_packing(self):
+        # 4 quarter-width unit-height rects, no releases: fractional optimum
+        # packs them side by side -> height 1.
+        inst = inst_of([(1, 1.0, 0.0)] * 4)
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 1.0, rel_tol=1e-6)
+
+    def test_full_width_stack(self):
+        inst = inst_of([(4, 1.0, 0.0)] * 3)
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 3.0, rel_tol=1e-6)
+
+    def test_release_forces_waiting(self):
+        # One rect released at 5: fractional height is 5 + 1.
+        inst = inst_of([(4, 1.0, 5.0)])
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 6.0, rel_tol=1e-6)
+
+    def test_early_work_fits_in_gap(self):
+        # Two full-width rects at release 0 and one at release 5: the early
+        # ones fit below 5, so height stays 6.
+        inst = inst_of([(4, 1.0, 0.0), (4, 1.0, 0.0), (4, 1.0, 5.0)])
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 6.0, rel_tol=1e-6)
+
+    def test_phase_overflow_pushes_objective(self):
+        # Release gap of 1 but 3 units of full-width work released at 0 and
+        # one more at 1: total = 4, so top = 4 regardless of slicing.
+        inst = inst_of([(4, 1.0, 0.0)] * 3 + [(4, 1.0, 1.0)])
+        sol = solve_fractional(inst)
+        assert math.isclose(sol.height, 4.0, rel_tol=1e-6)
+
+    def test_fractional_beats_area_and_suffix_bounds(self):
+        # NOTE: the paper's fractional relaxation allows slices of one
+        # rectangle to run in parallel, so ``release + height`` per rectangle
+        # is NOT a lower bound on OPT_f.  The valid fractional bounds are the
+        # total area and, per release value rho, rho + area released at or
+        # after rho (that work must all sit above rho).
+        inst = inst_of([(2, 0.8, 0.0), (3, 0.6, 1.0), (1, 0.4, 2.0)])
+        sol = solve_fractional(inst)
+        area = sum(r.area for r in inst.rects)
+        assert sol.height >= area - 1e-6
+        for rho in {r.release for r in inst.rects}:
+            suffix = sum(r.area for r in inst.rects if r.release >= rho)
+            assert sol.height >= rho + suffix - 1e-6
+
+    def test_parallel_slicing_beats_integral_bound(self):
+        # The phenomenon itself, pinned: a 1-column rect of height 0.4
+        # released at 2 can be sliced into 4 parallel strips of height 0.1,
+        # so OPT_f = 2.1 < 2.4 = the integral bound release + height.
+        inst = inst_of([(2, 0.8, 0.0), (3, 0.6, 1.0), (1, 0.4, 2.0)])
+        sol = solve_fractional(inst)
+        assert sol.height < 2.4 - 1e-6
+        assert math.isclose(sol.height, 2.1, rel_tol=1e-6)
+
+    def test_support_size_bound(self):
+        """Lemma 3.3: a basic optimal solution uses at most (W+1)(R+1)
+        distinct occurrences of configurations."""
+        rng = np.random.default_rng(3)
+        specs = [
+            (int(rng.integers(1, 5)), float(rng.uniform(0.2, 1.0)), float(rng.choice([0.0, 1.0, 2.0])))
+            for _ in range(30)
+        ]
+        inst = inst_of(specs)
+        sol = solve_fractional(inst)
+        W = len({r.width for r in inst.rects})
+        R_plus_1 = len(sol.boundaries)
+        assert len(sol.support()) <= (W + 1) * R_plus_1
+
+    def test_verify_rejects_tampered_solution(self):
+        inst = inst_of([(4, 1.0, 0.0)])
+        sol = solve_fractional(inst)
+        bad = sol.x.copy()
+        bad[:, -1] = 0.0  # wipe out the supply
+        from repro.release.fractional import FractionalSolution
+
+        tampered = FractionalSolution(
+            config_set=sol.config_set,
+            boundaries=sol.boundaries,
+            x=bad,
+            demands=sol.demands,
+        )
+        with pytest.raises(SolverError):
+            tampered.verify()
+
+    def test_empty_configs_rejected(self):
+        cs = enumerate_configurations([0.5])
+        with pytest.raises(SolverError, match="demands shape"):
+            solve_configuration_lp(cs, (0.0,), np.zeros((3, 1)))
+
+
+@settings(deadline=None, max_examples=25)
+@given(release_instances(K=3, max_size=8))
+def test_lp_height_is_a_valid_lower_bound_structure(inst):
+    """The fractional solution verifies and its height dominates the
+    elementary *fractional* lower bounds (area and release-suffix area —
+    per-rectangle release+height does not bound the fractional optimum
+    because slices may run in parallel)."""
+    sol = solve_fractional(inst)
+    sol.verify()
+    area = sum(r.area for r in inst.rects)
+    assert sol.height >= area - 1e-6
+    for rho in {r.release for r in inst.rects}:
+        suffix = sum(r.area for r in inst.rects if r.release >= rho)
+        assert sol.height >= rho + suffix - 1e-6

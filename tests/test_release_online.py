@@ -1,0 +1,83 @@
+"""Tests for the online first-fit release scheduler."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.release.online import online_first_fit
+
+from .conftest import release_instances
+
+
+def inst_of(specs, K=4):
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestOnlineFirstFit:
+    def test_empty(self):
+        res = online_first_fit(inst_of([]))
+        assert res.placement.height == 0.0
+
+    def test_single(self):
+        res = online_first_fit(inst_of([(2, 1.0, 3.0)]))
+        assert math.isclose(res.placement.height, 4.0)
+
+    def test_parallel_when_room(self):
+        res = online_first_fit(inst_of([(2, 1.0, 0.0), (2, 1.0, 0.0)]))
+        assert math.isclose(res.placement.height, 1.0)
+
+    def test_stacks_when_full(self):
+        res = online_first_fit(inst_of([(3, 1.0, 0.0), (3, 1.0, 0.0)]))
+        assert math.isclose(res.placement.height, 2.0)
+
+    def test_commit_in_release_order(self):
+        res = online_first_fit(inst_of([(1, 1.0, 2.0), (1, 1.0, 0.0)]))
+        assert res.commit_order == (1, 0)
+
+    def test_respects_release(self):
+        res = online_first_fit(inst_of([(4, 1.0, 0.0), (1, 0.5, 5.0)]))
+        assert res.placement[1].y >= 5.0
+
+    def test_fills_gap_left_by_release(self):
+        # Full-width at 0, then a 1-col job released at 0.2 starts right
+        # after the full-width job ends (columns busy until 1.0).
+        res = online_first_fit(inst_of([(4, 1.0, 0.0), (1, 0.5, 0.2)]))
+        assert math.isclose(res.placement[1].y, 1.0)
+
+    def test_off_grid_width_rejected(self):
+        rects = [Rect(rid=0, width=0.3, height=1.0)]
+        with pytest.raises(InvalidInstanceError):
+            online_first_fit(ReleaseInstance(rects, K=4))
+
+    def test_valid_on_random(self, rng):
+        from repro.workloads.releases import poisson_release_instance
+
+        inst = poisson_release_instance(40, 6, rng, rate=2.0)
+        res = online_first_fit(inst)
+        validate_placement(inst, res.placement)
+
+    def test_never_beats_fractional_optimum(self, rng):
+        from repro.release.lp import optimal_fractional_height
+        from repro.workloads.releases import bursty_release_instance
+
+        inst = bursty_release_instance(15, 4, rng, n_bursts=3)
+        res = online_first_fit(inst)
+        assert res.placement.height >= optimal_fractional_height(inst) - 1e-6
+
+
+@settings(deadline=None)
+@given(release_instances(K=4, max_size=12))
+def test_online_valid_under_hypothesis(inst):
+    res = online_first_fit(inst)
+    validate_placement(inst, res.placement)
+    assert res.placement.height >= max(r.release + r.height for r in inst.rects) - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for Lemma 3.1 release-time rounding."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance
+from repro.core.rectangle import Rect
+from repro.release.rounding import release_grid, round_releases_down, round_releases_up
+
+from .conftest import release_instances
+
+
+def inst_of(releases, K=4):
+    rects = [
+        Rect(rid=i, width=1 / K, height=0.5, release=r) for i, r in enumerate(releases)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestGrid:
+    def test_grid_value(self):
+        assert math.isclose(release_grid(inst_of([0.0, 10.0]), 0.25), 2.5)
+
+    def test_zero_when_no_releases(self):
+        assert release_grid(inst_of([0.0, 0.0]), 0.25) == 0.0
+
+    def test_bad_eps(self):
+        with pytest.raises(InvalidInstanceError):
+            release_grid(inst_of([1.0]), 0.0)
+
+
+class TestRoundDown:
+    def test_on_grid_unchanged(self):
+        inst = inst_of([0.0, 2.5, 5.0, 10.0])
+        out = round_releases_down(inst, 0.25)  # delta = 2.5
+        assert [r.release for r in out.rects] == [0.0, 2.5, 5.0, 10.0]
+
+    def test_rounds_down(self):
+        inst = inst_of([3.4, 10.0])
+        out = round_releases_down(inst, 0.25)  # delta = 2.5
+        assert [r.release for r in out.rects] == [2.5, 10.0]
+
+    def test_all_zero_noop(self):
+        inst = inst_of([0.0, 0.0])
+        assert round_releases_down(inst, 0.5) is inst
+
+
+class TestRoundUp:
+    def test_releases_never_decrease(self):
+        inst = inst_of([0.0, 1.2, 3.3, 10.0])
+        out = round_releases_up(inst, 0.25)
+        for orig, new in zip(inst.rects, out.rects):
+            assert new.release >= orig.release
+
+    def test_rounds_to_next_grid_point(self):
+        inst = inst_of([3.4, 10.0])
+        out = round_releases_up(inst, 0.25)  # delta = 2.5
+        assert [r.release for r in out.rects] == [5.0, 12.5]
+
+    def test_distinct_value_budget(self):
+        rng = np.random.default_rng(0)
+        inst = inst_of(list(rng.uniform(0.0, 50.0, size=200)) + [50.0])
+        eps = 0.2
+        out = round_releases_up(inst, eps)
+        distinct = {r.release for r in out.rects}
+        assert len(distinct) <= math.ceil(1 / eps) + 1
+
+    def test_dimensions_and_ids_preserved(self):
+        inst = inst_of([1.0, 2.0])
+        out = round_releases_up(inst, 0.5)
+        for orig, new in zip(inst.rects, out.rects):
+            assert new.rid == orig.rid
+            assert new.width == orig.width and new.height == orig.height
+
+    def test_shift_bounded_by_delta(self):
+        inst = inst_of([0.0, 4.9, 10.0])
+        eps = 0.25
+        delta = release_grid(inst, eps)
+        out = round_releases_up(inst, eps)
+        for orig, new in zip(inst.rects, out.rects):
+            assert new.release - orig.release <= delta + 1e-12
+
+
+@settings(deadline=None)
+@given(release_instances(K=4, max_size=10))
+def test_sandwich_property(inst):
+    """P_down releases <= P releases < P_up releases (when rmax > 0),
+    matching the Lemma 3.1 proof's sandwich."""
+    eps = 0.3
+    down = round_releases_down(inst, eps)
+    up = round_releases_up(inst, eps)
+    delta = release_grid(inst, eps)
+    for o, d, u in zip(inst.rects, down.rects, up.rects):
+        assert d.release <= o.release + 1e-9
+        if delta > 0:
+            assert u.release >= o.release - 1e-9
+            assert math.isclose(u.release - d.release, delta, rel_tol=1e-9)
+
+
+@settings(deadline=None)
+@given(release_instances(K=4, max_size=10))
+def test_round_up_solution_transfers_to_original(inst):
+    """A valid placement of P_up is valid for P verbatim (releases only
+    rose) — the property Algorithm 2's final step relies on."""
+    from repro.core.placement import validate_placement
+    from repro.release.heuristics import release_shelf_pack
+
+    up = round_releases_up(inst, 0.3)
+    placement = release_shelf_pack(up)
+    # Re-bind the placement to the original rectangles at the same spots.
+    from repro.core.placement import Placement
+
+    by_id = inst.by_id()
+    rebound = Placement()
+    for rid, pr in placement.items():
+        rebound.place(by_id[rid], pr.x, pr.y)
+    validate_placement(inst, rebound)

@@ -1,0 +1,140 @@
+"""Tests for the workload generators (random, DAG, release, JPEG)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.workloads.dags import (
+    layered_precedence_instance,
+    random_precedence_instance,
+    series_parallel_instance,
+    uniform_height_precedence_instance,
+)
+from repro.workloads.jpeg import jpeg_pipeline_instance, jpeg_pipeline_tasks
+from repro.workloads.random_rects import (
+    columnar_rects,
+    powerlaw_rects,
+    uniform_rects,
+    unit_height_rects,
+)
+from repro.workloads.releases import (
+    bursty_release_instance,
+    poisson_release_instance,
+    staircase_release_instance,
+)
+
+
+class TestRandomRects:
+    def test_uniform_in_range(self, rng):
+        rects = uniform_rects(50, rng, w_range=(0.2, 0.6), h_range=(0.5, 1.0))
+        assert len(rects) == 50
+        for r in rects:
+            assert 0.2 <= r.width <= 0.6 and 0.5 <= r.height <= 1.0
+
+    def test_uniform_bad_range(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            uniform_rects(5, rng, w_range=(0.0, 0.5))
+
+    def test_columnar_on_grid(self, rng):
+        K = 6
+        rects = columnar_rects(40, K, rng)
+        for r in rects:
+            c = r.width * K
+            assert abs(c - round(c)) < 1e-9 and 1 <= round(c) <= K
+
+    def test_columnar_max_cols(self, rng):
+        rects = columnar_rects(40, 8, rng, max_cols=2)
+        assert all(r.width <= 0.25 + 1e-12 for r in rects)
+
+    def test_powerlaw_clipped(self, rng):
+        rects = powerlaw_rects(60, rng, w_min=0.05)
+        assert all(0.05 <= r.width <= 1.0 for r in rects)
+
+    def test_unit_heights(self, rng):
+        assert all(r.height == 1.0 for r in unit_height_rects(20, rng))
+
+    def test_reproducible(self):
+        a = uniform_rects(10, np.random.default_rng(3))
+        b = uniform_rects(10, np.random.default_rng(3))
+        assert [(r.width, r.height) for r in a] == [(r.width, r.height) for r in b]
+
+
+class TestDagInstances:
+    def test_random_instance_shapes(self, rng):
+        inst = random_precedence_instance(25, 0.1, rng)
+        assert len(inst) == 25
+        inst.dag.topological_order()
+
+    def test_columnar_option(self, rng):
+        inst = random_precedence_instance(15, 0.1, rng, columnar_K=4)
+        for r in inst.rects:
+            assert abs(r.width * 4 - round(r.width * 4)) < 1e-9
+
+    def test_layered(self, rng):
+        inst = layered_precedence_instance(30, 4, 0.3, rng)
+        assert len(inst) == 30 and inst.dag.n_edges >= 30 - len(inst.dag.sources())
+
+    def test_series_parallel(self, rng):
+        inst = series_parallel_instance(20, rng)
+        assert len(inst) == 20
+
+    def test_uniform_height(self, rng):
+        inst = uniform_height_precedence_instance(15, 0.2, rng)
+        assert inst.uniform_height()
+
+
+class TestReleaseWorkloads:
+    def test_poisson_monotone_releases(self, rng):
+        inst = poisson_release_instance(30, 4, rng, rate=2.0)
+        rel = [r.release for r in inst.rects]
+        assert rel == sorted(rel)
+        assert rel[0] == 0.0
+        inst.check_aptas_assumptions()
+
+    def test_bursty_release_values(self, rng):
+        inst = bursty_release_instance(40, 4, rng, n_bursts=3, burst_gap=2.0)
+        assert {r.release for r in inst.rects} <= {0.0, 2.0, 4.0}
+        inst.check_aptas_assumptions()
+
+    def test_staircase_round_robin(self, rng):
+        inst = staircase_release_instance(10, 4, rng, n_steps=5, step=1.0)
+        assert [r.release for r in inst.rects] == [float(i % 5) for i in range(10)]
+
+    def test_bad_rate(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            poisson_release_instance(5, 4, rng, rate=0.0)
+
+
+class TestJpeg:
+    def test_structure(self):
+        from repro.fpga.device import Device
+
+        dev = Device(K=8)
+        tasks = jpeg_pipeline_tasks(4, dev)
+        ids = [t.tid for t in tasks]
+        assert "rgb2ycbcr" in ids and "entropy" in ids and "bitstream" in ids
+        assert sum(1 for t in ids if str(t).startswith("dct:")) == 4
+
+    def test_instance_valid_dag(self):
+        from repro.fpga.device import Device
+
+        inst = jpeg_pipeline_instance(3, Device(K=8))
+        order = inst.dag.topological_order()
+        # entropy must come after all zigzags
+        pos = {n: i for i, n in enumerate(order)}
+        for i in range(3):
+            assert pos[f"zigzag:{i}"] < pos["entropy"]
+
+    def test_bad_tiles(self):
+        from repro.fpga.device import Device
+
+        with pytest.raises(InvalidInstanceError):
+            jpeg_pipeline_tasks(0, Device(K=8))
+
+    def test_dct_cols_cap(self):
+        from repro.fpga.device import Device
+
+        with pytest.raises(InvalidInstanceError):
+            jpeg_pipeline_tasks(2, Device(K=4), dct_cols=8)

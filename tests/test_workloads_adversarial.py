@@ -1,0 +1,101 @@
+"""Tests for the Lemma 2.4 and Lemma 2.7 adversarial constructions —
+verifying the constructions' analytic claims computationally."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import area_bound, critical_path_bound
+from repro.core.placement import validate_placement
+from repro.precedence.dc import dc_pack
+from repro.precedence.shelf_nextfit import shelf_next_fit
+from repro.workloads.adversarial import omega_log_n_instance, ratio3_instance
+
+
+class TestOmegaLogN:
+    def test_size_formula(self):
+        for k in range(1, 6):
+            adv = omega_log_n_instance(k)
+            assert len(adv.instance) == 2 ** (k + 1) - 2
+
+    def test_analytic_F_matches_computed(self):
+        for k in (2, 3, 4):
+            adv = omega_log_n_instance(k, eps=1e-6)
+            F = critical_path_bound(adv.instance)
+            assert math.isclose(F, adv.analytic["F"], rel_tol=1e-6)
+
+    def test_analytic_area_matches_computed(self):
+        for k in (2, 3, 4):
+            adv = omega_log_n_instance(k, eps=1e-6)
+            assert math.isclose(area_bound(adv.instance), adv.analytic["area"], rel_tol=1e-6)
+
+    def test_bounds_stay_near_one(self):
+        adv = omega_log_n_instance(6, eps=1e-8)
+        assert critical_path_bound(adv.instance) < 1.01
+        assert area_bound(adv.instance) < 1.01
+
+    def test_chain_structure(self):
+        adv = omega_log_n_instance(3)
+        dag = adv.instance.dag
+        # tall:i:* chains interleaved with wides -> every tall except chain
+        # heads has a wide predecessor.
+        assert "tall:1:0" in set(map(str, dag.nodes()))
+        for i in range(1, 4):
+            head = f"tall:{i}:0"
+            assert dag.in_degree(head) == 0
+
+    def test_any_valid_packing_costs_log_factor(self):
+        """Packing the k=5 instance with DC (or any algorithm) costs at
+        least ~k/2 despite AREA = F = 1 — the Omega(log n) gap is real."""
+        adv = omega_log_n_instance(5, eps=1e-7)
+        result = dc_pack(adv.instance)
+        validate_placement(adv.instance, result.placement)
+        # The shelf argument: each chain i adds ~1/2 of unavoidable height.
+        assert result.height >= adv.analytic["opt_lb"] - 0.25
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            omega_log_n_instance(3, eps=1.5)
+        with pytest.raises(ValueError):
+            omega_log_n_instance(0)
+
+
+class TestRatio3:
+    def test_size(self):
+        for k in (1, 2, 5):
+            assert len(ratio3_instance(k).instance) == 3 * k
+
+    def test_analytic_relations(self):
+        """The lemma's stated equalities: OPT = 3(F - 1) = 3*AREA - 3n*eps."""
+        for k in (2, 3, 4):
+            adv = ratio3_instance(k, eps=1e-5)
+            a = adv.analytic
+            assert math.isclose(a["opt"], 3.0 * (a["F"] - 1.0), rel_tol=1e-9)
+            assert math.isclose(a["opt"], 3.0 * a["area"] - 3 * a["n"] * a["eps"], rel_tol=1e-6)
+
+    def test_analytic_F_matches_computed(self):
+        adv = ratio3_instance(4, eps=1e-5)
+        assert math.isclose(critical_path_bound(adv.instance), adv.analytic["F"], rel_tol=1e-9)
+
+    def test_analytic_area_matches_computed(self):
+        adv = ratio3_instance(4, eps=1e-5)
+        assert math.isclose(area_bound(adv.instance), adv.analytic["area"], rel_tol=1e-6)
+
+    def test_wides_cannot_pair(self):
+        adv = ratio3_instance(3, eps=0.01)
+        wides = [r for r in adv.instance.rects if str(r.rid).startswith("wide")]
+        assert all(w.width > 0.5 for w in wides)
+
+    def test_serialisation_is_forced(self):
+        """Any valid placement has height >= n: wides one per unit of
+        height, then the narrow chain."""
+        adv = ratio3_instance(3, eps=0.01)
+        run = shelf_next_fit(adv.instance)
+        validate_placement(adv.instance, run.placement)
+        assert run.height >= adv.analytic["opt"] - 1e-9
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            ratio3_instance(3, eps=0.6)
+        with pytest.raises(ValueError):
+            ratio3_instance(0)
