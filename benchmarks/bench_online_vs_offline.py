@@ -17,7 +17,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.report import Table
-from repro.core.placement import validate_placement
 from repro.exact.bin_packing_exact import solve_bin_packing_exact
 from repro.precedence.bin_packing import (
     precedence_first_fit_decreasing,
@@ -25,13 +24,13 @@ from repro.precedence.bin_packing import (
     strip_to_bin_instance,
 )
 from repro.precedence.ggjy_first_fit import ggjy_first_fit
-from repro.release.aptas import aptas
+from repro.engine import run
 from repro.release.lp import optimal_fractional_height
 from repro.release.online import online_first_fit
 from repro.workloads.dags import uniform_height_precedence_instance
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit
+from .conftest import emit, emit_reports
 
 K = 4
 
@@ -49,21 +48,24 @@ def test_a4_online_vs_offline(benchmark):
         ["n", "opt_f", "online_ff", "offline_aptas", "online/opt_f", "aptas/opt_f"],
         title=f"A4 online first-fit vs offline APTAS (K={K})",
     )
+    all_reports = []
     for n in (10, 20, 40, 80):
         inst = _inst(n)
-        res_on = online_first_fit(inst)
-        validate_placement(inst, res_on.placement)
-        res_off = aptas(inst, eps=0.9)
-        validate_placement(inst, res_off.placement)
+        rep_on = run(inst, "online_ff", label=f"n={n}:online_ff")
+        rep_off = run(inst, "aptas", params={"eps": 0.9}, label=f"n={n}:aptas")
+        assert rep_on.valid and rep_off.valid
+        all_reports += [rep_on, rep_off]
         opt_f = optimal_fractional_height(inst)
         table.add_row(
-            [n, opt_f, res_on.placement.height, res_off.height,
-             res_on.placement.height / opt_f, res_off.height / opt_f]
+            [n, opt_f, rep_on.height, rep_off.height,
+             rep_on.height / opt_f, rep_off.height / opt_f]
         )
         # Both are integral solutions above the fractional optimum.
-        assert res_on.placement.height >= opt_f - 1e-6
-        assert res_off.height >= opt_f - 1e-6
+        assert rep_on.height >= opt_f - 1e-6
+        assert rep_off.height >= opt_f - 1e-6
     emit("a4_online_offline", table.render())
+    emit_reports("a4_online_offline_reports", all_reports,
+                 title=f"A4 engine reports (K={K})")
 
 
 def test_a4_bins_vs_true_optimum(benchmark):

@@ -5,6 +5,10 @@ APTAS's LP-guided packing tracks OPT_f while the batch-shelf heuristic
 pays fragmentation; bottom-left sits in between.  On tiny instances the
 heuristics win (the APTAS's additive term dominates) — the crossover is
 the asymptotic story of Theorem 3.5.
+
+Solver calls go through the engine: each measurement is one
+``SolveReport`` (height, wall-time, validation) instead of a hand-rolled
+timer/validator pair.
 """
 
 from __future__ import annotations
@@ -14,16 +18,16 @@ import pytest
 
 from repro.analysis.report import Table
 from repro.core.placement import validate_placement
-from repro.release.aptas import aptas
-from repro.release.heuristics import release_bottom_left, release_shelf_pack
+from repro.engine import run
 from repro.release.lp import optimal_fractional_height
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit
+from .conftest import emit, emit_reports
 
 K = 4
 SIZES = [10, 20, 40, 80, 160]
 EPS = 0.9
+ALGORITHMS = ("aptas", "release_shelf", "release_bl")
 
 
 def _inst(n, seed=0):
@@ -31,34 +35,41 @@ def _inst(n, seed=0):
     return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
 
 
-@pytest.mark.parametrize(
-    "name,solver",
-    [
-        ("aptas", lambda inst: aptas(inst, eps=EPS).placement),
-        ("shelf", release_shelf_pack),
-        ("bottom_left", release_bottom_left),
-    ],
-)
-def test_e10_baseline_timing(benchmark, name, solver):
+def _params(name):
+    return {"eps": EPS} if name == "aptas" else None
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_e10_baseline_timing(benchmark, name):
     inst = _inst(40, seed=1)
-    p = benchmark(lambda: solver(inst))
-    validate_placement(inst, p)
+    report = benchmark(
+        lambda: run(inst, name, params=_params(name), validate=False, compute_bounds=False)
+    )
+    validate_placement(inst, report.placement)
 
 
 def test_e10_quality_comparison(benchmark):
-    benchmark(lambda: release_shelf_pack(_inst(40, seed=1)))
+    benchmark(lambda: run(_inst(40, seed=1), "release_shelf", validate=False))
 
     table = Table(
         ["n", "opt_f", "aptas", "shelf", "bottom_left", "aptas/opt_f", "shelf/opt_f", "bl/opt_f"],
         title=f"E10 APTAS vs heuristics (eps={EPS}, K={K})",
     )
+    all_reports = []
     aptas_ratios, shelf_ratios = [], []
     for n in SIZES:
         inst = _inst(n)
         opt_f = optimal_fractional_height(inst)
-        h_aptas = aptas(inst, eps=EPS).height
-        h_shelf = release_shelf_pack(inst).height
-        h_bl = release_bottom_left(inst).height
+        reports = {
+            name: run(inst, name, params=_params(name), label=f"n={n}:{name}")
+            for name in ALGORITHMS
+        }
+        for r in reports.values():
+            assert r.valid
+        all_reports.extend(reports.values())
+        h_aptas = reports["aptas"].height
+        h_shelf = reports["release_shelf"].height
+        h_bl = reports["release_bl"].height
         aptas_ratios.append(h_aptas / opt_f)
         shelf_ratios.append(h_shelf / opt_f)
         table.add_row(
@@ -66,6 +77,8 @@ def test_e10_quality_comparison(benchmark):
              h_aptas / opt_f, h_shelf / opt_f, h_bl / opt_f]
         )
     emit("e10_baselines", table.render())
+    emit_reports("e10_baseline_reports", all_reports,
+                 title=f"E10 engine reports (eps={EPS}, K={K})")
     # Shape: the APTAS ratio declines from its small-n peak toward the
     # 1+eps guarantee...
     assert aptas_ratios[-1] <= max(aptas_ratios[:-1]) + 1e-9

@@ -26,3 +26,15 @@ def emit(experiment: str, text: str) -> None:
     print(banner)
     path = RESULTS_DIR / f"{experiment}.txt"
     path.write_text(text + "\n")
+
+
+def emit_reports(experiment: str, reports, title: str = "", **table_kwargs) -> None:
+    """Emit a batch of engine ``SolveReport`` objects as one canonical table.
+
+    Harnesses that solve through :func:`repro.engine.run` /
+    :func:`repro.engine.solve_many` hand the reports straight here instead
+    of re-deriving heights, bounds, ratios and wall-times per benchmark.
+    """
+    from repro.analysis.report import reports_table
+
+    emit(experiment, reports_table(reports, title=title or experiment, **table_kwargs).render())

@@ -42,10 +42,17 @@ from .core import (
 )
 from .core.registry import available_algorithms, solve
 from .dag import TaskDAG
+from .engine import AlgorithmSpec, PortfolioResult, SolveReport, portfolio, run, solve_many
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AlgorithmSpec",
+    "SolveReport",
+    "PortfolioResult",
+    "run",
+    "solve_many",
+    "portfolio",
     "Rect",
     "TaskDAG",
     "StripPackingInstance",

@@ -1,15 +1,17 @@
 """Measurement and reporting helpers shared by benchmarks and examples."""
 
-from .ratios import RatioSample, geometric_mean, log_slope, summarize
+from .ratios import RatioSample, geometric_mean, log_slope, samples_from_reports, summarize
 from .render import render_placement
-from .report import Table, format_value
+from .report import Table, format_value, reports_table
 
 __all__ = [
     "RatioSample",
     "summarize",
     "geometric_mean",
     "log_slope",
+    "samples_from_reports",
     "Table",
     "format_value",
+    "reports_table",
     "render_placement",
 ]

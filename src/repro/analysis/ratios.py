@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["RatioSample", "summarize", "geometric_mean", "log_slope"]
+__all__ = ["RatioSample", "summarize", "geometric_mean", "log_slope", "samples_from_reports"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,16 @@ def summarize(samples: Sequence[RatioSample]) -> dict[str, float]:
         "gmean": geometric_mean(ratios),
         "max": float(max(ratios)),
     }
+
+
+def samples_from_reports(reports) -> list[RatioSample]:
+    """Turn engine :class:`~repro.engine.report.SolveReport` objects into
+    ratio samples (reports without a usable lower bound are skipped)."""
+    return [
+        RatioSample(achieved=r.height, reference=r.lower_bound, label=r.label or r.algorithm)
+        for r in reports
+        if r.ratio is not None
+    ]
 
 
 def log_slope(ns: Sequence[float], values: Sequence[float]) -> float:

@@ -3,14 +3,19 @@
 Benchmarks print the same row/series structure the paper's analysis implies
 ("who wins, by what factor, where the growth is logarithmic"); this module
 keeps the formatting in one place so every harness emits uniform, grep-able
-tables.
+tables.  :func:`reports_table` renders a batch of engine
+:class:`~repro.engine.report.SolveReport` objects in one canonical layout,
+so harnesses stop re-deriving heights/bounds/ratios per call site.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["Table", "format_value"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.report import SolveReport
+
+__all__ = ["Table", "format_value", "reports_table"]
 
 
 def format_value(v: object, precision: int = 4) -> str:
@@ -64,3 +69,42 @@ class Table:
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.render())
+
+
+REPORT_COLUMNS = ("label", "algorithm", "n", "height", "lower_bound", "ratio", "time_s", "status")
+
+
+def reports_table(
+    reports: Sequence["SolveReport"], title: str = "", *, label_header: str = "label"
+) -> Table:
+    """One row per :class:`~repro.engine.report.SolveReport`.
+
+    The canonical batch/portfolio layout: label, algorithm, n, height,
+    lower bound, ratio, wall-time, validation status.  Failed runs render
+    their height/ratio as ``-`` and carry the error in the status cell.
+    """
+    columns = [label_header, *REPORT_COLUMNS[1:]]
+    table = Table(columns, title=title)
+    for r in reports:
+        failed = r.error is not None and r.placement is None
+        if failed:
+            status = f"error: {r.error.splitlines()[0][:40]}"
+        elif r.valid is None:
+            status = "unchecked"
+        elif r.valid:
+            status = "valid"
+        else:
+            status = f"INVALID: {(r.error or '').splitlines()[0][:40]}"
+        table.add_row(
+            [
+                r.label or r.algorithm,
+                r.algorithm,
+                r.n,
+                "-" if failed else r.height,
+                "-" if r.lower_bound is None else r.lower_bound,
+                "-" if r.ratio is None else r.ratio,
+                r.wall_time,
+                status,
+            ]
+        )
+    return table

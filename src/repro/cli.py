@@ -3,14 +3,23 @@
 Commands
 --------
 ``info``
-    Library version, available algorithms and problem variants.
+    Library version, problem variants, and the algorithm table rendered
+    live from the engine's spec registry.
 ``demo``
     Solve one built-in instance of each variant and draw the packings.
 ``solve INSTANCE.json [--algorithm NAME] [--eps E] [--output OUT.json]``
     Solve a JSON instance (format: :mod:`repro.core.serialize`), validate,
-    print the height and optionally write the placement JSON.
+    print the :class:`~repro.engine.report.SolveReport` summary and
+    optionally write the placement JSON.
 ``bounds INSTANCE.json``
     Print the elementary lower bounds for an instance.
+``batch DIR [--algorithm NAME] [--jobs N] [--glob PATTERN]``
+    Solve every instance JSON under ``DIR`` through the engine's
+    :func:`~repro.engine.batch.solve_many`, with optional thread-pool
+    parallelism; per-instance height/ratio/wall-time plus a summary.
+``portfolio INSTANCE.json [--algorithms a,b,c] [--jobs N]``
+    Race candidate algorithms on one instance; report every entrant and
+    the minimum-height valid winner.
 
 The CLI is a thin shell over the library; every code path it exercises is
 covered by unit tests through :func:`main`.
@@ -25,11 +34,16 @@ from pathlib import Path
 
 from . import __version__
 from .analysis.render import render_placement
+from .analysis.report import Table, reports_table
 from .core.bounds import combined_lower_bound
-from .core.registry import available_algorithms, solve
 from .core.serialize import loads_instance, placement_to_dict
+from .engine import default_params, portfolio, run, solve_many
 
 __all__ = ["main", "build_parser"]
+
+
+def _aptas_default_eps() -> float:
+    return float(default_params("aptas")["eps"])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,19 +60,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve a JSON instance file")
     p_solve.add_argument("instance", type=Path, help="path to instance JSON")
     p_solve.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
-    p_solve.add_argument("--eps", type=float, default=0.9, help="APTAS error parameter")
+    p_solve.add_argument(
+        "--eps",
+        type=float,
+        default=None,
+        help=f"APTAS error parameter (default from spec: {_aptas_default_eps():g})",
+    )
     p_solve.add_argument("--output", type=Path, default=None, help="write placement JSON here")
     p_solve.add_argument("--render", action="store_true", help="draw the packing")
 
     p_bounds = sub.add_parser("bounds", help="print lower bounds for a JSON instance")
     p_bounds.add_argument("instance", type=Path)
+
+    p_batch = sub.add_parser("batch", help="solve every instance JSON in a directory")
+    p_batch.add_argument("directory", type=Path, help="directory of instance JSON files")
+    p_batch.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
+    p_batch.add_argument("--jobs", type=int, default=1, help="thread-pool workers (1 = serial)")
+    p_batch.add_argument("--glob", default="*.json", help="instance file pattern")
+
+    p_port = sub.add_parser("portfolio", help="race algorithms on one instance")
+    p_port.add_argument("instance", type=Path, help="path to instance JSON")
+    p_port.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated entrants (default: every spec matching the variant)",
+    )
+    p_port.add_argument("--jobs", type=int, default=1, help="thread-pool workers (1 = serial)")
+    p_port.add_argument("--output", type=Path, default=None, help="write winning placement JSON here")
     return parser
 
 
 def _cmd_info(out) -> int:
+    from .engine import spec_table_rows
+
     print(f"repro {__version__}", file=out)
-    print("algorithms: " + ", ".join(available_algorithms()), file=out)
     print("variants: plain | precedence | release", file=out)
+    table = Table(["algorithm", "variants", "guarantee", "flags", "defaults"], title="registry")
+    for row in spec_table_rows():
+        table.add_row(list(row))
+    print(table.render(), file=out)
     return 0
 
 
@@ -70,33 +110,41 @@ def _cmd_demo(out) -> int:
 
     rng = np.random.default_rng(0)
     prec = random_precedence_instance(12, 0.15, rng)
-    p1 = solve(prec)
-    print(f"precedence demo: n={len(prec)}, DC height {p1.height:.3f}", file=out)
-    print(render_placement(p1, width_chars=40, max_rows=12), file=out)
+    r1 = run(prec)
+    print(f"precedence demo: n={len(prec)}, DC height {r1.height:.3f}", file=out)
+    print(render_placement(r1.placement, width_chars=40, max_rows=12), file=out)
 
     rel = bursty_release_instance(10, 4, rng, n_bursts=2)
-    p2 = solve(rel, eps=1.0)
-    print(f"\nrelease demo: n={len(rel)}, APTAS height {p2.height:.3f}", file=out)
-    print(render_placement(p2, width_chars=40, max_rows=12), file=out)
+    r2 = run(rel, params={"eps": 1.0})
+    print(f"\nrelease demo: n={len(rel)}, APTAS height {r2.height:.3f}", file=out)
+    print(render_placement(r2.placement, width_chars=40, max_rows=12), file=out)
     return 0
+
+
+def _solve_params(instance, name, eps):
+    """Pass ``eps`` only where the aptas spec will consume it."""
+    from .core.instance import ReleaseInstance
+
+    if eps is None:
+        return None
+    if isinstance(instance, ReleaseInstance) and (name is None or name == "aptas"):
+        return {"eps": eps}
+    return None
 
 
 def _cmd_solve(args, out) -> int:
     instance = loads_instance(args.instance.read_text())
-    kwargs = {}
-    from .core.instance import ReleaseInstance
-
-    name = args.algorithm
-    if isinstance(instance, ReleaseInstance) and (name is None or name == "aptas"):
-        kwargs["eps"] = args.eps
-    placement = solve(instance, name, **kwargs)
-    print(f"algorithm: {name or 'default'}", file=out)
-    print(f"n = {len(instance)}, height = {placement.height:.6g}, "
-          f"lower bound = {combined_lower_bound(instance):.6g}", file=out)
+    report = run(instance, args.algorithm, params=_solve_params(instance, args.algorithm, args.eps))
+    print(f"algorithm: {report.algorithm}", file=out)
+    print(f"n = {report.n}, height = {report.height:.6g}, "
+          f"lower bound = {report.lower_bound:.6g}", file=out)
+    ratio = "-" if report.ratio is None else f"{report.ratio:.4g}"
+    print(f"ratio = {ratio}, wall time = {report.wall_time:.4g}s, "
+          f"valid = {'yes' if report.valid else 'no'}", file=out)
     if args.render:
-        print(render_placement(placement), file=out)
+        print(render_placement(report.placement), file=out)
     if args.output is not None:
-        args.output.write_text(json.dumps(placement_to_dict(placement), indent=2))
+        args.output.write_text(json.dumps(placement_to_dict(report.placement), indent=2))
         print(f"placement written to {args.output}", file=out)
     return 0
 
@@ -112,6 +160,51 @@ def _cmd_bounds(args, out) -> int:
     return 0
 
 
+def _cmd_batch(args, out) -> int:
+    from .workloads.suite import read_instance_dir
+
+    if not args.directory.is_dir():
+        print(f"not a directory: {args.directory}", file=out)
+        return 2
+    paths, instances = read_instance_dir(args.directory, pattern=args.glob)
+    if not instances:
+        print(f"no instances matching {args.glob!r} under {args.directory}", file=out)
+        return 2
+    reports = solve_many(
+        instances,
+        args.algorithm,
+        jobs=args.jobs,
+        labels=[p.name for p in paths],
+        strict=False,
+    )
+    title = f"batch {args.directory} ({len(reports)} instances, jobs={args.jobs})"
+    print(reports_table(reports, title=title, label_header="instance").render(), file=out)
+    ok = [r for r in reports if r.valid]
+    total_time = sum(r.wall_time for r in reports)
+    print(f"\nsolved {len(ok)}/{len(reports)} valid, "
+          f"total solver time = {total_time:.4g}s", file=out)
+    return 0 if len(ok) == len(reports) else 1
+
+
+def _cmd_portfolio(args, out) -> int:
+    instance = loads_instance(args.instance.read_text())
+    names = args.algorithms.split(",") if args.algorithms else None
+    result = portfolio(instance, names, jobs=args.jobs)
+    title = f"portfolio {args.instance.name} (n={len(instance)})"
+    print(reports_table(result.reports, title=title, label_header="entrant").render(), file=out)
+    if result.best is None:
+        print("\nno entrant produced a valid placement", file=out)
+        return 1
+    best = result.best
+    ratio = "-" if best.ratio is None else f"{best.ratio:.4g}"
+    print(f"\nwinner: {best.algorithm} with height = {best.height:.6g} "
+          f"(ratio = {ratio}, wall time = {best.wall_time:.4g}s)", file=out)
+    if args.output is not None:
+        args.output.write_text(json.dumps(placement_to_dict(best.placement), indent=2))
+        print(f"placement written to {args.output}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -124,4 +217,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_solve(args, out)
     if args.command == "bounds":
         return _cmd_bounds(args, out)
+    if args.command == "batch":
+        return _cmd_batch(args, out)
+    if args.command == "portfolio":
+        return _cmd_portfolio(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

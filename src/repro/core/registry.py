@@ -1,10 +1,15 @@
-"""Algorithm registry and the one-call :func:`solve` dispatcher.
+"""Back-compat dispatch API: :func:`solve` and :func:`available_algorithms`.
 
-The public entry point for users who just want a packing: pick an algorithm
-by name (or let the dispatcher choose a sensible default for the instance's
-variant) and get a validated :class:`~repro.core.placement.Placement` back.
+Historically this module owned a closure table mapping algorithm names to
+runners.  That table is now the declarative spec registry in
+:mod:`repro.engine.spec` (one :class:`~repro.engine.spec.AlgorithmSpec`
+per algorithm, with variant, guarantee, and default-parameter metadata),
+and :func:`solve` is a thin shim over :func:`repro.engine.run` that
+returns just the placement.  Existing callers keep working unchanged; new
+code that wants timing, bounds, and ratios should call the engine and
+read the :class:`~repro.engine.report.SolveReport` instead.
 
-Registered algorithms (see DESIGN.md for guarantees):
+Registered algorithms (``repro info`` prints the live table):
 
 ====================  ===========================  ==============================
 name                  instance type                guarantee
@@ -25,109 +30,18 @@ name                  instance type                guarantee
 
 from __future__ import annotations
 
-from typing import Callable
-
-from .errors import InvalidInstanceError
-from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
-from .placement import Placement, validate_placement
+from .errors import InvalidPlacementError
+from .instance import StripPackingInstance
+from .placement import Placement
 
 __all__ = ["available_algorithms", "solve"]
 
 
-def _plain(packer_name: str) -> Callable[[StripPackingInstance], Placement]:
-    def run(instance: StripPackingInstance, **kw) -> Placement:
-        from .. import packing
-
-        packer = getattr(packing, packer_name)
-        return packer(list(instance.rects), **kw).placement
-
-    return run
-
-
-def _dc(instance: StripPackingInstance, **kw) -> Placement:
-    from ..precedence.dc import dc_pack
-
-    if not isinstance(instance, PrecedenceInstance):
-        instance = PrecedenceInstance.without_constraints(list(instance.rects))
-    return dc_pack(instance, **kw).placement
-
-
-def _shelf_next_fit(instance: StripPackingInstance, **kw) -> Placement:
-    from ..precedence.shelf_nextfit import shelf_next_fit
-
-    if not isinstance(instance, PrecedenceInstance):
-        instance = PrecedenceInstance.without_constraints(list(instance.rects))
-    return shelf_next_fit(instance, **kw).placement
-
-
-def _list_schedule(instance: StripPackingInstance, **kw) -> Placement:
-    from ..precedence.list_schedule import list_schedule
-
-    if not isinstance(instance, PrecedenceInstance):
-        instance = PrecedenceInstance.without_constraints(list(instance.rects))
-    return list_schedule(instance, **kw)
-
-
-def _aptas(instance: StripPackingInstance, eps: float = 0.5, **kw) -> Placement:
-    from ..release.aptas import aptas
-
-    if not isinstance(instance, ReleaseInstance):
-        raise InvalidInstanceError("aptas requires a ReleaseInstance")
-    return aptas(instance, eps, **kw).placement
-
-
-def _release_shelf(instance: StripPackingInstance, **kw) -> Placement:
-    from ..release.heuristics import release_shelf_pack
-
-    if not isinstance(instance, ReleaseInstance):
-        raise InvalidInstanceError("release_shelf requires a ReleaseInstance")
-    return release_shelf_pack(instance, **kw)
-
-
-def _release_bl(instance: StripPackingInstance, **kw) -> Placement:
-    from ..release.heuristics import release_bottom_left
-
-    if not isinstance(instance, ReleaseInstance):
-        raise InvalidInstanceError("release_bl requires a ReleaseInstance")
-    return release_bottom_left(instance, **kw)
-
-
-def _online_ff(instance: StripPackingInstance, **kw) -> Placement:
-    from ..release.online import online_first_fit
-
-    if not isinstance(instance, ReleaseInstance):
-        raise InvalidInstanceError("online_ff requires a ReleaseInstance")
-    return online_first_fit(instance, **kw).placement
-
-
-_REGISTRY: dict[str, Callable] = {
-    "nfdh": _plain("nfdh"),
-    "ffdh": _plain("ffdh"),
-    "bfdh": _plain("bfdh"),
-    "bottom_left": _plain("bottom_left"),
-    "dc": _dc,
-    "shelf_next_fit": _shelf_next_fit,
-    "list_schedule": _list_schedule,
-    "aptas": _aptas,
-    "release_shelf": _release_shelf,
-    "release_bl": _release_bl,
-    "online_ff": _online_ff,
-}
-
-
 def available_algorithms() -> list[str]:
-    """Names accepted by :func:`solve`."""
-    return sorted(_REGISTRY)
+    """Names accepted by :func:`solve` (sorted)."""
+    from ..engine.spec import all_specs
 
-
-def _default_for(instance: StripPackingInstance) -> str:
-    if isinstance(instance, ReleaseInstance):
-        return "aptas"
-    if isinstance(instance, PrecedenceInstance):
-        if instance.dag.n_edges and instance.uniform_height():
-            return "shelf_next_fit"
-        return "dc"
-    return "nfdh"
+    return [s.name for s in all_specs()]
 
 
 def solve(
@@ -141,13 +55,18 @@ def solve(
 
     The returned placement is validated against the instance unless
     ``validate=False`` (benchmarks validate separately to keep timing pure).
+    Keyword arguments override the algorithm spec's defaults (e.g.
+    ``eps=...`` for the APTAS).
     """
-    name = algorithm or _default_for(instance)
-    if name not in _REGISTRY:
-        raise InvalidInstanceError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-        )
-    placement = _REGISTRY[name](instance, **kwargs)
-    if validate:
-        validate_placement(instance, placement)
-    return placement
+    from ..engine.runner import run
+
+    report = run(
+        instance,
+        algorithm,
+        params=kwargs,
+        validate=validate,
+        compute_bounds=False,
+    )
+    if validate and not report.valid:
+        raise InvalidPlacementError(report.error or "placement failed validation")
+    return report.placement

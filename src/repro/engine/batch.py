@@ -1,0 +1,155 @@
+"""Batch and portfolio execution on top of the engine runner.
+
+Two serving-layer shapes:
+
+* :func:`solve_many` — a stream of instances through one algorithm (or the
+  per-variant default), optionally fanned out over a thread pool.  Results
+  come back in input order regardless of ``jobs``, and every solver in the
+  library is deterministic, so serial and parallel runs are bit-identical.
+* :func:`portfolio` — one instance raced across a set of specs; the
+  winner is the minimum-height *valid* placement (candidate order breaks
+  ties, so the winner is deterministic regardless of ``jobs``).
+  Per-spec failures are captured as error reports instead of aborting the
+  race, so one brittle candidate never loses the answer.
+
+Threads (not processes) on purpose: the solvers are pure Python with small
+numpy kernels, instances are shared read-only, and the pool must work on
+non-picklable user ids.  The ``jobs`` knob mainly buys overlap for the
+LP-heavy APTAS paths and keeps the API shape ready for a process/async
+backend later.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.errors import InvalidInstanceError, ReproError
+from ..core.instance import StripPackingInstance
+from .report import SolveReport
+from .runner import run
+from .spec import get_spec, specs_for_variant, variant_of
+
+__all__ = ["solve_many", "portfolio", "PortfolioResult"]
+
+
+def solve_many(
+    instances: Iterable[StripPackingInstance],
+    algorithm: str | None = None,
+    *,
+    params: Mapping[str, Any] | None = None,
+    jobs: int | None = None,
+    validate: bool = True,
+    compute_bounds: bool = True,
+    labels: Sequence[str] | None = None,
+    strict: bool = True,
+) -> list[SolveReport]:
+    """Solve every instance, returning reports in input order.
+
+    ``jobs=None`` or ``jobs<=1`` runs serially; ``jobs=N`` uses a thread
+    pool of ``N`` workers.  ``labels`` (parallel to ``instances``) tags each
+    report, e.g. with the source file name.  With ``strict=False`` a
+    per-instance :class:`~repro.core.errors.ReproError` (e.g. forcing a
+    release-only algorithm onto a plain instance) becomes an error report
+    instead of aborting the whole batch — the mode the CLI serves with.
+    """
+    items = list(instances)
+    if labels is not None and len(labels) != len(items):
+        raise ValueError(f"{len(labels)} labels for {len(items)} instances")
+
+    def one(idx: int) -> SolveReport:
+        label = labels[idx] if labels is not None else str(idx)
+        try:
+            return run(
+                items[idx],
+                algorithm,
+                params=params,
+                validate=validate,
+                compute_bounds=compute_bounds,
+                label=label,
+            )
+        except ReproError as exc:
+            if strict:
+                raise
+            return SolveReport(
+                algorithm=algorithm or "default",
+                variant=variant_of(items[idx]),
+                n=len(items[idx]),
+                error=f"{type(exc).__name__}: {exc}",
+                label=label,
+            )
+
+    if jobs is None or jobs <= 1:
+        return [one(i) for i in range(len(items))]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(one, range(len(items))))
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """All race entrants plus the winner (``None`` when nothing validated)."""
+
+    reports: tuple[SolveReport, ...]
+    best: SolveReport | None
+
+    @property
+    def heights(self) -> dict[str, float]:
+        """algorithm -> achieved height (failed entrants excluded)."""
+        return {r.algorithm: r.height for r in self.reports if r.error is None}
+
+
+def portfolio(
+    instance: StripPackingInstance,
+    algorithms: Sequence[str] | None = None,
+    *,
+    params: Mapping[str, Mapping[str, Any]] | None = None,
+    jobs: int | None = None,
+    compute_bounds: bool = True,
+) -> PortfolioResult:
+    """Race a set of algorithms on one instance; best valid placement wins.
+
+    ``algorithms`` defaults to every spec that supports the instance's
+    variant and accepts the instance.  ``params`` maps algorithm name to
+    that entrant's parameter overrides.  Validation is always on — an
+    invalid placement must never win a race.
+    """
+    if algorithms is None:
+        variant = variant_of(instance)
+        names = [s.name for s in specs_for_variant(variant) if s.accepts(instance)]
+    else:
+        names = [get_spec(a).name for a in algorithms]
+    if not names:
+        raise InvalidInstanceError("portfolio has no candidate algorithms")
+
+    def entrant(name: str) -> SolveReport:
+        overrides = (params or {}).get(name)
+        try:
+            return run(
+                instance,
+                name,
+                params=overrides,
+                validate=True,
+                compute_bounds=compute_bounds,
+                label=name,
+            )
+        except ReproError as exc:
+            spec = get_spec(name)
+            return SolveReport(
+                algorithm=name,
+                variant=variant_of(instance),
+                n=len(instance),
+                params=spec.resolve_params(overrides),
+                error=f"{type(exc).__name__}: {exc}",
+                label=name,
+            )
+
+    if jobs is None or jobs <= 1:
+        reports = [entrant(n) for n in names]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            reports = list(pool.map(entrant, names))
+
+    valid = [(i, r) for i, r in enumerate(reports) if r.valid]
+    best = min(valid, key=lambda ir: (ir[1].height, ir[0]))[1] if valid else None
+    return PortfolioResult(reports=tuple(reports), best=best)

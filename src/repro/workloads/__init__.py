@@ -15,6 +15,7 @@ from .releases import (
     poisson_release_instance,
     staircase_release_instance,
 )
+from .suite import mixed_instance_suite, read_instance_dir, write_instance_dir
 
 __all__ = [
     "omega_log_n_instance",
@@ -33,4 +34,7 @@ __all__ = [
     "staircase_release_instance",
     "jpeg_pipeline_tasks",
     "jpeg_pipeline_instance",
+    "mixed_instance_suite",
+    "write_instance_dir",
+    "read_instance_dir",
 ]

@@ -1,0 +1,75 @@
+"""Mixed-variant instance streams for batch execution and serving tests.
+
+The engine's :func:`~repro.engine.batch.solve_many` consumes a stream of
+heterogeneous instances; this module generates such streams (round-robin
+over the three variants, sizes drawn from a range) and writes/reads them
+as directories of instance JSON files — the on-disk shape the
+``repro batch DIR/`` CLI command operates on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.instance import StripPackingInstance
+from ..core.serialize import dumps_instance, loads_instance
+from .dags import random_precedence_instance
+from .random_rects import uniform_rects
+from .releases import bursty_release_instance
+
+__all__ = ["mixed_instance_suite", "write_instance_dir", "read_instance_dir"]
+
+
+def mixed_instance_suite(
+    n_instances: int,
+    rng: np.random.Generator,
+    *,
+    size_range: tuple[int, int] = (8, 24),
+    K: int = 4,
+) -> list[StripPackingInstance]:
+    """Round-robin plain / precedence / release instances.
+
+    Sizes are drawn uniformly from ``size_range``; everything is derived
+    from ``rng``, so a fixed seed reproduces the exact stream (the batch
+    determinism tests rely on this).
+    """
+    if n_instances < 0:
+        raise ValueError(f"n_instances must be non-negative, got {n_instances}")
+    lo, hi = size_range
+    instances: list[StripPackingInstance] = []
+    for i in range(n_instances):
+        n = int(rng.integers(lo, hi + 1))
+        kind = i % 3
+        if kind == 0:
+            instances.append(StripPackingInstance(uniform_rects(n, rng)))
+        elif kind == 1:
+            instances.append(random_precedence_instance(n, 0.15, rng))
+        else:
+            instances.append(bursty_release_instance(n, K, rng, n_bursts=2))
+    return instances
+
+
+def write_instance_dir(path: Path | str, instances, *, prefix: str = "instance") -> list[Path]:
+    """Write each instance as ``<prefix>_<idx>.json`` under ``path``."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    items = list(instances)
+    width = max(3, len(str(max(len(items) - 1, 0))))
+    paths = []
+    for i, inst in enumerate(items):
+        p = root / f"{prefix}_{i:0{width}d}.json"
+        p.write_text(dumps_instance(inst, indent=2))
+        paths.append(p)
+    return paths
+
+
+def read_instance_dir(path: Path | str, *, pattern: str = "*.json"):
+    """Load every instance JSON under ``path`` (sorted by file name).
+
+    Returns ``(paths, instances)`` so callers can label reports by file.
+    """
+    root = Path(path)
+    paths = sorted(root.glob(pattern))
+    return paths, [loads_instance(p.read_text()) for p in paths]

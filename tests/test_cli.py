@@ -84,6 +84,87 @@ class TestBounds:
         assert "area" in text and "combined" in text
 
 
+class TestBatch:
+    @pytest.fixture
+    def instance_dir(self, tmp_path):
+        import numpy as np
+
+        from repro.workloads.suite import mixed_instance_suite, write_instance_dir
+
+        d = tmp_path / "instances"
+        write_instance_dir(d, mixed_instance_suite(4, np.random.default_rng(2)))
+        return d
+
+    def test_batch_serial(self, instance_dir):
+        code, text = run_cli(["batch", str(instance_dir)])
+        assert code == 0
+        assert "solved 4/4 valid" in text
+        assert "instance_000.json" in text
+
+    def test_batch_parallel_jobs(self, instance_dir):
+        code, text = run_cli(["batch", str(instance_dir), "--jobs", "3"])
+        assert code == 0
+        assert "jobs=3" in text
+
+    def test_batch_named_algorithm_reports_invalid_rows(self, instance_dir):
+        # dc ignores release times, so forcing it over a mixed directory must
+        # surface INVALID rows and a non-zero exit instead of lying.
+        code, text = run_cli(["batch", str(instance_dir), "--algorithm", "dc"])
+        assert code == 1
+        assert "INVALID" in text
+        assert "solved" in text
+
+    def test_batch_release_only_algorithm_reports_errors(self, instance_dir):
+        # aptas hard-requires a ReleaseInstance; on a mixed directory the
+        # incompatible instances must become error rows, not a traceback.
+        code, text = run_cli(["batch", str(instance_dir), "--algorithm", "aptas"])
+        assert code == 1
+        assert "error: InvalidInstanceError" in text
+        assert "solved" in text
+
+    def test_batch_empty_dir(self, tmp_path):
+        code, text = run_cli(["batch", str(tmp_path)])
+        assert code == 2
+        assert "no instances" in text
+
+    def test_batch_missing_dir(self, tmp_path):
+        code, text = run_cli(["batch", str(tmp_path / "nope")])
+        assert code == 2
+
+
+class TestPortfolio:
+    @pytest.fixture
+    def release_file(self, tmp_path):
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.5 * i) for i in range(4)], K=2
+        )
+        path = tmp_path / "rel.json"
+        path.write_text(dumps_instance(inst))
+        return path
+
+    def test_portfolio_default_race(self, release_file):
+        code, text = run_cli(["portfolio", str(release_file)])
+        assert code == 0
+        assert "winner:" in text and "aptas" in text and "height =" in text
+
+    def test_portfolio_explicit_algorithms(self, release_file):
+        code, text = run_cli(
+            ["portfolio", str(release_file), "--algorithms", "release_bl,release_shelf"]
+        )
+        assert code == 0
+        assert "release_bl" in text and "release_shelf" in text
+        assert "aptas" not in text  # only the requested entrants race
+
+    def test_portfolio_writes_winner(self, release_file, tmp_path):
+        out_path = tmp_path / "best.json"
+        code, text = run_cli(
+            ["portfolio", str(release_file), "--jobs", "2", "--output", str(out_path)]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert len(data["placements"]) == 4
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,125 @@
+"""Tests for the instrumented runner and SolveReport field correctness."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    area_bound,
+    combined_lower_bound,
+    critical_path_bound,
+    hmax_bound,
+    release_bound,
+)
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance, StripPackingInstance
+from repro.core.placement import validate_placement
+from repro.core.rectangle import Rect
+from repro.engine import SolveReport, bound_components, run
+
+
+def plain_inst():
+    return StripPackingInstance([Rect(rid=i, width=0.25, height=1.0) for i in range(4)])
+
+
+def release_inst():
+    return ReleaseInstance(
+        [Rect(rid=i, width=0.5, height=0.5, release=float(i)) for i in range(3)], K=2
+    )
+
+
+class TestRun:
+    def test_report_fields_against_bounds(self):
+        inst = plain_inst()
+        report = run(inst, "nfdh")
+        assert report.algorithm == "nfdh"
+        assert report.variant == "plain"
+        assert report.n == 4
+        assert report.valid is True
+        assert report.error is None
+        assert report.ok
+        assert report.height == report.placement.height
+        assert report.lower_bound == combined_lower_bound(inst)
+        assert report.bounds["area"] == area_bound(inst)
+        assert report.bounds["hmax"] == hmax_bound(inst)
+        assert report.ratio == pytest.approx(report.height / combined_lower_bound(inst))
+        assert report.ratio >= 1.0 - 1e-12
+        assert report.wall_time >= 0.0
+        validate_placement(inst, report.placement)
+
+    def test_bound_components_by_variant(self, chain_instance):
+        comps = bound_components(chain_instance)
+        assert comps["critical_path"] == critical_path_bound(chain_instance)
+        rel = release_inst()
+        comps = bound_components(rel)
+        assert comps["release"] == release_bound(rel)
+        assert "critical_path" not in comps
+
+    def test_default_algorithm_used(self):
+        report = run(release_inst())
+        assert report.algorithm == "aptas"
+        assert report.params["eps"] == pytest.approx(0.5)
+
+    def test_params_override_spec_default(self):
+        report = run(release_inst(), "aptas", params={"eps": 1.0})
+        assert report.params == {"eps": 1.0}
+        assert report.valid
+
+    def test_validate_false_leaves_valid_none(self):
+        report = run(plain_inst(), "nfdh", validate=False)
+        assert report.valid is None
+        assert report.ok
+
+    def test_compute_bounds_false(self):
+        report = run(plain_inst(), "nfdh", compute_bounds=False)
+        assert report.lower_bound is None
+        assert report.bounds == {}
+        assert report.ratio is None
+
+    def test_requires_enforced_through_run(self):
+        with pytest.raises(InvalidInstanceError):
+            run(plain_inst(), "aptas")
+
+    def test_label_carried(self):
+        assert run(plain_inst(), "nfdh", label="case-7").label == "case-7"
+
+
+class TestSolveReportObject:
+    def test_failed_report_shape(self):
+        report = SolveReport(algorithm="x", variant="plain", n=3, error="boom")
+        assert not report.ok
+        assert report.height == math.inf
+        assert report.ratio is None
+        assert report.placement is None
+
+    def test_to_dict_roundtrips_scalars(self):
+        report = run(plain_inst(), "ffdh", label="d")
+        d = report.to_dict()
+        assert d["algorithm"] == "ffdh"
+        assert d["height"] == report.height
+        assert d["lower_bound"] == report.lower_bound
+        assert d["ratio"] == report.ratio
+        assert d["valid"] is True
+        assert d["label"] == "d"
+        assert "placement" not in d
+
+    def test_nonpositive_lower_bound_gives_no_ratio(self):
+        report = SolveReport(
+            algorithm="x", variant="plain", n=0, height=0.0, lower_bound=0.0
+        )
+        assert report.ratio is None
+
+
+class TestBackCompatShim:
+    def test_solve_returns_plain_placement(self):
+        from repro import solve
+
+        inst = plain_inst()
+        placement = solve(inst, "nfdh")
+        validate_placement(inst, placement)
+
+    def test_solve_kwargs_still_reach_algorithm(self):
+        from repro import solve
+
+        p = solve(release_inst(), "aptas", eps=1.0)
+        validate_placement(release_inst(), p)

@@ -1,0 +1,125 @@
+"""Tests for the declarative algorithm spec registry."""
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.core.registry import available_algorithms
+from repro.dag.graph import TaskDAG
+from repro.engine import (
+    VARIANTS,
+    AlgorithmSpec,
+    all_specs,
+    default_algorithm,
+    default_params,
+    get_spec,
+    spec_table_rows,
+    specs_for_variant,
+    variant_of,
+)
+
+
+def plain_inst():
+    return StripPackingInstance([Rect(rid=i, width=0.25, height=1.0) for i in range(4)])
+
+
+def release_inst():
+    return ReleaseInstance([Rect(rid=0, width=0.5, height=1.0, release=1.0)], K=2)
+
+
+class TestRegistryCompleteness:
+    def test_every_algorithm_has_a_spec(self):
+        for name in available_algorithms():
+            spec = get_spec(name)
+            assert spec.name == name
+            assert spec.variants, name
+            assert set(spec.variants) <= set(VARIANTS)
+            assert spec.guarantee, f"{name} is missing guarantee metadata"
+
+    def test_spec_count_matches_available(self):
+        assert len(all_specs()) == len(available_algorithms()) == 11
+
+    def test_unknown_name_raises_dispatcher_error(self):
+        with pytest.raises(InvalidInstanceError, match="unknown algorithm"):
+            get_spec("quantum_annealer")
+
+    def test_table_rows_cover_all_specs(self):
+        rows = spec_table_rows()
+        assert {r[0] for r in rows} == set(available_algorithms())
+        online = dict((r[0], r[3]) for r in rows)
+        assert "online" in online["online_ff"]
+
+
+class TestVariants:
+    def test_variant_of(self):
+        assert variant_of(plain_inst()) == "plain"
+        assert variant_of(PrecedenceInstance.without_constraints(list(plain_inst().rects))) == "precedence"
+        assert variant_of(release_inst()) == "release"
+
+    def test_specs_for_variant(self):
+        release_names = {s.name for s in specs_for_variant("release")}
+        assert release_names == {"aptas", "release_shelf", "release_bl", "online_ff"}
+        assert all("precedence" in s.variants for s in specs_for_variant("precedence"))
+
+    def test_specs_for_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            specs_for_variant("rotational")
+
+
+class TestDefaults:
+    def test_default_per_variant(self):
+        assert default_algorithm(plain_inst()) == "nfdh"
+        assert default_algorithm(release_inst()) == "aptas"
+        prec = PrecedenceInstance(
+            [Rect(rid=i, width=0.4, height=1.0) for i in range(4)],
+            TaskDAG(range(4), [(0, 1)]),
+        )
+        assert default_algorithm(prec) == "shelf_next_fit"  # uniform heights
+        mixed = PrecedenceInstance(
+            [Rect(rid=i, width=0.4, height=1.0 + 0.1 * i) for i in range(4)],
+            TaskDAG(range(4), [(0, 1)]),
+        )
+        assert default_algorithm(mixed) == "dc"
+
+    def test_aptas_eps_single_source(self):
+        """The CLI and the library must both read eps from the spec."""
+        from repro.engine.specs import APTAS_DEFAULT_EPS
+
+        assert default_params("aptas") == {"eps": APTAS_DEFAULT_EPS}
+        spec = get_spec("aptas")
+        assert spec.resolve_params() == {"eps": APTAS_DEFAULT_EPS}
+        assert spec.resolve_params({"eps": 1.0}) == {"eps": 1.0}
+
+    def test_default_params_returns_copy(self):
+        d = default_params("aptas")
+        d["eps"] = 99.0
+        assert default_params("aptas")["eps"] != 99.0
+
+
+class TestSpecValidation:
+    def test_requires_enforced(self):
+        spec = get_spec("aptas")
+        assert spec.accepts(release_inst())
+        assert not spec.accepts(plain_inst())
+        with pytest.raises(InvalidInstanceError, match="requires a ReleaseInstance"):
+            spec.check_instance(plain_inst())
+
+    def test_bad_variants_rejected(self):
+        with pytest.raises(ValueError, match="variants"):
+            AlgorithmSpec(name="x", variants=("cubic",), guarantee="g", runner=lambda i: None)
+        with pytest.raises(ValueError, match="variants"):
+            AlgorithmSpec(name="x", variants=(), guarantee="g", runner=lambda i: None)
+
+    def test_bad_requires_rejected(self):
+        with pytest.raises(ValueError, match="requires"):
+            AlgorithmSpec(
+                name="x", variants=("plain",), guarantee="g",
+                runner=lambda i: None, requires="cubic",
+            )
+
+    def test_duplicate_registration_rejected(self):
+        from repro.engine.spec import register
+
+        with pytest.raises(ValueError, match="registered twice"):
+            register(get_spec("nfdh"))
