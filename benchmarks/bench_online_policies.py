@@ -1,0 +1,89 @@
+"""A5 — online policy shoot-out: the price of not knowing the future,
+per policy.
+
+E10/A4 established the gap between online first fit and the offline APTAS
+on one policy; with the event-driven simulator every registered online
+policy (first fit, best-fit column, online shelves) replays the *same*
+arrival stream, so the "price of not knowing the future" becomes a curve
+per policy rather than a single point.  All heights are normalised by the
+fractional optimum ``OPT_f``; every policy is an integral solution, so its
+ratio is at least 1, and the offline APTAS should dominate the online
+policies as ``n`` grows.
+
+The simulator's serving statistics (queue depth, utilization) are recorded
+alongside — the operating-system view the paper's ref [23] motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.engine import run
+from repro.release.lp import optimal_fractional_height
+from repro.sim import simulate_instance
+from repro.workloads.releases import bursty_release_instance
+
+from .conftest import emit, emit_reports
+
+K = 4
+POLICIES = ("first_fit", "best_fit_column", "shelf_online")
+ONLINE_SPECS = {"first_fit": "online_ff", "best_fit_column": "online_best_fit",
+                "shelf_online": "online_shelf"}
+
+
+def _inst(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
+
+
+def test_a5_policy_ratios(benchmark):
+    inst0 = _inst(40)
+    benchmark(lambda: simulate_instance(inst0, "first_fit"))
+
+    table = Table(
+        ["n", "opt_f", *POLICIES, "aptas", *(f"{p}/opt_f" for p in POLICIES)],
+        title=f"A5 online policies vs offline APTAS (K={K})",
+    )
+    all_reports = []
+    for n in (10, 20, 40, 80):
+        inst = _inst(n)
+        opt_f = optimal_fractional_height(inst)
+        heights = {}
+        for policy in POLICIES:
+            rep = run(inst, ONLINE_SPECS[policy], label=f"n={n}:{policy}")
+            assert rep.valid
+            # Integral online solutions never beat the fractional optimum.
+            assert rep.height >= opt_f - 1e-6
+            heights[policy] = rep.height
+            all_reports.append(rep)
+        rep_off = run(inst, "aptas", params={"eps": 0.9}, label=f"n={n}:aptas")
+        assert rep_off.valid and rep_off.height >= opt_f - 1e-6
+        all_reports.append(rep_off)
+        table.add_row(
+            [n, opt_f, *(heights[p] for p in POLICIES), rep_off.height,
+             *(heights[p] / opt_f for p in POLICIES)]
+        )
+    emit("a5_online_policies", table.render())
+    emit_reports("a5_online_policies_reports", all_reports,
+                 title=f"A5 engine reports (K={K})")
+
+
+def test_a5_serving_statistics(benchmark):
+    inst0 = _inst(40)
+    benchmark(lambda: simulate_instance(inst0, "best_fit_column"))
+
+    table = Table(
+        ["policy", "n", "makespan", "mean_queue", "max_queue", "utilization"],
+        title=f"A5b serving statistics on one bursty stream (K={K})",
+    )
+    for policy in POLICIES:
+        trace = simulate_instance(_inst(40), policy)
+        # Utilization is a fraction of the device; queue depth is bounded by n.
+        assert 0.0 < trace.mean_utilization <= 1.0
+        assert 0 <= trace.max_queue_depth <= trace.n_tasks
+        table.add_row(
+            [policy, trace.n_tasks, trace.makespan, trace.mean_queue_depth,
+             trace.max_queue_depth, trace.mean_utilization]
+        )
+    emit("a5b_serving_stats", table.render())

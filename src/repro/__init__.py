@@ -43,8 +43,9 @@ from .core import (
 from .core.registry import available_algorithms, solve
 from .dag import TaskDAG
 from .engine import AlgorithmSpec, PortfolioResult, SolveReport, portfolio, run, solve_many
+from .sim import SimTrace, simulate, simulate_instance
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlgorithmSpec",
@@ -53,6 +54,9 @@ __all__ = [
     "run",
     "solve_many",
     "portfolio",
+    "SimTrace",
+    "simulate",
+    "simulate_instance",
     "Rect",
     "TaskDAG",
     "StripPackingInstance",

@@ -20,6 +20,15 @@ Commands
 ``portfolio INSTANCE.json [--algorithms a,b,c] [--jobs N]``
     Race candidate algorithms on one instance; report every entrant and
     the minimum-height valid winner.
+``simulate STREAM [--policy P] [--seed S] [--n N] [--K K] [--rate R]``
+    Event-driven online scheduling through :mod:`repro.sim`: ``STREAM`` is
+    a synthetic arrival process (``poisson`` | ``bursty`` | ``staircase``)
+    or a path to a release-instance JSON file / trace directory to replay.
+    Prints the :class:`~repro.sim.trace.SimTrace` summary (makespan, queue
+    depth, utilization) and its engine-report ratio.
+
+Bad inputs (missing files, malformed JSON, invalid parameters) exit with
+code 2 and a one-line message — never a traceback.
 
 The CLI is a thin shell over the library; every code path it exercises is
 covered by unit tests through :func:`main`.
@@ -36,14 +45,33 @@ from . import __version__
 from .analysis.render import render_placement
 from .analysis.report import Table, reports_table
 from .core.bounds import combined_lower_bound
+from .core.errors import ReproError
 from .core.serialize import loads_instance, placement_to_dict
 from .engine import default_params, portfolio, run, solve_many
 
 __all__ = ["main", "build_parser"]
 
 
+class _CliInputError(Exception):
+    """A user-input problem the CLI reports as a message + exit code 2."""
+
+
 def _aptas_default_eps() -> float:
     return float(default_params("aptas")["eps"])
+
+
+def _load_instance(path: Path):
+    """Read and parse one instance JSON, mapping failures to CLI errors."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise _CliInputError(f"cannot read {path}: {exc}") from exc
+    try:
+        return loads_instance(text)
+    except json.JSONDecodeError as exc:
+        raise _CliInputError(f"malformed JSON in {path}: {exc}") from exc
+    except ReproError as exc:
+        raise _CliInputError(f"invalid instance in {path}: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +115,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_port.add_argument("--jobs", type=int, default=1, help="thread-pool workers (1 = serial)")
     p_port.add_argument("--output", type=Path, default=None, help="write winning placement JSON here")
+
+    from .sim import policy_names
+
+    p_sim = sub.add_parser("simulate", help="event-driven online scheduling simulation")
+    p_sim.add_argument(
+        "stream",
+        help="poisson | bursty | staircase, or a path to a release-instance "
+        "JSON file / directory of traces to replay",
+    )
+    p_sim.add_argument(
+        "--policy", default="first_fit", choices=policy_names(), help="online policy"
+    )
+    p_sim.add_argument("--seed", type=int, default=0, help="RNG seed for synthetic streams")
+    p_sim.add_argument("--n", type=int, default=40, help="tasks to simulate (synthetic streams)")
+    p_sim.add_argument("--K", type=int, default=8, help="device columns (synthetic streams)")
+    p_sim.add_argument("--rate", type=float, default=1.0, help="poisson arrival rate")
+    p_sim.add_argument("--events", action="store_true", help="print the per-event commit log")
+    p_sim.add_argument("--output", type=Path, default=None, help="write the SimTrace JSON here")
     return parser
 
 
@@ -133,7 +179,7 @@ def _solve_params(instance, name, eps):
 
 
 def _cmd_solve(args, out) -> int:
-    instance = loads_instance(args.instance.read_text())
+    instance = _load_instance(args.instance)
     report = run(instance, args.algorithm, params=_solve_params(instance, args.algorithm, args.eps))
     print(f"algorithm: {report.algorithm}", file=out)
     print(f"n = {report.n}, height = {report.height:.6g}, "
@@ -152,7 +198,7 @@ def _cmd_solve(args, out) -> int:
 def _cmd_bounds(args, out) -> int:
     from .core.bounds import area_bound, hmax_bound
 
-    instance = loads_instance(args.instance.read_text())
+    instance = _load_instance(args.instance)
     print(f"n        = {len(instance)}", file=out)
     print(f"area     = {area_bound(instance):.6g}", file=out)
     print(f"hmax     = {hmax_bound(instance):.6g}", file=out)
@@ -166,7 +212,10 @@ def _cmd_batch(args, out) -> int:
     if not args.directory.is_dir():
         print(f"not a directory: {args.directory}", file=out)
         return 2
-    paths, instances = read_instance_dir(args.directory, pattern=args.glob)
+    try:
+        paths, instances = read_instance_dir(args.directory, pattern=args.glob)
+    except (json.JSONDecodeError, ReproError) as exc:
+        raise _CliInputError(f"invalid instance file under {args.directory}: {exc}") from exc
     if not instances:
         print(f"no instances matching {args.glob!r} under {args.directory}", file=out)
         return 2
@@ -187,7 +236,7 @@ def _cmd_batch(args, out) -> int:
 
 
 def _cmd_portfolio(args, out) -> int:
-    instance = loads_instance(args.instance.read_text())
+    instance = _load_instance(args.instance)
     names = args.algorithms.split(",") if args.algorithms else None
     result = portfolio(instance, names, jobs=args.jobs)
     title = f"portfolio {args.instance.name} (n={len(instance)})"
@@ -205,20 +254,114 @@ def _cmd_portfolio(args, out) -> int:
     return 0
 
 
+def _simulate_stream(args):
+    """Build the TaskStream for ``repro simulate`` from the CLI arguments.
+
+    Returns ``(stream, max_tasks)``: only the endless poisson generator is
+    capped at ``--n`` — finite streams (synthetic instances, file/directory
+    replays) always run to exhaustion.
+    """
+    import numpy as np
+
+    from .core.instance import ReleaseInstance
+    from .sim import InstanceStream, ReplayStream, poisson_stream
+    from .workloads.releases import bursty_release_instance, staircase_release_instance
+
+    if args.n <= 0:
+        raise _CliInputError(f"--n must be positive, got {args.n}")
+    if args.K <= 0:
+        raise _CliInputError(f"--K must be positive, got {args.K}")
+    if args.rate <= 0:
+        raise _CliInputError(f"--rate must be positive, got {args.rate:g}")
+    rng = np.random.default_rng(args.seed)
+    if args.stream == "poisson":
+        return poisson_stream(args.K, rng, rate=args.rate), args.n
+    if args.stream == "bursty":
+        return InstanceStream(bursty_release_instance(args.n, args.K, rng)), None
+    if args.stream == "staircase":
+        return InstanceStream(staircase_release_instance(args.n, args.K, rng)), None
+    path = Path(args.stream)
+    if path.is_dir():
+        from .workloads.suite import read_release_traces
+
+        try:
+            traces = read_release_traces(path)
+        except (OSError, json.JSONDecodeError, ReproError) as exc:
+            raise _CliInputError(f"invalid trace file under {path}: {exc}") from exc
+        if not traces:
+            raise _CliInputError(f"no release instances to replay under {path}")
+        return ReplayStream(traces), None
+    if path.is_file():
+        instance = _load_instance(path)
+        if not isinstance(instance, ReleaseInstance):
+            raise _CliInputError(
+                f"{path} is a {type(instance).__name__}; simulate needs a release instance"
+            )
+        return InstanceStream(instance), None
+    raise _CliInputError(
+        f"unknown stream {args.stream!r}: expected poisson | bursty | staircase "
+        "or an existing file/directory"
+    )
+
+
+def _cmd_simulate(args, out) -> int:
+    from .core.errors import InvalidInstanceError
+    from .sim import simulate
+
+    try:
+        stream, max_tasks = _simulate_stream(args)
+        trace = simulate(stream, args.policy, max_tasks=max_tasks)
+    except InvalidInstanceError as exc:
+        # Input problems in the stream itself (off-grid widths, mixed-K
+        # trace directories) are the user's data, not a crash.
+        raise _CliInputError(str(exc)) from exc
+    report = trace.to_report()
+    print(f"policy = {trace.policy}, stream = {args.stream} (seed {args.seed})", file=out)
+    print(
+        f"tasks = {trace.n_tasks}, K = {trace.K}, makespan = {trace.makespan:.6g}",
+        file=out,
+    )
+    print(
+        f"queue depth mean/max = {trace.mean_queue_depth:.3g}/{trace.max_queue_depth}, "
+        f"mean utilization = {trace.mean_utilization:.3g}",
+        file=out,
+    )
+    ratio = "-" if report.ratio is None else f"{report.ratio:.4g}"
+    print(
+        f"lower bound = {report.lower_bound:.6g}, ratio = {ratio}, "
+        f"valid = {'yes' if report.valid else 'no'}",
+        file=out,
+    )
+    if args.events:
+        table = Table(
+            ["seq", "time", "task", "x", "start", "finish", "queued"],
+            title=f"events ({trace.policy})",
+        )
+        for e in trace.events:
+            table.add_row([e.seq, e.time, str(e.rid), e.x, e.start, e.finish, e.queue_depth])
+        print(table.render(), file=out)
+    if args.output is not None:
+        args.output.write_text(json.dumps(trace.to_dict(), indent=2))
+        print(f"trace written to {args.output}", file=out)
+    return 0 if report.valid else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "info":
-        return _cmd_info(out)
-    if args.command == "demo":
-        return _cmd_demo(out)
-    if args.command == "solve":
-        return _cmd_solve(args, out)
-    if args.command == "bounds":
-        return _cmd_bounds(args, out)
-    if args.command == "batch":
-        return _cmd_batch(args, out)
-    if args.command == "portfolio":
-        return _cmd_portfolio(args, out)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    commands = {
+        "info": lambda: _cmd_info(out),
+        "demo": lambda: _cmd_demo(out),
+        "solve": lambda: _cmd_solve(args, out),
+        "bounds": lambda: _cmd_bounds(args, out),
+        "batch": lambda: _cmd_batch(args, out),
+        "portfolio": lambda: _cmd_portfolio(args, out),
+        "simulate": lambda: _cmd_simulate(args, out),
+    }
+    handler = commands[args.command]  # argparse enforces the choices
+    try:
+        return handler()
+    except _CliInputError as exc:
+        print(f"error: {exc}", file=out)
+        return 2

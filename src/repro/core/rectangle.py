@@ -23,7 +23,14 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from .errors import InvalidInstanceError
 
-__all__ = ["Rect", "total_area", "max_height", "max_width", "check_rects"]
+__all__ = [
+    "Rect",
+    "arrival_order",
+    "total_area",
+    "max_height",
+    "max_width",
+    "check_rects",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +89,19 @@ class Rect:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         r = f", r={self.release:g}" if self.release else ""
         return f"Rect({self.rid!r}, w={self.width:g}, h={self.height:g}{r})"
+
+
+def arrival_order(rect: Rect) -> tuple[float, float, str]:
+    """Sort key for processing tasks in release order.
+
+    ``(release, -height, str(rid))``: arrivals by release time, taller
+    tasks first within one release batch (the common OS policy: long jobs
+    first when they arrive together), ids as the final deterministic
+    tie-break.  The online simulator's streams and the release-aware
+    packers share this one definition so their commit orders stay
+    identical.
+    """
+    return (rect.release, -rect.height, str(rect.rid))
 
 
 def total_area(rects: Iterable[Rect]) -> float:

@@ -56,6 +56,10 @@ def instance_to_dict(instance: StripPackingInstance) -> dict[str, Any]:
 
 def instance_from_dict(data: dict[str, Any]) -> StripPackingInstance:
     """Rebuild an instance from :func:`instance_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"instance JSON must be an object, got {type(data).__name__}"
+        )
     kind = data.get("type")
     if kind not in ("plain", "precedence", "release"):
         raise InvalidInstanceError(f"unknown instance type {kind!r}")

@@ -49,6 +49,17 @@ def is_zero(a: float, atol: float = ATOL) -> bool:
     return abs(a) <= atol
 
 
+def nearest_int(a: float, atol: float = ATOL) -> int | None:
+    """The nearest integer when ``a`` is integral up to tolerance, else ``None``.
+
+    The column-grid quantisation used across the stack (online scheduling,
+    the exact branch-and-bound): a width ``w`` on a ``K``-column device
+    must satisfy ``w * K == c`` for a whole ``c`` up to float noise.
+    """
+    c = round(a)
+    return int(c) if abs(a - c) <= atol else None
+
+
 def clamp(a: float, lo: float, hi: float) -> float:
     """Clamp ``a`` into ``[lo, hi]``.
 

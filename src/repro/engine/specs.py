@@ -1,4 +1,4 @@
-"""Spec registrations for the eleven shipped algorithms.
+"""Spec registrations for the thirteen shipped algorithms.
 
 Importing this module populates the registry in :mod:`repro.engine.spec`.
 Runners keep the dispatch conventions of the old closure table:
@@ -6,7 +6,11 @@ Runners keep the dispatch conventions of the old closure table:
 * plain packers read ``instance.rects`` and ignore extra constraints;
 * precedence algorithms wrap a plain instance in an edgeless DAG;
 * release algorithms hard-require a :class:`~repro.core.instance.ReleaseInstance`
-  (declared via ``requires="release"`` and enforced by the engine).
+  (declared via ``requires="release"`` and enforced by the engine);
+* online policies (``online_*``) replay the instance through the
+  event-driven simulator in :mod:`repro.sim`, so every policy of
+  :mod:`repro.sim.policies` races in portfolios next to the offline
+  algorithms.
 """
 
 from __future__ import annotations
@@ -73,10 +77,13 @@ def _release_bl(instance: ReleaseInstance, **kw) -> Placement:
     return release_bottom_left(instance, **kw)
 
 
-def _online_ff(instance: ReleaseInstance, **kw) -> Placement:
-    from ..release.online import online_first_fit
+def _online_policy(policy: str):
+    def run(instance: ReleaseInstance, **kw) -> Placement:
+        from ..sim import simulate_instance
 
-    return online_first_fit(instance, **kw).placement
+        return simulate_instance(instance, policy, **kw).placement
+
+    return run
 
 
 register(AlgorithmSpec(
@@ -160,8 +167,26 @@ register(AlgorithmSpec(
     name="online_ff",
     variants=("release",),
     guarantee="online policy (no lookahead)",
-    runner=_online_ff,
+    runner=_online_policy("first_fit"),
     requires="release",
     flags=frozenset({"online"}),
     summary="Online first fit over release events",
+))
+register(AlgorithmSpec(
+    name="online_best_fit",
+    variants=("release",),
+    guarantee="online policy (no lookahead)",
+    runner=_online_policy("best_fit_column"),
+    requires="release",
+    flags=frozenset({"online"}),
+    summary="Online best-fit column window (least idle)",
+))
+register(AlgorithmSpec(
+    name="online_shelf",
+    variants=("release",),
+    guarantee="online policy (no lookahead)",
+    runner=_online_policy("shelf_online"),
+    requires="release",
+    flags=frozenset({"online"}),
+    summary="Online next-fit shelves over release events",
 ))

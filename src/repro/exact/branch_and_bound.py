@@ -54,13 +54,12 @@ class ExactResult:
 
 def columns_of(width: float, K: int) -> int:
     """Column count of a width on the ``1/K`` grid; raises when off-grid."""
-    c = width * K
-    ci = round(c)
-    if abs(c - ci) > 1e-6 or ci <= 0:
+    ci = tol.nearest_int(width * K)
+    if ci is None or ci <= 0:
         raise InvalidInstanceError(
             f"width {width!r} is not a positive multiple of 1/{K}"
         )
-    return int(ci)
+    return ci
 
 
 def solve_exact(

@@ -38,6 +38,18 @@ class Level:
         first and guarantee later rectangles are no taller)."""
         return tol.leq(self.used_width + rect.width, 1.0, atol)
 
+    def push(self, rect: Rect) -> float:
+        """Record ``rect`` at the current fill position and return its ``x``.
+
+        The raw fill bookkeeping (no fit check): callers that commit
+        placements themselves — the online shelf policy — share this one
+        copy of the clamp/advance discipline with :meth:`add`.
+        """
+        x = tol.clamp(self.used_width, 0.0, 1.0 - rect.width)
+        self.used_width += rect.width
+        self.rects.append(rect)
+        return x
+
     def add(self, rect: Rect, placement: Placement) -> None:
         """Place ``rect`` at the current fill position of this level."""
         if not self.fits(rect):
@@ -45,10 +57,7 @@ class Level:
                 f"rect {rect.rid!r} (w={rect.width:g}) does not fit on level at "
                 f"y={self.y:g} with used width {self.used_width:g}"
             )
-        x = tol.clamp(self.used_width, 0.0, 1.0 - rect.width)
-        placement.place(rect, x, self.y)
-        self.used_width += rect.width
-        self.rects.append(rect)
+        placement.place(rect, self.push(rect), self.y)
 
     @property
     def top(self) -> float:

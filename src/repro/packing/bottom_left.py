@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..core.placement import Placement
-from ..core.rectangle import Rect
+from ..core.rectangle import Rect, arrival_order
 from ..geometry.skyline import Skyline
 from .base import PackResult
 
@@ -57,7 +57,7 @@ def bottom_left_release(rects: Sequence[Rect], y: float = 0.0) -> PackResult:
     placement = Placement()
     if not rects:
         return PackResult(placement, 0.0)
-    ordered = sorted(rects, key=lambda r: (r.release, -r.height, str(r.rid)))
+    ordered = sorted(rects, key=arrival_order)
     sky = Skyline()
     for r in ordered:
         best = None

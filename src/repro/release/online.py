@@ -14,14 +14,20 @@ the E10/A4 benchmarks — the gap between them is the *price of not knowing
 the future*.
 
 The scheduler works on the column grid: widths must be whole numbers of
-columns (quantise first if needed).
+columns (quantise first if needed), checked with the shared
+:func:`repro.core.tol.nearest_int` tolerance discipline.
+
+The implementation lives in :mod:`repro.sim`: the decision rule is the
+:class:`~repro.sim.policies.FirstFit` policy and this function is a replay
+of the instance through the event loop — one of several pluggable policies
+(``best_fit_column``, ``shelf_online``) the simulator can drive over the
+same stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.errors import InvalidInstanceError
 from ..core.instance import ReleaseInstance
 from ..core.placement import Placement
 
@@ -47,30 +53,10 @@ def online_first_fit(instance: ReleaseInstance) -> OnlineScheduleResult:
     one release batch ties are broken by taller-first (a common OS policy:
     long jobs first when they arrive together).
     """
-    K = instance.K
-    free = [0.0] * K
-    placement = Placement()
-    order = sorted(
-        instance.rects, key=lambda r: (r.release, -r.height, str(r.rid))
+    from ..sim import simulate_instance
+
+    trace = simulate_instance(instance, "first_fit")
+    return OnlineScheduleResult(
+        placement=trace.placement,
+        commit_order=tuple(e.rid for e in trace.events),
     )
-    committed = []
-    for r in order:
-        c_f = r.width * K
-        c = round(c_f)
-        if abs(c_f - c) > 1e-6 or c < 1:
-            raise InvalidInstanceError(
-                f"online scheduler needs whole-column widths; rect {r.rid!r} "
-                f"has width {r.width!r} on a {K}-column device"
-            )
-        best_start = None
-        best_col = None
-        for j in range(K - c + 1):
-            start = max([r.release] + free[j : j + c])
-            if best_start is None or start < best_start - 1e-12:
-                best_start, best_col = start, j
-        assert best_start is not None and best_col is not None
-        placement.place(r, best_col / K, best_start)
-        for col in range(best_col, best_col + c):
-            free[col] = best_start + r.height
-        committed.append(r.rid)
-    return OnlineScheduleResult(placement=placement, commit_order=tuple(committed))

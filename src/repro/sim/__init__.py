@@ -1,0 +1,59 @@
+"""Event-driven online simulation: streams, policies, the event loop.
+
+The paper motivates release times through operating systems for
+reconfigurable platforms (Steiger-Walder-Platzner, its ref [23]): tasks
+arrive over time and the scheduler commits each placement without seeing
+future arrivals.  This subsystem is that operating system in miniature:
+
+* :mod:`repro.sim.stream`   — arrival sources (:class:`TaskStream`):
+  finite instances, seeded infinite generators, replayed trace archives;
+* :mod:`repro.sim.policies` — pluggable :class:`OnlinePolicy` deciders
+  (``first_fit``, ``best_fit_column``, ``shelf_online``);
+* :mod:`repro.sim.engine`   — :func:`simulate`, the discrete-event loop;
+* :mod:`repro.sim.trace`    — :class:`SimTrace` / :class:`SimEvent`
+  records, bridging to :class:`~repro.engine.report.SolveReport`.
+
+Online policies are also registered as engine specs (``online_ff``,
+``online_best_fit``, ``online_shelf``), so they race in
+:func:`repro.engine.portfolio` and batch through
+:func:`repro.engine.solve_many` next to the offline algorithms; the CLI
+front-end is ``repro simulate``.
+"""
+
+from .engine import simulate, simulate_instance
+from .policies import (
+    POLICIES,
+    BestFitColumn,
+    FirstFit,
+    OnlinePolicy,
+    ShelfOnline,
+    make_policy,
+    policy_names,
+)
+from .stream import (
+    GeneratorStream,
+    InstanceStream,
+    ReplayStream,
+    TaskStream,
+    poisson_stream,
+)
+from .trace import SimEvent, SimTrace
+
+__all__ = [
+    "simulate",
+    "simulate_instance",
+    "SimTrace",
+    "SimEvent",
+    "TaskStream",
+    "InstanceStream",
+    "GeneratorStream",
+    "ReplayStream",
+    "poisson_stream",
+    "OnlinePolicy",
+    "FirstFit",
+    "BestFitColumn",
+    "ShelfOnline",
+    "POLICIES",
+    "policy_names",
+    "make_policy",
+]

@@ -1,0 +1,134 @@
+"""The discrete-event loop: release tasks, dispatch, record.
+
+:func:`simulate` is the subsystem's single entry point.  It walks a
+:class:`~repro.sim.stream.TaskStream` in arrival order, hands each released
+task to the policy for an immediate, irrevocable commit, and records every
+commit as a :class:`~repro.sim.trace.SimEvent` — producing one
+:class:`~repro.sim.trace.SimTrace` per run.
+
+The loop is the trust boundary between streams, policies, and the rest of
+the system: it rejects streams that travel back in time
+(:class:`~repro.core.errors.InvalidInstanceError`) and policies that break
+the commit contract — starting a task before its release or placing it
+outside the strip (:class:`~repro.core.errors.SolverError`).  Overlap
+freedom is *not* checked per-commit (that would be quadratic in the hot
+loop); it is certified afterwards by
+:meth:`~repro.sim.trace.SimTrace.to_report` or the shared
+:func:`~repro.core.placement.validate_placement`, exactly as the offline
+algorithms are audited.
+
+``max_tasks`` and ``horizon`` bound the run, which is what makes infinite
+generator streams consumable; finite streams simply exhaust.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from ..core import tol
+from ..core.errors import InvalidInstanceError, SolverError
+from ..core.instance import ReleaseInstance
+from ..core.placement import Placement
+from .policies import OnlinePolicy, make_policy
+from .stream import InstanceStream, TaskStream
+from .trace import SimEvent, SimTrace
+
+__all__ = ["simulate", "simulate_instance"]
+
+
+def simulate(
+    stream: TaskStream,
+    policy: "str | OnlinePolicy" = "first_fit",
+    *,
+    max_tasks: int | None = None,
+    horizon: float | None = None,
+) -> SimTrace:
+    """Run ``stream`` through ``policy`` and return the full trace.
+
+    ``policy`` is a registered name (see
+    :func:`~repro.sim.policies.policy_names`) or an
+    :class:`~repro.sim.policies.OnlinePolicy` instance.  ``max_tasks``
+    stops after that many commits; ``horizon`` stops at the first arrival
+    strictly beyond it.  At least one bound is required for infinite
+    streams — there is no way to detect "infinite" up front, so unbounded
+    runs simply never return.
+    """
+    if max_tasks is not None and max_tasks < 0:
+        raise InvalidInstanceError(f"max_tasks must be non-negative, got {max_tasks}")
+    pol = make_policy(policy)
+    K = stream.K
+    pol.start(K)
+
+    placement = Placement()
+    events: list[SimEvent] = []
+    waiting: list[float] = []  # committed future starts (min-heap)
+    now = 0.0
+
+    t0 = time.perf_counter()
+    for rect in stream:
+        if max_tasks is not None and len(events) >= max_tasks:
+            break
+        t = rect.release
+        if tol.lt(t, now):
+            raise InvalidInstanceError(
+                f"stream is not in arrival order: rect {rect.rid!r} released at "
+                f"{t:g} after time {now:g}"
+            )
+        if horizon is not None and tol.gt(t, horizon):
+            break
+        now = max(now, t)
+
+        x, y = pol.place(rect)
+        if tol.lt(y, rect.release):
+            raise SolverError(
+                f"policy {pol.name!r} started rect {rect.rid!r} at {y:g}, "
+                f"before its release {rect.release:g}"
+            )
+        if tol.lt(x, 0.0) or tol.gt(x + rect.width, 1.0) or tol.lt(y, 0.0):
+            raise SolverError(
+                f"policy {pol.name!r} placed rect {rect.rid!r} outside the "
+                f"strip: x={x:g}, y={y:g}, w={rect.width:g}"
+            )
+        placement.place(rect, x, y)
+
+        heapq.heappush(waiting, y)
+        while waiting and tol.leq(waiting[0], now):
+            heapq.heappop(waiting)  # started (or finished) — no longer queued
+        events.append(
+            SimEvent(
+                seq=len(events),
+                time=t,
+                rid=rect.rid,
+                x=x,
+                start=y,
+                finish=y + rect.height,
+                queue_depth=len(waiting),
+            )
+        )
+    wall = time.perf_counter() - t0
+
+    return SimTrace(
+        policy=pol.name,
+        K=K,
+        events=tuple(events),
+        placement=placement,
+        wall_time=wall,
+    )
+
+
+def simulate_instance(
+    instance: ReleaseInstance,
+    policy: "str | OnlinePolicy" = "first_fit",
+    *,
+    max_tasks: int | None = None,
+    horizon: float | None = None,
+) -> SimTrace:
+    """Replay a finite release instance through ``policy``.
+
+    The one-liner the spec registry's online entries are built on:
+    ``simulate(InstanceStream(instance), policy)``.
+    """
+    return simulate(
+        InstanceStream(instance), policy, max_tasks=max_tasks, horizon=horizon
+    )

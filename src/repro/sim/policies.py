@@ -1,0 +1,200 @@
+"""Pluggable online placement policies.
+
+A policy is the decision-maker inside the event loop: for each arriving
+task it must return an ``(x, y)`` commit *immediately and irrevocably*,
+seeing only the tasks that have already arrived.  The engine enforces the
+commit contract (within the strip, never before the release time); the
+policy owns whatever state it needs between commits.
+
+Three policies ship, mirroring the offline families:
+
+* :class:`FirstFit` — the column scheduler of
+  :func:`~repro.release.online.online_first_fit`: earliest feasible start,
+  leftmost window on ties;
+* :class:`BestFitColumn` — like first fit, but among the candidate windows
+  it picks the one wasting the least column idle time (the *best fitting*
+  window), falling back to earliest/leftmost on ties;
+* :class:`ShelfOnline` — next-fit shelves adapted from
+  :mod:`repro.geometry.levels`: fill the current shelf left to right, open
+  a new shelf (at or above the arrival time) when the task does not fit.
+
+Column policies quantise widths to the ``1/K`` grid through
+:func:`repro.core.tol.nearest_int` — the same tolerance discipline as the
+rest of the geometry stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import tol
+from ..core.errors import InvalidInstanceError
+from ..core.rectangle import Rect
+from ..geometry.levels import Level
+
+__all__ = [
+    "OnlinePolicy",
+    "FirstFit",
+    "BestFitColumn",
+    "ShelfOnline",
+    "POLICIES",
+    "policy_names",
+    "make_policy",
+]
+
+
+class OnlinePolicy:
+    """Base class for online placement policies.
+
+    Subclasses set ``name`` and implement :meth:`start` (reset state for a
+    ``K``-column device) and :meth:`place` (commit one arriving task).
+    """
+
+    name: str = ""
+
+    def start(self, K: int) -> None:
+        raise NotImplementedError
+
+    def place(self, rect: Rect) -> tuple[float, float]:
+        """Return the committed lower-left ``(x, y)`` for ``rect``."""
+        raise NotImplementedError
+
+
+class _ColumnPolicy(OnlinePolicy):
+    """Shared state for policies scheduling on the ``K``-column grid:
+    per-column earliest-free times, advanced on every commit."""
+
+    def start(self, K: int) -> None:
+        self.K = K
+        self.free = [0.0] * K
+
+    def _columns(self, rect: Rect) -> int:
+        c = tol.nearest_int(rect.width * self.K)
+        if c is None or c < 1:
+            raise InvalidInstanceError(
+                f"{self.name} needs whole-column widths; rect {rect.rid!r} "
+                f"has width {rect.width!r} on a {self.K}-column device"
+            )
+        return c
+
+    def _commit(self, rect: Rect, col: int, start: float) -> tuple[float, float]:
+        for j in range(col, col + self._columns(rect)):
+            self.free[j] = start + rect.height
+        return col / self.K, start
+
+
+class FirstFit(_ColumnPolicy):
+    """Earliest feasible start; leftmost window breaks ties."""
+
+    name = "first_fit"
+
+    def place(self, rect: Rect) -> tuple[float, float]:
+        c = self._columns(rect)
+        best_start: float | None = None
+        best_col = 0
+        for j in range(self.K - c + 1):
+            start = max([rect.release] + self.free[j : j + c])
+            if best_start is None or tol.lt(start, best_start, atol=1e-12):
+                best_start, best_col = start, j
+        if best_start is None:
+            raise InvalidInstanceError(
+                f"rect {rect.rid!r} needs {c} columns on a {self.K}-column device"
+            )
+        return self._commit(rect, best_col, best_start)
+
+
+class BestFitColumn(_ColumnPolicy):
+    """Least wasted idle time; earliest start, then leftmost, break ties.
+
+    The idle cost of window ``[j, j+c)`` starting at ``t`` is
+    ``sum(t - free[col])`` over its columns — the column-time the commit
+    leaves unusable below it.  First fit ignores this and can strand short
+    columns under a tall start; best fit prefers windows that are already
+    level with the task's start time.
+    """
+
+    name = "best_fit_column"
+
+    def place(self, rect: Rect) -> tuple[float, float]:
+        c = self._columns(rect)
+        best: tuple[float, float, int] | None = None  # (idle, start, col)
+        for j in range(self.K - c + 1):
+            window = self.free[j : j + c]
+            start = max([rect.release] + window)
+            idle = sum(start - f for f in window)
+            if (
+                best is None
+                or tol.lt(idle, best[0], atol=1e-12)
+                or (
+                    tol.eq(idle, best[0], atol=1e-12)
+                    and tol.lt(start, best[1], atol=1e-12)
+                )
+            ):
+                best = (idle, start, j)
+        if best is None:
+            raise InvalidInstanceError(
+                f"rect {rect.rid!r} needs {c} columns on a {self.K}-column device"
+            )
+        return self._commit(rect, best[2], best[1])
+
+
+class ShelfOnline(OnlinePolicy):
+    """Next-fit shelves over release events.
+
+    The active (topmost) shelf fills left to right; a task goes on it only
+    if it fits the remaining width, is no taller than the shelf, and the
+    shelf base is at or above the task's release time.  Otherwise a new
+    shelf opens at ``max(stack top, release)`` with the task's height —
+    the online cousin of the Section 2.2 shelf algorithms, reusing the
+    :class:`~repro.geometry.levels.Level` bookkeeping.
+
+    Unlike the column policies this one needs no ``1/K`` grid: any widths
+    in ``(0, 1]`` are accepted.
+    """
+
+    name = "shelf_online"
+
+    def start(self, K: int) -> None:
+        self.K = K
+        self.levels: list[Level] = []
+
+    def place(self, rect: Rect) -> tuple[float, float]:
+        lvl = self.levels[-1] if self.levels else None
+        if (
+            lvl is not None
+            and lvl.fits(rect)
+            and tol.leq(rect.height, lvl.height)
+            and tol.geq(lvl.y, rect.release)
+        ):
+            return lvl.push(rect), lvl.y
+        top = self.levels[-1].top if self.levels else 0.0
+        lvl = Level(y=max(top, rect.release), height=rect.height)
+        self.levels.append(lvl)
+        return lvl.push(rect), lvl.y
+
+
+#: Registered policy factories, by name (the CLI's ``--policy`` choices and
+#: the spec registry's online entries both read this).
+POLICIES: dict[str, Callable[[], OnlinePolicy]] = {
+    FirstFit.name: FirstFit,
+    BestFitColumn.name: BestFitColumn,
+    ShelfOnline.name: ShelfOnline,
+}
+
+
+def policy_names() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(POLICIES)
+
+
+def make_policy(policy: "str | OnlinePolicy") -> OnlinePolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, OnlinePolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(policy_names())
+        raise InvalidInstanceError(
+            f"unknown online policy {policy!r}; available: {known}"
+        ) from None

@@ -1,0 +1,181 @@
+"""Task streams: where online arrivals come from.
+
+A *task stream* is anything the event loop can iterate for
+:class:`~repro.core.rectangle.Rect` tasks in nondecreasing release order,
+plus a ``K`` attribute naming the column grid of the device being fed
+(:class:`TaskStream` spells out the protocol).  Three sources ship:
+
+* :class:`InstanceStream` — replay a finite
+  :class:`~repro.core.instance.ReleaseInstance` (the offline benchmarks'
+  instances, now arriving one event at a time);
+* :class:`GeneratorStream` — wrap any (possibly infinite) rectangle
+  generator; :func:`poisson_stream` builds the canonical seeded example,
+  the arrival process of :func:`~repro.workloads.releases.poisson_release_instance`
+  without the need to fix ``n`` up front;
+* :class:`ReplayStream` — concatenate recorded traces (e.g. the release
+  instances of a :func:`~repro.workloads.suite.mixed_instance_suite`
+  directory) back-to-back on one timeline, the way a day of logged traffic
+  replays against a new policy.
+
+Streams are single-use iterables in general (generators exhaust); build a
+fresh one per simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import ReleaseInstance
+from ..core.rectangle import Rect, arrival_order
+
+__all__ = [
+    "TaskStream",
+    "InstanceStream",
+    "GeneratorStream",
+    "ReplayStream",
+    "poisson_stream",
+]
+
+
+@runtime_checkable
+class TaskStream(Protocol):
+    """The protocol the event loop consumes.
+
+    Implementations yield tasks in nondecreasing ``release`` order (the
+    loop enforces this and raises on violations) and expose the column
+    count ``K`` of the device the tasks target.
+    """
+
+    K: int
+
+    def __iter__(self) -> Iterator[Rect]: ...  # pragma: no cover - protocol
+
+
+class InstanceStream:
+    """Replay a finite :class:`~repro.core.instance.ReleaseInstance`.
+
+    Arrival order is ``(release, -height, str(rid))``: release times first,
+    and within one release batch taller tasks first — the OS convention
+    (long jobs first when they arrive together) that
+    :func:`~repro.release.online.online_first_fit` has always used, kept
+    here so the refactored scheduler is commit-for-commit identical.
+    """
+
+    __slots__ = ("instance", "K")
+
+    def __init__(self, instance: ReleaseInstance) -> None:
+        if not isinstance(instance, ReleaseInstance):
+            raise InvalidInstanceError(
+                f"InstanceStream needs a ReleaseInstance, got {type(instance).__name__}"
+            )
+        self.instance = instance
+        self.K = instance.K
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(sorted(self.instance.rects, key=arrival_order))
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+
+class GeneratorStream:
+    """Wrap an arbitrary rectangle iterable (finite or infinite).
+
+    The event loop's ``max_tasks`` / ``horizon`` caps are what make
+    infinite generators consumable; the stream itself just carries ``K``
+    and defers to the underlying iterable.
+    """
+
+    __slots__ = ("K", "_rects")
+
+    def __init__(self, K: int, rects: Iterable[Rect]) -> None:
+        if K <= 0:
+            raise InvalidInstanceError(f"K must be a positive integer, got {K!r}")
+        self.K = int(K)
+        self._rects = rects
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self._rects)
+
+
+def poisson_stream(
+    K: int,
+    rng,
+    *,
+    rate: float = 1.0,
+    max_cols: int | None = None,
+) -> GeneratorStream:
+    """An endless Poisson arrival process on a ``K``-column device.
+
+    Inter-arrival gaps are exponential(1/``rate``); widths are whole
+    columns in ``[1, max_cols or K]`` and heights uniform in ``[0.1, 1]``,
+    matching :func:`~repro.workloads.releases.poisson_release_instance` so
+    finite offline instances and the infinite online stream are drawn from
+    the same traffic model.  Everything derives from ``rng`` — a fixed seed
+    reproduces the exact stream.
+    """
+    if rate <= 0:
+        raise InvalidInstanceError(f"rate must be positive, got {rate!r}")
+    if K <= 0:
+        raise InvalidInstanceError(f"K must be a positive integer, got {K!r}")
+    hi_c = max_cols if max_cols is not None else K
+    if not 1 <= hi_c <= K:
+        raise InvalidInstanceError(f"max_cols must be in [1, K={K}], got {max_cols!r}")
+
+    def arrivals() -> Iterator[Rect]:
+        t = 0.0
+        i = 0
+        while True:
+            c = int(rng.integers(1, hi_c + 1))
+            h = float(rng.uniform(0.1, 1.0))
+            yield Rect(rid=i, width=c / K, height=h, release=t)
+            t += float(rng.exponential(1.0 / rate))
+            i += 1
+
+    return GeneratorStream(K, arrivals())
+
+
+class ReplayStream:
+    """Recorded traces concatenated back-to-back on one timeline.
+
+    Each trace is a ``(label, ReleaseInstance)`` pair; trace ``i+1``'s
+    arrivals are shifted to begin where trace ``i``'s arrivals ended, and
+    task ids are namespaced as ``"<label>:<rid>"`` so replayed days never
+    collide.  All traces must share one column count ``K``.
+    """
+
+    __slots__ = ("traces", "K")
+
+    def __init__(self, traces: Sequence[tuple[str, ReleaseInstance]]) -> None:
+        traces = list(traces)
+        if not traces:
+            raise InvalidInstanceError("ReplayStream needs at least one trace")
+        ks = {inst.K for _, inst in traces}
+        if len(ks) != 1:
+            raise InvalidInstanceError(
+                f"replayed traces must share one K, got {sorted(ks)}"
+            )
+        self.traces = traces
+        (self.K,) = ks
+
+    @classmethod
+    def from_dir(cls, path, *, pattern: str = "*.json") -> "ReplayStream":
+        """Replay every release instance under ``path`` (sorted by name).
+
+        Non-release instances in a mixed suite directory are skipped — a
+        batch directory doubles as a trace archive.
+        """
+        from ..workloads.suite import read_release_traces
+
+        return cls(read_release_traces(path, pattern=pattern))
+
+    def __iter__(self) -> Iterator[Rect]:
+        offset = 0.0
+        for label, inst in self.traces:
+            for r in sorted(inst.rects, key=arrival_order):
+                yield r.replace(rid=f"{label}:{r.rid}", release=offset + r.release)
+            offset += inst.rmax
+
+    def __len__(self) -> int:
+        return sum(len(inst) for _, inst in self.traces)

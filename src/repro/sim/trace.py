@@ -1,0 +1,203 @@
+"""Simulation traces: the instrumented record of one online run.
+
+A :class:`SimTrace` is to the simulator what
+:class:`~repro.engine.report.SolveReport` is to the offline engine: the
+complete, deterministic record of one run.  Every commit becomes a
+:class:`SimEvent` (arrival time, chosen position, start/finish, queue depth
+at commit), and the trace derives the serving-layer statistics from them —
+makespan, queue-depth profile, and utilization over time.
+
+Determinism contract: two runs of the same stream under the same policy
+produce *equal* traces (``==`` compares the event sequence; wall-clock time
+and the placement object are excluded from comparison).  The seeded-stream
+tests and the CLI's ``--seed`` reproducibility rely on this.
+
+:meth:`SimTrace.to_report` bridges into the offline engine: it wraps the
+trace as a :class:`~repro.engine.report.SolveReport` over the *realized*
+instance (the arrivals the simulation actually saw), so online runs render
+in the same tables, ratios, and validity checks as every offline solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable
+
+from ..core.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.instance import ReleaseInstance
+    from ..engine.report import SolveReport
+
+__all__ = ["SimEvent", "SimTrace"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One irrevocable commit of the online policy.
+
+    ``queue_depth`` counts tasks already released at ``time`` whose
+    committed start lies strictly in the future — the backlog an operating
+    system would see at this instant, measured right after this commit.
+    """
+
+    seq: int
+    time: float
+    rid: Node
+    x: float
+    start: float
+    finish: float
+    queue_depth: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": self.time,
+            "rid": self.rid,
+            "x": self.x,
+            "start": self.start,
+            "finish": self.finish,
+            "queue_depth": self.queue_depth,
+        }
+
+
+@dataclass(frozen=True)
+class SimTrace:
+    """The full record of one event-driven simulation run."""
+
+    policy: str
+    K: int
+    events: tuple[SimEvent, ...]
+    placement: Placement = field(compare=False, repr=False)
+    wall_time: float = field(default=0.0, compare=False, repr=False)
+
+    # -- headline statistics --------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of committed tasks."""
+        return len(self.events)
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time (0 for an empty run)."""
+        return max((e.finish for e in self.events), default=0.0)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Largest backlog observed at any commit."""
+        return max((e.queue_depth for e in self.events), default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Backlog averaged over commits (0 for an empty run)."""
+        if not self.events:
+            return 0.0
+        return sum(e.queue_depth for e in self.events) / len(self.events)
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-averaged busy width fraction over ``[0, makespan]``.
+
+        Equal to committed area / makespan because the strip width is
+        normalised to 1.
+        """
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        area = sum(self.placement[e.rid].rect.area for e in self.events)
+        return area / span
+
+    def utilization_profile(self) -> tuple[tuple[float, float], ...]:
+        """Busy-width step function as ``(time, busy_fraction)`` breakpoints.
+
+        Each entry gives the fraction of the strip width occupied from that
+        time until the next breakpoint; the final breakpoint (the makespan)
+        always carries 0.
+        """
+        deltas: dict[float, float] = {}
+        for e in self.events:
+            w = self.placement[e.rid].rect.width
+            deltas[e.start] = deltas.get(e.start, 0.0) + w
+            deltas[e.finish] = deltas.get(e.finish, 0.0) - w
+        profile: list[tuple[float, float]] = []
+        busy = 0.0
+        for t in sorted(deltas):
+            busy += deltas[t]
+            # Clamp float dust: busy is a signed sum of widths that returns
+            # to exactly 0 only in exact arithmetic.
+            profile.append((t, min(1.0, max(0.0, busy))))
+        return tuple(profile)
+
+    # -- bridges ---------------------------------------------------------
+    def realized_instance(self) -> "ReleaseInstance":
+        """The :class:`~repro.core.instance.ReleaseInstance` this run saw.
+
+        For generator-backed (possibly infinite) streams this is how the
+        simulated prefix becomes a first-class instance: offline algorithms
+        and lower bounds can then run on exactly the arrivals the online
+        policy had to serve.
+        """
+        from ..core.instance import ReleaseInstance
+
+        rects = [self.placement[e.rid].rect for e in self.events]
+        return ReleaseInstance(rects, self.K)
+
+    def to_report(
+        self, instance: "ReleaseInstance | None" = None, *, label: str = ""
+    ) -> "SolveReport":
+        """Wrap the trace as an engine :class:`~repro.engine.report.SolveReport`.
+
+        Bounds and validation run against ``instance`` (default: the
+        realized instance), so the report's ``ratio`` is the policy's price
+        over the offline lower bound and ``valid`` certifies the commits.
+        """
+        from ..core.errors import InvalidPlacementError
+        from ..core.placement import validate_placement
+        from ..engine.report import SolveReport
+        from ..engine.runner import bound_components
+
+        inst = instance if instance is not None else self.realized_instance()
+        bounds = bound_components(inst)
+        lb = max(bounds.values()) if bounds else None
+        try:
+            validate_placement(inst, self.placement)
+            valid, error = True, None
+        except InvalidPlacementError as exc:
+            valid, error = False, str(exc)
+        return SolveReport(
+            algorithm=f"sim:{self.policy}",
+            variant="release",
+            n=len(inst),
+            placement=self.placement,
+            height=self.placement.height,
+            wall_time=self.wall_time,
+            lower_bound=lb,
+            bounds=bounds,
+            valid=valid,
+            error=error,
+            label=label or self.policy,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary plus the full event log."""
+        return {
+            "policy": self.policy,
+            "K": self.K,
+            "n_tasks": self.n_tasks,
+            "makespan": self.makespan,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_utilization": self.mean_utilization,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        span = self.makespan
+        span_s = "inf" if math.isinf(span) else f"{span:.4g}"
+        return (
+            f"SimTrace({self.policy}, n={self.n_tasks}, K={self.K}, "
+            f"makespan={span_s})"
+        )

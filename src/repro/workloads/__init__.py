@@ -15,7 +15,12 @@ from .releases import (
     poisson_release_instance,
     staircase_release_instance,
 )
-from .suite import mixed_instance_suite, read_instance_dir, write_instance_dir
+from .suite import (
+    mixed_instance_suite,
+    read_instance_dir,
+    read_release_traces,
+    write_instance_dir,
+)
 
 __all__ = [
     "omega_log_n_instance",
@@ -37,4 +42,5 @@ __all__ = [
     "mixed_instance_suite",
     "write_instance_dir",
     "read_instance_dir",
+    "read_release_traces",
 ]

@@ -13,13 +13,18 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.instance import StripPackingInstance
+from ..core.instance import ReleaseInstance, StripPackingInstance
 from ..core.serialize import dumps_instance, loads_instance
 from .dags import random_precedence_instance
 from .random_rects import uniform_rects
 from .releases import bursty_release_instance
 
-__all__ = ["mixed_instance_suite", "write_instance_dir", "read_instance_dir"]
+__all__ = [
+    "mixed_instance_suite",
+    "write_instance_dir",
+    "read_instance_dir",
+    "read_release_traces",
+]
 
 
 def mixed_instance_suite(
@@ -73,3 +78,20 @@ def read_instance_dir(path: Path | str, *, pattern: str = "*.json"):
     root = Path(path)
     paths = sorted(root.glob(pattern))
     return paths, [loads_instance(p.read_text()) for p in paths]
+
+
+def read_release_traces(
+    path: Path | str, *, pattern: str = "*.json"
+) -> list[tuple[str, ReleaseInstance]]:
+    """The release instances under ``path``, as ``(name, instance)`` traces.
+
+    Plain/precedence instances in a mixed suite directory are skipped, so
+    a ``repro batch`` directory doubles as a trace archive the simulator's
+    :class:`~repro.sim.stream.ReplayStream` can consume.
+    """
+    paths, instances = read_instance_dir(path, pattern=pattern)
+    return [
+        (p.stem, inst)
+        for p, inst in zip(paths, instances)
+        if isinstance(inst, ReleaseInstance)
+    ]

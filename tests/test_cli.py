@@ -165,6 +165,166 @@ class TestPortfolio:
         assert len(data["placements"]) == 4
 
 
+class TestSimulate:
+    def test_poisson_stream_summary(self):
+        code, text = run_cli(["simulate", "poisson", "--n", "20", "--K", "6",
+                              "--rate", "2", "--seed", "3"])
+        assert code == 0
+        assert "policy = first_fit" in text and "makespan" in text
+        assert "queue depth" in text and "valid = yes" in text
+
+    def test_same_seed_reproduces_output(self):
+        argv = ["simulate", "poisson", "--n", "15", "--seed", "9"]
+        assert run_cli(argv) == run_cli(argv)
+
+    def test_different_seed_changes_output(self):
+        out_a = run_cli(["simulate", "bursty", "--n", "15", "--seed", "1"])[1]
+        out_b = run_cli(["simulate", "bursty", "--n", "15", "--seed", "2"])[1]
+        assert out_a != out_b
+
+    def test_named_policy_and_events_log(self):
+        code, text = run_cli(["simulate", "staircase", "--n", "8",
+                              "--policy", "shelf_online", "--events"])
+        assert code == 0
+        assert "policy = shelf_online" in text and "== events" in text
+
+    def test_replay_instance_file(self, tmp_path):
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.5 * i) for i in range(4)], K=2
+        )
+        path = tmp_path / "rel.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(path), "--policy", "best_fit_column"])
+        assert code == 0
+        assert "tasks = 4" in text
+
+    def test_replay_directory(self, tmp_path):
+        import numpy as np
+
+        from repro.workloads.suite import mixed_instance_suite, write_instance_dir
+
+        write_instance_dir(tmp_path, mixed_instance_suite(6, np.random.default_rng(4)))
+        code, text = run_cli(["simulate", str(tmp_path)])
+        assert code == 0 and "valid = yes" in text
+
+    def test_writes_trace_json(self, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code, text = run_cli(["simulate", "poisson", "--n", "10",
+                              "--output", str(out_path)])
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["n_tasks"] == 10 and len(data["events"]) == 10
+
+    def test_unknown_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "poisson", "--policy", "oracle"])
+
+
+class TestSimulateErrors:
+    def test_unknown_stream_name(self):
+        code, text = run_cli(["simulate", "zipf"])
+        assert code == 2 and "unknown stream" in text
+
+    @pytest.mark.parametrize("flag,value", [("--n", "0"), ("--K", "-1"), ("--rate", "0")])
+    def test_invalid_parameters(self, flag, value):
+        code, text = run_cli(["simulate", "poisson", flag, value])
+        assert code == 2 and "error:" in text
+
+    def test_non_release_instance_file(self, tmp_path):
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        path = tmp_path / "plain.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(path)])
+        assert code == 2 and "release instance" in text
+
+    def test_directory_without_release_instances(self, tmp_path):
+        inst = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        (tmp_path / "plain.json").write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(tmp_path)])
+        assert code == 2 and "no release instances" in text
+
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code, text = run_cli(["simulate", str(path)])
+        assert code == 2 and "malformed JSON" in text
+
+    def test_off_grid_width_exits_2(self, tmp_path):
+        inst = ReleaseInstance([Rect(rid=0, width=0.3, height=1.0)], K=8)
+        path = tmp_path / "offgrid.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(path)])
+        assert code == 2 and "whole-column widths" in text
+
+    def test_directory_with_malformed_file_exits_2(self, tmp_path):
+        inst = ReleaseInstance([Rect(rid=0, width=0.5, height=1.0)], K=2)
+        (tmp_path / "good.json").write_text(dumps_instance(inst))
+        (tmp_path / "broken.json").write_text("{not json")
+        code, text = run_cli(["simulate", str(tmp_path)])
+        assert code == 2 and "invalid trace file" in text
+
+    def test_mixed_K_trace_directory_exits_2(self, tmp_path):
+        for i, k in enumerate((2, 4)):
+            inst = ReleaseInstance([Rect(rid=0, width=1.0 / k, height=1.0)], K=k)
+            (tmp_path / f"t{i}.json").write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(tmp_path)])
+        assert code == 2 and "share one K" in text
+
+    def test_replay_is_never_truncated_to_default_n(self, tmp_path):
+        # 60 tasks > the synthetic-stream default of --n 40: replays must
+        # run the whole trace.
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=float(i)) for i in range(60)],
+            K=2,
+        )
+        path = tmp_path / "big.json"
+        path.write_text(dumps_instance(inst))
+        code, text = run_cli(["simulate", str(path)])
+        assert code == 0 and "tasks = 60" in text
+
+
+class TestInputErrors:
+    """Bad instance files exit 2 with a message on every file-reading command."""
+
+    @pytest.fixture
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"type": "plain", "rects": [')
+        return path
+
+    @pytest.fixture
+    def invalid_schema_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"type": "martian", "rects": []}))
+        return path
+
+    @pytest.mark.parametrize("command", ["solve", "bounds", "portfolio"])
+    def test_malformed_json(self, command, broken_file):
+        code, text = run_cli([command, str(broken_file)])
+        assert code == 2 and "malformed JSON" in text
+
+    @pytest.mark.parametrize("command", ["solve", "bounds", "portfolio"])
+    def test_invalid_instance_schema(self, command, invalid_schema_file):
+        code, text = run_cli([command, str(invalid_schema_file)])
+        assert code == 2 and "invalid instance" in text
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        code, text = run_cli(["solve", str(path)])
+        assert code == 2 and "invalid instance" in text
+
+    @pytest.mark.parametrize("command", ["solve", "bounds", "portfolio"])
+    def test_missing_file(self, command, tmp_path):
+        code, text = run_cli([command, str(tmp_path / "nope.json")])
+        assert code == 2 and "cannot read" in text
+
+    def test_batch_dir_with_malformed_file(self, tmp_path):
+        (tmp_path / "broken.json").write_text("{not json")
+        code, text = run_cli(["batch", str(tmp_path)])
+        assert code == 2 and "invalid instance file" in text
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

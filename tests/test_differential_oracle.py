@@ -1,0 +1,131 @@
+"""Differential tests against the exact branch-and-bound oracle.
+
+On exhaustively enumerated small columnar instances the exact solver's
+optimum is ground truth, which pins down every other solver from below:
+
+* every heuristic/approximation height is **>= the exact optimum** (a
+  "better than optimal" result would mean an invalid placement slipped
+  through, or the oracle is wrong — either is a bug worth one test);
+* every :class:`~repro.engine.report.SolveReport` ratio is **>= 1** (the
+  combined lower bound never exceeds the achieved height);
+* online policies never beat the offline optimum — the price of not
+  knowing the future is nonnegative on *every* instance, not just on
+  benchmark averages.
+
+The tier-1 sweeps keep the enumeration small (hundreds of instances); the
+``slow`` sweep widens the grid on CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import (
+    PrecedenceInstance,
+    ReleaseInstance,
+    StripPackingInstance,
+)
+from repro.core.rectangle import Rect
+from repro.dag.graph import TaskDAG
+from repro.engine import run, specs_for_variant
+from repro.exact.branch_and_bound import solve_exact
+
+K = 2
+WIDTHS = (1, 2)          # columns on the K=2 grid
+HEIGHTS = (0.5, 1.0)
+RELEASES = (0.0, 0.75)
+
+TOL = 1e-9
+
+
+def plain_instances(n: int):
+    """Every plain instance with ``n`` rects over the small grid."""
+    dims = list(itertools.product(WIDTHS, HEIGHTS))
+    for combo in itertools.product(dims, repeat=n):
+        yield StripPackingInstance(
+            [Rect(rid=i, width=c / K, height=h) for i, (c, h) in enumerate(combo)]
+        )
+
+
+def release_instances_grid(n: int, releases=RELEASES):
+    """Every release instance with ``n`` rects over the small grid."""
+    dims = list(itertools.product(WIDTHS, HEIGHTS, releases))
+    for combo in itertools.product(dims, repeat=n):
+        yield ReleaseInstance(
+            [Rect(rid=i, width=c / K, height=h, release=r)
+             for i, (c, h, r) in enumerate(combo)],
+            K,
+        )
+
+
+def precedence_instances_grid(n: int, dag_edges):
+    """Every precedence instance with ``n`` rects over the grid and a DAG."""
+    dims = list(itertools.product(WIDTHS, HEIGHTS))
+    for combo in itertools.product(dims, repeat=n):
+        yield PrecedenceInstance(
+            [Rect(rid=i, width=c / K, height=h) for i, (c, h) in enumerate(combo)],
+            TaskDAG(range(n), dag_edges),
+        )
+
+
+def check_against_oracle(instance, spec_names):
+    opt = solve_exact(instance, K).height
+    for name in spec_names:
+        try:
+            report = run(instance, name)
+        except InvalidInstanceError:
+            # A declared input restriction (e.g. shelf_next_fit's uniform
+            # heights): the grid's uniform combos still cover this spec.
+            continue
+        assert report.valid, f"{name}: {report.error}"
+        assert report.height >= opt - TOL, (
+            f"{name} beat the exact optimum: {report.height} < {opt}"
+        )
+        assert report.ratio is not None and report.ratio >= 1.0 - TOL, (
+            f"{name} ratio below 1: {report.ratio}"
+        )
+
+
+class TestPlainVsExact:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_no_heuristic_beats_exact(self, n):
+        names = [s.name for s in specs_for_variant("plain")]
+        for instance in plain_instances(n):
+            check_against_oracle(instance, names)
+
+
+class TestPrecedenceVsExact:
+    @pytest.mark.parametrize(
+        "edges", [[], [(0, 1), (1, 2)], [(0, 1), (0, 2)], [(0, 2), (1, 2)]],
+        ids=["independent", "chain", "fork", "join"],
+    )
+    def test_no_heuristic_beats_exact(self, edges):
+        names = [s.name for s in specs_for_variant("precedence")]
+        for instance in precedence_instances_grid(3, edges):
+            check_against_oracle(instance, names)
+
+
+class TestReleaseVsExact:
+    """Release specs include the LP-heavy APTAS, so tier-1 enumerates n=2
+    in full; the slow sweep covers n=3."""
+
+    def test_no_release_algorithm_beats_exact(self):
+        names = [s.name for s in specs_for_variant("release")]
+        for instance in release_instances_grid(2):
+            check_against_oracle(instance, names)
+
+    def test_online_never_beats_offline_optimum_n3(self):
+        # Oracle-vs-online is cheap (no LP), so n=3 fits in tier-1.
+        online = [s.name for s in specs_for_variant("release") if "online" in s.flags]
+        assert len(online) == 3
+        for instance in release_instances_grid(3):
+            check_against_oracle(instance, online)
+
+    @pytest.mark.slow
+    def test_no_release_algorithm_beats_exact_n3_deep(self):
+        names = [s.name for s in specs_for_variant("release")]
+        for instance in release_instances_grid(3):
+            check_against_oracle(instance, names)

@@ -78,7 +78,8 @@ class TestPortfolio:
     def test_default_candidates_cover_variant(self):
         result = portfolio(release_inst())
         assert {r.algorithm for r in result.reports} == {
-            "aptas", "release_shelf", "release_bl", "online_ff"
+            "aptas", "release_shelf", "release_bl",
+            "online_ff", "online_best_fit", "online_shelf",
         }
 
     def test_never_worse_than_default_solve(self):

@@ -38,7 +38,7 @@ class TestRegistryCompleteness:
             assert spec.guarantee, f"{name} is missing guarantee metadata"
 
     def test_spec_count_matches_available(self):
-        assert len(all_specs()) == len(available_algorithms()) == 11
+        assert len(all_specs()) == len(available_algorithms()) == 13
 
     def test_unknown_name_raises_dispatcher_error(self):
         with pytest.raises(InvalidInstanceError, match="unknown algorithm"):
@@ -59,7 +59,10 @@ class TestVariants:
 
     def test_specs_for_variant(self):
         release_names = {s.name for s in specs_for_variant("release")}
-        assert release_names == {"aptas", "release_shelf", "release_bl", "online_ff"}
+        assert release_names == {
+            "aptas", "release_shelf", "release_bl",
+            "online_ff", "online_best_fit", "online_shelf",
+        }
         assert all("precedence" in s.variants for s in specs_for_variant("precedence"))
 
     def test_specs_for_unknown_variant(self):

@@ -1,0 +1,141 @@
+"""Registry-wide invariant property tests.
+
+Every :class:`~repro.engine.spec.AlgorithmSpec` in the registry — present
+and future — is swept over randomized instances of each variant it
+supports, and the returned placement is checked against the paper's
+validity definition invariant by invariant:
+
+* **no-overlap** — no two rectangles intersect in their open interiors;
+* **within-strip** — ``0 <= x <= 1 - w`` and ``y >= 0`` for every task;
+* **precedence-respect** — every DAG edge ``(s, s')`` has
+  ``top(s) <= base(s')``;
+* **release-respect** — every task starts at or after its release time.
+
+The checks are spelled out explicitly (rather than delegating wholesale to
+:func:`~repro.core.placement.validate_placement`) so a failure names the
+broken invariant directly; a final assertion cross-checks the shared
+validator agrees.  New algorithms get all of this for free the moment they
+are registered.
+
+The tier-1 sweep keeps sizes small; the ``slow`` sweep (CI) pushes more
+seeds and larger instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tol
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import (
+    PrecedenceInstance,
+    ReleaseInstance,
+    StripPackingInstance,
+)
+from repro.core.placement import find_overlap, validate_placement
+from repro.engine import all_specs, run
+from repro.workloads.dags import random_precedence_instance
+from repro.workloads.random_rects import uniform_rects
+from repro.workloads.releases import (
+    bursty_release_instance,
+    poisson_release_instance,
+    staircase_release_instance,
+)
+
+SPECS = all_specs()
+SPEC_IDS = [s.name for s in SPECS]
+
+
+def instance_for(spec, seed: int, n: int) -> StripPackingInstance:
+    """A randomized instance of the hardest variant ``spec`` supports.
+
+    Release specs get release instances (rotating over the three arrival
+    shapes), precedence-capable specs get random DAG instances, and plain
+    packers get plain rectangles — so every spec is exercised on the
+    constraints it claims to handle.
+    """
+    rng = np.random.default_rng(seed)
+    if "release" in spec.variants:
+        maker = (bursty_release_instance, poisson_release_instance,
+                 staircase_release_instance)[seed % 3]
+        return maker(n, 4, rng)
+    if "precedence" in spec.variants:
+        return random_precedence_instance(n, 0.2, rng)
+    return StripPackingInstance(uniform_rects(n, rng))
+
+
+def run_respecting_restrictions(spec, instance):
+    """Run ``spec``; on a declared input restriction (e.g. shelf_next_fit's
+    uniform heights) retry on the uniform-height version of the instance."""
+    try:
+        return run(instance, spec.name), instance
+    except InvalidInstanceError:
+        rects = [r.replace(height=1.0) for r in instance.rects]
+        if isinstance(instance, ReleaseInstance):
+            uniform = instance.with_rects(rects)
+        elif isinstance(instance, PrecedenceInstance):
+            uniform = PrecedenceInstance(rects, instance.dag)
+        else:
+            uniform = StripPackingInstance(rects)
+        return run(uniform, spec.name), uniform
+
+
+def assert_placement_invariants(instance: StripPackingInstance, placement) -> None:
+    """The four paper invariants, asserted one by one with names."""
+    ids = {r.rid for r in instance.rects}
+    placed = dict(placement.items())
+    assert set(placed) == ids, "completeness: every task placed exactly once"
+
+    for rid, pr in placed.items():
+        assert tol.geq(pr.x, 0.0) and tol.leq(pr.x2, 1.0), (
+            f"within-strip violated: {rid!r} spans x in [{pr.x}, {pr.x2}]"
+        )
+        assert tol.geq(pr.y, 0.0), f"within-strip violated: {rid!r} has y={pr.y}"
+
+    pair = find_overlap(placed.values())
+    assert pair is None, (
+        f"no-overlap violated: {pair[0].rect.rid!r} and {pair[1].rect.rid!r}"
+        if pair else ""
+    )
+
+    if isinstance(instance, PrecedenceInstance):
+        for u, v in instance.dag.edges():
+            assert tol.leq(placed[u].y2, placed[v].y), (
+                f"precedence-respect violated: top({u!r})={placed[u].y2} "
+                f"> base({v!r})={placed[v].y}"
+            )
+
+    if isinstance(instance, ReleaseInstance):
+        for rid, pr in placed.items():
+            assert tol.geq(pr.y, pr.rect.release), (
+                f"release-respect violated: {rid!r} starts at {pr.y} "
+                f"< r={pr.rect.release}"
+            )
+
+    # The shared validator must agree with the spelled-out invariants.
+    validate_placement(instance, placement)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+def test_spec_placement_invariants(spec, seed):
+    instance = instance_for(spec, seed, n=12)
+    report, instance = run_respecting_restrictions(spec, instance)
+    assert report.valid, f"{spec.name} produced an invalid placement: {report.error}"
+    assert_placement_invariants(instance, report.placement)
+    # Heights sit above the combined lower bound, so the ratio is >= 1.
+    assert report.ratio is not None and report.ratio >= 1.0 - 1e-9
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("spec", SPECS, ids=SPEC_IDS)
+def test_spec_placement_invariants_deep(spec, seed):
+    rng = np.random.default_rng(1000 + seed)
+    n = int(rng.integers(15, 40))
+    instance = instance_for(spec, 1000 + seed, n=n)
+    report, instance = run_respecting_restrictions(spec, instance)
+    assert report.valid, f"{spec.name} produced an invalid placement: {report.error}"
+    assert_placement_invariants(instance, report.placement)
+    assert report.ratio is not None and report.ratio >= 1.0 - 1e-9

@@ -1,0 +1,124 @@
+"""Tests for the simulator's task streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.sim.stream import (
+    GeneratorStream,
+    InstanceStream,
+    ReplayStream,
+    TaskStream,
+    poisson_stream,
+)
+
+
+def rel_inst(specs, K=4):
+    rects = [
+        Rect(rid=i, width=c / K, height=h, release=r)
+        for i, (c, h, r) in enumerate(specs)
+    ]
+    return ReleaseInstance(rects, K)
+
+
+class TestInstanceStream:
+    def test_orders_by_release_then_taller_first(self):
+        inst = rel_inst([(1, 0.5, 2.0), (1, 1.0, 0.0), (1, 0.25, 0.0), (1, 0.75, 2.0)])
+        order = [r.rid for r in InstanceStream(inst)]
+        assert order == [1, 2, 3, 0]
+
+    def test_carries_K_and_len(self):
+        inst = rel_inst([(1, 1.0, 0.0)], K=6)
+        s = InstanceStream(inst)
+        assert s.K == 6 and len(s) == 1
+
+    def test_rejects_non_release_instance(self):
+        plain = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        with pytest.raises(InvalidInstanceError):
+            InstanceStream(plain)
+
+    def test_satisfies_protocol(self):
+        s = InstanceStream(rel_inst([(1, 1.0, 0.0)]))
+        assert isinstance(s, TaskStream)
+
+
+class TestGeneratorStream:
+    def test_wraps_any_iterable(self):
+        rects = [Rect(rid=0, width=0.5, height=1.0)]
+        assert list(GeneratorStream(2, rects)) == rects
+
+    def test_rejects_bad_K(self):
+        with pytest.raises(InvalidInstanceError):
+            GeneratorStream(0, [])
+
+
+class TestPoissonStream:
+    def test_seeded_prefix_is_deterministic(self):
+        def prefix(seed, n=20):
+            it = iter(poisson_stream(8, np.random.default_rng(seed), rate=2.0))
+            return [next(it) for _ in range(n)]
+
+        assert prefix(7) == prefix(7)
+        assert prefix(7) != prefix(8)
+
+    def test_arrivals_nondecreasing_and_columnar(self):
+        it = iter(poisson_stream(5, np.random.default_rng(0), rate=1.5))
+        prev = 0.0
+        for _ in range(50):
+            r = next(it)
+            assert r.release >= prev
+            assert abs(r.width * 5 - round(r.width * 5)) < 1e-9
+            assert 0.1 <= r.height <= 1.0
+            prev = r.release
+
+    def test_max_cols_respected(self):
+        it = iter(poisson_stream(8, np.random.default_rng(1), max_cols=2))
+        assert all(next(it).width <= 2 / 8 + 1e-12 for _ in range(30))
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidInstanceError):
+            poisson_stream(4, rng, rate=0.0)
+        with pytest.raises(InvalidInstanceError):
+            poisson_stream(0, rng)
+        with pytest.raises(InvalidInstanceError):
+            poisson_stream(4, rng, max_cols=9)
+
+
+class TestReplayStream:
+    def test_concatenates_on_one_timeline(self):
+        a = rel_inst([(1, 1.0, 0.0), (1, 1.0, 3.0)])
+        b = rel_inst([(1, 1.0, 0.0), (1, 1.0, 1.0)])
+        rects = list(ReplayStream([("day0", a), ("day1", b)]))
+        assert [r.rid for r in rects] == ["day0:0", "day0:1", "day1:0", "day1:1"]
+        # day1 arrivals shift to begin at day0's last arrival (rmax = 3).
+        assert [r.release for r in rects] == [0.0, 3.0, 3.0, 4.0]
+
+    def test_len_and_monotone(self):
+        a = rel_inst([(1, 0.5, 1.0), (2, 1.0, 0.0)])
+        s = ReplayStream([("x", a), ("y", a)])
+        assert len(s) == 4
+        times = [r.release for r in s]
+        assert times == sorted(times)
+
+    def test_requires_matching_K(self):
+        with pytest.raises(InvalidInstanceError):
+            ReplayStream([("a", rel_inst([(1, 1.0, 0.0)], K=2)),
+                          ("b", rel_inst([(1, 1.0, 0.0)], K=4))])
+
+    def test_requires_at_least_one_trace(self):
+        with pytest.raises(InvalidInstanceError):
+            ReplayStream([])
+
+    def test_from_dir_skips_non_release_instances(self, tmp_path):
+        from repro.workloads.suite import mixed_instance_suite, write_instance_dir
+
+        suite = mixed_instance_suite(6, np.random.default_rng(5))
+        write_instance_dir(tmp_path, suite)
+        stream = ReplayStream.from_dir(tmp_path)
+        n_release = sum(1 for i in suite if isinstance(i, ReleaseInstance))
+        assert n_release > 0
+        assert len(stream.traces) == n_release
+        assert len(stream) == sum(len(i) for i in suite if isinstance(i, ReleaseInstance))
