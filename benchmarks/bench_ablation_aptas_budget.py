@@ -22,7 +22,17 @@ from repro.release.aptas import aptas
 from repro.release.lp import optimal_fractional_height
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "aptas_budget"
+
+
+def test_a2_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 GROUPS = [1, 2, 3, 4, 6]
 K = 6
@@ -34,15 +44,14 @@ def _inst(n=40, seed=9):
 
 
 @pytest.mark.parametrize("g", [1, 3])
-def test_a2_budget_timing(benchmark, g):
+def test_a2_budget_timing(g):
     inst = _inst()
-    res = benchmark(lambda: aptas(inst, eps=0.9, groups_per_class=g))
+    res = aptas(inst, eps=0.9, groups_per_class=g)
     validate_placement(inst, res.placement)
 
 
-def test_a2_budget_sweep(benchmark):
+def test_a2_budget_sweep():
     inst = _inst()
-    benchmark(lambda: aptas(inst, eps=0.9, groups_per_class=2))
 
     opt_f = optimal_fractional_height(inst)
     table = Table(

@@ -19,7 +19,17 @@ from repro.release.aptas import aptas
 from repro.release.lp import optimal_fractional_height
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "aptas"
+
+
+def test_e9_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 SIZES = [10, 20, 40, 80, 160]
 EPS = 0.9
@@ -33,9 +43,8 @@ def _scaled_instance(n, seed=0):
     return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
 
 
-def test_e9_aptas_asymptotics(benchmark):
+def test_e9_aptas_asymptotics():
     inst = _scaled_instance(40)
-    benchmark(lambda: aptas(inst, eps=EPS))
 
     table = Table(
         ["n", "opt_f", "aptas", "occurrences", "ratio", "(1+eps)+add/opt_f"],
@@ -61,9 +70,9 @@ def test_e9_aptas_asymptotics(benchmark):
 
 
 @pytest.mark.parametrize("eps", [1.5, 0.9, 0.6])
-def test_e9_aptas_eps_sweep(benchmark, eps):
+def test_e9_aptas_eps_sweep(eps):
     inst = _scaled_instance(60, seed=3)
-    res = benchmark(lambda: aptas(inst, eps=eps))
+    res = aptas(inst, eps=eps)
     validate_placement(inst, res.placement)
     opt_f = optimal_fractional_height(inst)
     assert res.height <= (1 + eps) * opt_f + res.integral.n_occurrences + 1e-6

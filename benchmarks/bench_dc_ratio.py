@@ -24,7 +24,17 @@ from repro.workloads.dags import (
     series_parallel_instance,
 )
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "dc_ratio"
+
+
+def test_e1_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 FAMILIES = {
     "random(p=0.05)": lambda n, rng: random_precedence_instance(n, 0.05, rng),
@@ -45,11 +55,10 @@ def _run_family(name: str, n: int, seed: int = 0):
 
 
 @pytest.mark.parametrize("family", list(FAMILIES))
-def test_e1_dc_ratio_sweep(benchmark, family):
+def test_e1_dc_ratio_sweep(family):
     # Time one representative size; sweep + assertions outside the timer.
     rng = np.random.default_rng(1)
     inst = FAMILIES[family](128, rng)
-    benchmark(lambda: dc_pack(inst))
 
     table = Table(
         ["n", "height", "lower_bound", "ratio", "thm_bound", "bound_ok"],

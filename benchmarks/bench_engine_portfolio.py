@@ -19,7 +19,17 @@ import pytest
 from repro.engine import portfolio, run, solve_many, variant_of
 from repro.workloads.suite import mixed_instance_suite
 
-from .conftest import emit_reports
+from .conftest import bench_quick, emit_reports
+
+
+BENCH_SPEC = "portfolio"
+
+
+def test_e13_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 JOBS = 4
 
@@ -29,9 +39,9 @@ def _suite(n_instances: int = 12, seed: int = 7):
 
 
 @pytest.mark.parametrize("variant", ["plain", "precedence", "release"])
-def test_e13_portfolio_beats_default(benchmark, variant):
+def test_e13_portfolio_beats_default(variant):
     inst = next(i for i in _suite() if variant_of(i) == variant)
-    result = benchmark(lambda: portfolio(inst, jobs=JOBS))
+    result = portfolio(inst, jobs=JOBS)
 
     assert result.best is not None, "no entrant validated"
     assert result.best.valid
@@ -50,10 +60,10 @@ def test_e13_portfolio_beats_default(benchmark, variant):
     )
 
 
-def test_e13_batch_parallel_determinism(benchmark):
+def test_e13_batch_parallel_determinism():
     instances = _suite()
     serial = solve_many(instances)
-    parallel = benchmark(lambda: solve_many(instances, jobs=JOBS))
+    parallel = solve_many(instances, jobs=JOBS)
 
     assert [r.height for r in parallel] == [r.height for r in serial]
     assert [r.algorithm for r in parallel] == [r.algorithm for r in serial]

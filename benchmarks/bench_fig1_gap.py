@@ -23,14 +23,23 @@ from repro.core.placement import validate_placement
 from repro.precedence.dc import dc_pack
 from repro.workloads.adversarial import omega_log_n_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "fig1_gap"
+
+
+def test_e2_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 KS = [2, 3, 4, 5, 6, 7]
 
 
-def test_e2_fig1_gap_growth(benchmark):
+def test_e2_fig1_gap_growth():
     adv = omega_log_n_instance(6, eps=1e-7)
-    benchmark(lambda: dc_pack(adv.instance))
 
     table = Table(
         ["k", "n", "AREA", "F", "dc_height", "ratio", "analytic_opt_lb"],

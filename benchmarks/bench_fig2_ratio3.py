@@ -21,15 +21,24 @@ from repro.core.placement import validate_placement
 from repro.precedence.shelf_nextfit import shelf_next_fit
 from repro.workloads.adversarial import ratio3_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "fig2_ratio3"
+
+
+def test_e4_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 KS = [1, 2, 3, 4, 6, 8]
 EPS = 1e-6
 
 
-def test_e4_fig2_ratio3_family(benchmark):
+def test_e4_fig2_ratio3_family():
     adv = ratio3_instance(6, eps=EPS)
-    benchmark(lambda: shelf_next_fit(adv.instance))
 
     table = Table(
         ["k", "n", "AREA", "F", "opt", "height", "ratio_vs_lb"],

@@ -18,18 +18,27 @@ from repro.release.lp import optimal_fractional_height
 from repro.release.rounding import round_releases_up
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "grouping"
+
+
+def test_e7_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 GROUPS_PER_CLASS = [1, 2, 3, 4]
 
 
-def test_e7_width_grouping_cost(benchmark):
+def test_e7_width_grouping_cost():
     rng = np.random.default_rng(31)
     K = 6
     inst = bursty_release_instance(30, K, rng, n_bursts=3)
     rounded = round_releases_up(inst, 0.5)
     n_classes = len({r.release for r in rounded.rects})
-    benchmark(lambda: group_widths(rounded, 2 * n_classes))
 
     base = optimal_fractional_height(rounded)
     table = Table(

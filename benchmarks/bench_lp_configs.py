@@ -16,20 +16,30 @@ from repro.release.configurations import enumerate_configurations
 from repro.release.lp import solve_fractional
 from repro.workloads.releases import staircase_release_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "lp_configs"
+
+
+def test_e8_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 KS = [2, 3, 4, 5, 6]
 
 
 @pytest.mark.parametrize("K", [4])
-def test_e8_lp_solve_time(benchmark, K):
+def test_e8_lp_solve_time(K):
     rng = np.random.default_rng(41)
     inst = staircase_release_instance(24, K, rng, n_steps=3)
-    benchmark(lambda: solve_fractional(inst))
+    frac = solve_fractional(inst)
+    assert frac.height > 0.0
 
 
-def test_e8_support_bound_and_config_growth(benchmark):
-    benchmark(lambda: enumerate_configurations([c / 6 for c in range(1, 7)]))
+def test_e8_support_bound_and_config_growth():
 
     table = Table(
         ["K", "Q(configs)", "W", "R+1", "support", "(W+1)(R+1)", "opt_f"],

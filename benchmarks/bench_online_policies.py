@@ -24,7 +24,17 @@ from repro.release.lp import optimal_fractional_height
 from repro.sim import simulate_instance
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit, emit_reports
+from .conftest import bench_quick, emit, emit_reports
+
+
+BENCH_SPEC = "online_policies"
+
+
+def test_a5_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 K = 4
 POLICIES = ("first_fit", "best_fit_column", "shelf_online")
@@ -37,9 +47,8 @@ def _inst(n, seed=0):
     return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
 
 
-def test_a5_policy_ratios(benchmark):
+def test_a5_policy_ratios():
     inst0 = _inst(40)
-    benchmark(lambda: simulate_instance(inst0, "first_fit"))
 
     table = Table(
         ["n", "opt_f", *POLICIES, "aptas", *(f"{p}/opt_f" for p in POLICIES)],
@@ -69,9 +78,8 @@ def test_a5_policy_ratios(benchmark):
                  title=f"A5 engine reports (K={K})")
 
 
-def test_a5_serving_statistics(benchmark):
+def test_a5_serving_statistics():
     inst0 = _inst(40)
-    benchmark(lambda: simulate_instance(inst0, "best_fit_column"))
 
     table = Table(
         ["policy", "n", "makespan", "mean_queue", "max_queue", "utilization"],

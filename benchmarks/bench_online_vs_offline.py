@@ -30,7 +30,17 @@ from repro.release.online import online_first_fit
 from repro.workloads.dags import uniform_height_precedence_instance
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit, emit_reports
+from .conftest import bench_quick, emit, emit_reports
+
+
+BENCH_SPEC = "online_vs_offline"
+
+
+def test_a4_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 K = 4
 
@@ -40,9 +50,8 @@ def _inst(n, seed=0):
     return bursty_release_instance(n, K, rng, n_bursts=3, burst_gap=float(n) / 8.0)
 
 
-def test_a4_online_vs_offline(benchmark):
+def test_a4_online_vs_offline():
     inst0 = _inst(40)
-    benchmark(lambda: online_first_fit(inst0))
 
     table = Table(
         ["n", "opt_f", "online_ff", "offline_aptas", "online/opt_f", "aptas/opt_f"],
@@ -68,11 +77,10 @@ def test_a4_online_vs_offline(benchmark):
                  title=f"A4 engine reports (K={K})")
 
 
-def test_a4_bins_vs_true_optimum(benchmark):
+def test_a4_bins_vs_true_optimum():
     rng = np.random.default_rng(77)
     inst0 = uniform_height_precedence_instance(10, 0.15, rng)
     bin0 = strip_to_bin_instance(inst0)
-    benchmark(lambda: solve_bin_packing_exact(bin0, max_states=100_000))
 
     table = Table(
         ["seed", "n", "opt", "next_fit", "level_ffd", "ggjy_ff"],

@@ -22,7 +22,17 @@ from repro.engine import run
 from repro.release.lp import optimal_fractional_height
 from repro.workloads.releases import bursty_release_instance
 
-from .conftest import emit, emit_reports
+from .conftest import bench_quick, emit, emit_reports
+
+
+BENCH_SPEC = "release_baselines"
+
+
+def test_e10_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 K = 4
 SIZES = [10, 20, 40, 80, 160]
@@ -40,16 +50,13 @@ def _params(name):
 
 
 @pytest.mark.parametrize("name", ALGORITHMS)
-def test_e10_baseline_timing(benchmark, name):
+def test_e10_baseline_timing(name):
     inst = _inst(40, seed=1)
-    report = benchmark(
-        lambda: run(inst, name, params=_params(name), validate=False, compute_bounds=False)
-    )
+    report = run(inst, name, params=_params(name), validate=False, compute_bounds=False)
     validate_placement(inst, report.placement)
 
 
-def test_e10_quality_comparison(benchmark):
-    benchmark(lambda: run(_inst(40, seed=1), "release_shelf", validate=False))
+def test_e10_quality_comparison():
 
     table = Table(
         ["n", "opt_f", "aptas", "shelf", "bottom_left", "aptas/opt_f", "shelf/opt_f", "bl/opt_f"],

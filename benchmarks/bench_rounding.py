@@ -17,15 +17,24 @@ from repro.release.lp import optimal_fractional_height
 from repro.release.rounding import round_releases_up
 from repro.workloads.releases import poisson_release_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "rounding"
+
+
+def test_e6_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 EPSES = [0.5, 0.33, 0.25, 0.2]
 
 
-def test_e6_release_rounding_cost(benchmark):
+def test_e6_release_rounding_cost():
     rng = np.random.default_rng(21)
     inst = poisson_release_instance(24, 4, rng, rate=1.5, max_cols=4)
-    benchmark(lambda: round_releases_up(inst, 0.25))
 
     table = Table(
         ["eps", "classes_before", "classes_after", "opt_f", "opt_f_rounded", "factor", "1+eps"],

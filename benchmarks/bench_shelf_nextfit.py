@@ -17,16 +17,25 @@ from repro.precedence.accounting import color_shelves, verify_accounting
 from repro.precedence.shelf_nextfit import shelf_next_fit
 from repro.workloads.dags import uniform_height_precedence_instance
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "shelf_nextfit"
+
+
+def test_e3_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 SIZES = [16, 32, 64, 128, 256]
 EDGE_PS = [0.0, 0.05, 0.2]
 
 
-def test_e3_shelf_next_fit_three_approx(benchmark):
+def test_e3_shelf_next_fit_three_approx():
     rng = np.random.default_rng(0)
     inst = uniform_height_precedence_instance(128, 0.05, rng)
-    benchmark(lambda: shelf_next_fit(inst))
 
     table = Table(
         ["n", "p", "shelves", "red", "green", "skips", "lb", "ratio"],

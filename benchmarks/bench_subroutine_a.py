@@ -22,23 +22,32 @@ from repro.exact.branch_and_bound import solve_exact
 from repro.packing import bfdh, bottom_left, ffdh, nfdh
 from repro.workloads.random_rects import columnar_rects, powerlaw_rects, uniform_rects
 
-from .conftest import emit
+from .conftest import bench_quick, emit
+
+
+BENCH_SPEC = "packers"
+
+
+def test_e11_bench_spec():
+    """Thin shim: the timed sweep lives in the bench registry (`repro bench`)."""
+    artifact = bench_quick(BENCH_SPEC)
+    assert artifact["points"], "bench spec produced no measurements"
+
 
 PACKERS = {"nfdh": nfdh, "ffdh": ffdh, "bfdh": bfdh, "bottom_left": bottom_left}
 
 
 @pytest.mark.parametrize("name", list(PACKERS))
-def test_e11_packer_timing(benchmark, name):
+def test_e11_packer_timing(name):
     rng = np.random.default_rng(3)
     rects = uniform_rects(200, rng)
-    result = benchmark(lambda: PACKERS[name](rects))
+    result = PACKERS[name](rects)
     validate_placement(StripPackingInstance(rects), result.placement)
 
 
-def test_e11_contract_and_exact_ratios(benchmark):
+def test_e11_contract_and_exact_ratios():
     rng = np.random.default_rng(5)
     rects = uniform_rects(100, rng)
-    benchmark(lambda: nfdh(rects))
 
     # Contract sweep: 2*AREA + hmax for NFDH/FFDH on three distributions.
     table = Table(

@@ -1,11 +1,14 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark module reproduces one experiment from DESIGN.md's index
-(E1..E12).  Conventions:
+(E1..E13, A1..A5).  Conventions:
 
-* each pytest function uses the ``benchmark`` fixture (so the suite runs
-  under ``pytest benchmarks/ --benchmark-only``) to time the algorithm
-  under study, then *verifies the paper's shape claims* with assertions;
+* the *timing* of each experiment lives in the bench registry
+  (:mod:`repro.bench.specs`) — each script opens with a
+  :func:`bench_quick` shim that runs its registered spec on the smoke
+  sizes, so ``repro bench <name>`` and the pytest script measure the same
+  thing; the script body then *verifies the paper's shape claims* with
+  assertions (the part a JSON artifact cannot carry);
 * each experiment emits its series/table through :func:`emit`, which both
   prints it (visible with ``-s``) and appends it to
   ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can be checked
@@ -17,6 +20,20 @@ from __future__ import annotations
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_quick(name: str, repetitions: int = 1) -> dict:
+    """Run bench spec ``name`` on its quick sizes; emit and return the artifact.
+
+    The thin shim every ``bench_*.py`` script starts with: timing goes
+    through the same registry/runner as ``repro bench``, and the artifact
+    dict comes back for shape assertions.
+    """
+    from repro.bench import artifact_table, get_bench, run_bench
+
+    artifact = run_bench(get_bench(name), quick=True, repetitions=repetitions, warmup=0)
+    emit(f"bench_{name}", artifact_table(artifact).render())
+    return artifact
 
 
 def emit(experiment: str, text: str) -> None:

@@ -22,8 +22,11 @@ Quick start::
     placement = solve(inst)            # picks DC for precedence instances
     print(placement.height)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every reproduced result.
+See DESIGN.md for the full system inventory, EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced result, and
+docs/ARCHITECTURE.md for the layer map (core -> geometry -> packing ->
+precedence/release/exact -> engine -> sim -> bench -> cli) and the
+subsystem data flows.
 """
 
 from .core import (
@@ -45,7 +48,7 @@ from .dag import TaskDAG
 from .engine import AlgorithmSpec, PortfolioResult, SolveReport, portfolio, run, solve_many
 from .sim import SimTrace, simulate, simulate_instance
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmSpec",

@@ -1,0 +1,188 @@
+"""Declarative benchmark specifications and the bench registry.
+
+A :class:`BenchSpec` describes one reproducible measurement: a *workload*
+(a seeded generator mapping ``(size, rng)`` to an instance), a tuple of
+*entries* (the things to time on that workload — engine algorithms, online
+simulation policies, or plain callables), and a *size sweep*.  The spec is
+purely declarative; :mod:`repro.bench.runner` executes it with warmup and
+repetitions and :mod:`repro.bench.artifact` freezes the result into a
+``BENCH_<name>.json`` artifact.
+
+Specs are registered once at import time by :mod:`repro.bench.specs`
+(mirroring how :mod:`repro.engine.specs` populates the algorithm
+registry); ``repro bench`` and the benchmark scripts look them up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..core.errors import InvalidInstanceError
+
+__all__ = [
+    "ENTRY_KINDS",
+    "BenchEntry",
+    "BenchSpec",
+    "register_bench",
+    "get_bench",
+    "all_benches",
+    "bench_names",
+    "bench_table_rows",
+]
+
+#: How a :class:`BenchEntry` is executed by the runner.
+ENTRY_KINDS = ("engine", "sim", "callable")
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One timed contender within a bench spec.
+
+    ``kind`` selects the execution path:
+
+    * ``"engine"`` — ``repro.engine.run(instance, algorithm, params=params)``;
+      the measured time is the report's pure solver wall time;
+    * ``"sim"`` — ``repro.sim.simulate`` over an
+      :class:`~repro.sim.stream.InstanceStream` of the workload instance
+      with ``policy``;
+    * ``"callable"`` — ``fn(workload_output, **params)``, for subroutine
+      benchmarks (LP solves, rounding, grouping, kernel comparisons) that
+      have no engine spec.
+    """
+
+    label: str
+    kind: str = "engine"
+    algorithm: str | None = None
+    policy: str | None = None
+    fn: Callable[..., Any] | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("a BenchEntry needs a label")
+        if self.kind not in ENTRY_KINDS:
+            raise ValueError(
+                f"entry {self.label!r}: kind must be one of {ENTRY_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "engine" and not self.algorithm:
+            raise ValueError(f"engine entry {self.label!r} needs an algorithm name")
+        if self.kind == "sim" and not self.policy:
+            raise ValueError(f"sim entry {self.label!r} needs a policy name")
+        if self.kind == "callable" and self.fn is None:
+            raise ValueError(f"callable entry {self.label!r} needs fn")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark: workload x entries x size sweep.
+
+    ``workload(size, rng)`` builds the object handed to every entry at that
+    size — a :class:`~repro.core.instance.StripPackingInstance` (or
+    subclass) for ``engine``/``sim`` entries; ``callable`` entries accept
+    whatever the workload returns.  The same instance is shared by all
+    entries and repetitions of a size, so contenders race on identical
+    inputs and artifacts are deterministic per seed (wall times aside).
+
+    ``sizes`` is the full sweep; ``quick_sizes`` (defaulting to the first
+    two sizes) is what ``repro bench --quick`` and CI smoke runs use.
+    ``size_name`` is cosmetic — what the sweep parameter means (``n``,
+    ``k``, ``K``...).
+    """
+
+    name: str
+    title: str
+    workload: Callable[[int, Any], Any]
+    entries: tuple[BenchEntry, ...]
+    sizes: tuple[int, ...]
+    quick_sizes: tuple[int, ...] | None = None
+    size_name: str = "n"
+    repetitions: int = 3
+    warmup: int = 1
+    seed: int = 0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a BenchSpec needs a name")
+        if not self.entries:
+            raise ValueError(f"bench {self.name!r}: needs at least one entry")
+        if not self.sizes:
+            raise ValueError(f"bench {self.name!r}: needs at least one size")
+        if self.repetitions < 1:
+            raise ValueError(f"bench {self.name!r}: repetitions must be >= 1")
+        if self.warmup < 0:
+            raise ValueError(f"bench {self.name!r}: warmup must be >= 0")
+        labels = [e.label for e in self.entries]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"bench {self.name!r}: duplicate entry labels {labels}")
+
+    def sweep(self, quick: bool = False) -> tuple[int, ...]:
+        """The sizes a run visits: the full sweep, or the quick subset."""
+        if not quick:
+            return self.sizes
+        if self.quick_sizes is not None:
+            return self.quick_sizes
+        return self.sizes[:2]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_BENCHES: dict[str, BenchSpec] = {}
+
+
+def register_bench(spec: BenchSpec) -> BenchSpec:
+    """Add ``spec`` to the registry (re-registration is an error)."""
+    if spec.name in _BENCHES:
+        raise ValueError(f"bench {spec.name!r} registered twice")
+    _BENCHES[spec.name] = spec
+    return spec
+
+
+def get_bench(name: str) -> BenchSpec:
+    """Look up a bench spec by name (canonical unknown-name error)."""
+    _load_benches()
+    try:
+        return _BENCHES[name]
+    except KeyError:
+        known = ", ".join(sorted(_BENCHES))
+        raise InvalidInstanceError(
+            f"unknown bench {name!r}; available: {known}"
+        ) from None
+
+
+def all_benches() -> list[BenchSpec]:
+    """Every registered bench spec, sorted by name."""
+    _load_benches()
+    return [_BENCHES[name] for name in sorted(_BENCHES)]
+
+
+def bench_names() -> list[str]:
+    """Sorted names of every registered bench spec."""
+    _load_benches()
+    return sorted(_BENCHES)
+
+
+def bench_table_rows() -> list[tuple[str, str, str, str, str]]:
+    """(name, entries, sizes, reps, source) rows for ``repro bench --list``."""
+    rows = []
+    for s in all_benches():
+        rows.append(
+            (
+                s.name,
+                ",".join(e.label for e in s.entries),
+                f"{s.size_name}={','.join(str(n) for n in s.sizes)}",
+                f"{s.repetitions}+{s.warmup}w",
+                s.source or "-",
+            )
+        )
+    return rows
+
+
+def _load_benches() -> None:
+    # Bench specs live in repro.bench.specs; importing it populates the
+    # registry.  Deferred for the same cycle/thread-safety reasons as
+    # repro.engine.spec._load_specs.
+    from . import specs  # noqa: F401

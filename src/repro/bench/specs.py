@@ -1,0 +1,478 @@
+"""Bench registrations: every ``benchmarks/bench_*.py`` script as a spec.
+
+Importing this module populates the registry in :mod:`repro.bench.spec`.
+Each of the 18 benchmark scripts maps to one spec (named in ``source``),
+plus ``skyline_bottom_left`` — the kernel before/after race whose artifact
+records the speedup of :class:`repro.geometry.skyline.Skyline` over the
+reference implementation.
+
+Conventions:
+
+* workloads are seeded closures over :mod:`repro.workloads`; the sweep
+  parameter (``size``) means whatever ``size_name`` says — ``n`` (tasks),
+  ``k`` (adversarial family index), ``K`` (device columns), or ``tiles``;
+* engine/sim entries name registry specs/policies; callable entries wrap
+  the subroutine a script times (LP solve, rounding, grouping, kernels);
+* quick sizes are small enough for CI smoke (``repro bench --all --quick``
+  finishes in well under a minute).
+"""
+
+from __future__ import annotations
+
+from .spec import BenchEntry, BenchSpec, register_bench
+
+__all__: list[str] = []
+
+
+# ----------------------------------------------------------------------
+# workloads (size, rng) -> instance / prepared object
+# ----------------------------------------------------------------------
+
+def _plain_powerlaw(n, rng):
+    from ..core.instance import StripPackingInstance
+    from ..workloads.random_rects import powerlaw_rects
+
+    return StripPackingInstance(powerlaw_rects(n, rng))
+
+
+def _plain_uniform(n, rng):
+    from ..core.instance import StripPackingInstance
+    from ..workloads.random_rects import uniform_rects
+
+    return StripPackingInstance(uniform_rects(n, rng))
+
+
+def _omega_log_n(k, rng):
+    from ..workloads.adversarial import omega_log_n_instance
+
+    return omega_log_n_instance(k, eps=1e-7).instance
+
+
+def _ratio3(k, rng):
+    from ..workloads.adversarial import ratio3_instance
+
+    return ratio3_instance(k, eps=1e-6).instance
+
+
+def _random_dag(n, rng):
+    from ..workloads.dags import random_precedence_instance
+
+    return random_precedence_instance(n, 0.1, rng)
+
+
+def _uniform_height_dag(n, rng):
+    from ..workloads.dags import uniform_height_precedence_instance
+
+    return uniform_height_precedence_instance(n, 0.05, rng)
+
+
+def _bursty_release(n, rng):
+    from ..workloads.releases import bursty_release_instance
+
+    return bursty_release_instance(n, 4, rng, n_bursts=3, burst_gap=float(n) / 8.0)
+
+
+def _poisson_release(n, rng):
+    from ..workloads.releases import poisson_release_instance
+
+    return poisson_release_instance(n, 4, rng, rate=1.5, max_cols=4)
+
+
+def _staircase_release(n, rng):
+    from ..workloads.releases import staircase_release_instance
+
+    return staircase_release_instance(n, 4, rng, n_steps=3)
+
+
+def _jpeg_pipeline(tiles, rng):
+    from ..fpga.device import Device
+    from ..workloads.jpeg import jpeg_pipeline_instance
+
+    return jpeg_pipeline_instance(tiles, Device(K=16))
+
+
+def _bin_instance(n, rng):
+    from ..precedence.bin_packing import strip_to_bin_instance
+    from ..workloads.dags import uniform_height_precedence_instance
+
+    return strip_to_bin_instance(uniform_height_precedence_instance(n, 0.05, rng))
+
+
+def _rounded_release(n, rng):
+    from ..release.rounding import round_releases_up
+    from ..workloads.releases import bursty_release_instance
+
+    return round_releases_up(bursty_release_instance(n, 6, rng, n_bursts=3), 0.5)
+
+
+def _jpeg_with_schedule(tiles, rng):
+    """JPEG instance + its DC placement, for latency-dilation timing."""
+    from ..fpga.device import Device
+    from ..precedence.dc import dc_pack
+
+    device = Device(K=16, reconfig_latency=0.25)
+    instance = _jpeg_pipeline(tiles, rng)
+    placement = dc_pack(instance).placement
+    return {"instance": instance, "device": device, "placement": placement}
+
+
+def _instance_suite(n, rng):
+    from ..workloads.suite import mixed_instance_suite
+
+    return mixed_instance_suite(n, rng)
+
+
+# ----------------------------------------------------------------------
+# callable entry targets
+# ----------------------------------------------------------------------
+
+def _bl_reference(instance):
+    from ..geometry.skyline_reference import ReferenceSkyline
+    from ..packing.bottom_left import bottom_left
+
+    return bottom_left(list(instance.rects), skyline_cls=ReferenceSkyline)
+
+
+def _dc_with_subroutine(name):
+    def run(instance):
+        from .. import packing
+        from ..precedence.dc import dc_pack
+
+        return dc_pack(instance, subroutine=getattr(packing, name))
+
+    run.__name__ = f"dc[{name}]"
+    return run
+
+
+def _ffd_bins(bin_inst):
+    from ..precedence.bin_packing import precedence_first_fit_decreasing
+
+    return precedence_first_fit_decreasing(bin_inst)
+
+
+def _next_fit_bins(bin_inst):
+    from ..precedence.bin_packing import precedence_next_fit
+
+    return precedence_next_fit(bin_inst)
+
+
+def _round_releases(instance, eps=0.25):
+    from ..release.rounding import round_releases_up
+
+    return round_releases_up(instance, eps)
+
+
+def _group_widths(instance, budget_factor=2):
+    from ..release.grouping import group_widths
+
+    n_classes = len({r.release for r in instance.rects})
+    return group_widths(instance, budget_factor * n_classes)
+
+
+def _solve_lp(instance):
+    from ..release.lp import solve_fractional
+
+    return solve_fractional(instance)
+
+
+def _fractional_height(instance):
+    from ..release.lp import optimal_fractional_height
+
+    return optimal_fractional_height(instance)
+
+
+def _dilate(prepared):
+    from ..fpga.latency import dilate_for_reconfiguration
+
+    return dilate_for_reconfiguration(
+        prepared["placement"], prepared["device"], dag=prepared["instance"].dag
+    )
+
+
+def _portfolio_first(instances):
+    from ..engine import portfolio
+
+    return portfolio(instances[0])
+
+
+def _solve_many(jobs):
+    def run(instances):
+        from ..engine import solve_many
+
+        return solve_many(instances, jobs=jobs, validate=False)
+
+    run.__name__ = f"solve_many[jobs={jobs}]"
+    return run
+
+
+def _engine(label, algorithm, **params):
+    return BenchEntry(label=label, kind="engine", algorithm=algorithm, params=params)
+
+
+def _sim(label, policy, **params):
+    return BenchEntry(label=label, kind="sim", policy=policy, params=params)
+
+
+def _call(label, fn, **params):
+    return BenchEntry(label=label, kind="callable", fn=fn, params=params)
+
+
+# ----------------------------------------------------------------------
+# the tentpole artifact: optimized skyline kernel vs reference
+# ----------------------------------------------------------------------
+
+register_bench(BenchSpec(
+    name="skyline_bottom_left",
+    title="Bottom-left skyline kernel: optimized vs reference implementation",
+    workload=_plain_powerlaw,
+    entries=(
+        _engine("optimized", "bottom_left"),
+        _call("reference", _bl_reference),
+    ),
+    sizes=(1_000, 10_000, 100_000),
+    quick_sizes=(500, 2_000),
+    repetitions=2,
+    warmup=0,
+    source="benchmarks/bench_subroutine_a.py (kernel), geometry/skyline.py",
+))
+
+# ----------------------------------------------------------------------
+# paper experiments E1..E13
+# ----------------------------------------------------------------------
+
+register_bench(BenchSpec(
+    name="dc_ratio",
+    title="E1: DC height vs Theorem 2.3 guarantee on random DAGs",
+    workload=_random_dag,
+    entries=(_engine("dc", "dc"),),
+    sizes=(50, 100, 200, 400),
+    quick_sizes=(30, 60),
+    source="benchmarks/bench_dc_ratio.py (E1)",
+))
+
+register_bench(BenchSpec(
+    name="fig1_gap",
+    title="E2/Fig.1: Omega(log n) lower-bound gap family",
+    workload=_omega_log_n,
+    entries=(_engine("dc", "dc"),),
+    sizes=(3, 4, 5, 6, 7),
+    quick_sizes=(3, 4),
+    size_name="k",
+    source="benchmarks/bench_fig1_gap.py (E2)",
+))
+
+register_bench(BenchSpec(
+    name="shelf_nextfit",
+    title="E3: Algorithm F (shelf next fit) on uniform-height DAGs",
+    workload=_uniform_height_dag,
+    entries=(_engine("shelf_next_fit", "shelf_next_fit"), _engine("dc", "dc")),
+    sizes=(64, 128, 256),
+    quick_sizes=(32, 64),
+    source="benchmarks/bench_shelf_nextfit.py (E3)",
+))
+
+register_bench(BenchSpec(
+    name="fig2_ratio3",
+    title="E4/Fig.2: tightness of the factor-3 analysis",
+    workload=_ratio3,
+    entries=(_engine("shelf_next_fit", "shelf_next_fit"),),
+    sizes=(4, 8, 16),
+    quick_sizes=(4,),
+    size_name="k",
+    source="benchmarks/bench_fig2_ratio3.py (E4)",
+))
+
+register_bench(BenchSpec(
+    name="bin_packing",
+    title="E5: precedence-constrained bin packing (NF vs FFD)",
+    workload=_bin_instance,
+    entries=(_call("next_fit", _next_fit_bins), _call("ffd", _ffd_bins)),
+    sizes=(32, 64, 128),
+    quick_sizes=(16, 32),
+    source="benchmarks/bench_bin_packing.py (E5)",
+))
+
+register_bench(BenchSpec(
+    name="rounding",
+    title="E6/Lemma 3.1: release rounding",
+    workload=_poisson_release,
+    entries=(_call("round_releases", _round_releases, eps=0.25),),
+    sizes=(24, 48, 96),
+    quick_sizes=(12, 24),
+    source="benchmarks/bench_rounding.py (E6)",
+))
+
+register_bench(BenchSpec(
+    name="grouping",
+    title="E7/Lemma 3.2: width grouping on rounded instances",
+    workload=_rounded_release,
+    entries=(_call("group_widths", _group_widths, budget_factor=2),),
+    sizes=(30, 60, 120),
+    quick_sizes=(15, 30),
+    source="benchmarks/bench_grouping.py (E7)",
+))
+
+register_bench(BenchSpec(
+    name="lp_configs",
+    title="E8/Lemma 3.3: configuration LP solve",
+    workload=_staircase_release,
+    entries=(_call("solve_fractional", _solve_lp),),
+    sizes=(12, 24, 36),
+    quick_sizes=(8, 12),
+    source="benchmarks/bench_lp_configs.py (E8)",
+))
+
+register_bench(BenchSpec(
+    name="aptas",
+    title="E9/Theorem 3.5: end-to-end APTAS",
+    workload=_bursty_release,
+    entries=(_engine("aptas", "aptas", eps=0.9),),
+    sizes=(10, 20, 40, 80),
+    quick_sizes=(10, 20),
+    source="benchmarks/bench_aptas.py (E9)",
+))
+
+register_bench(BenchSpec(
+    name="release_baselines",
+    title="E10: release-time baselines vs the APTAS",
+    workload=_bursty_release,
+    entries=(
+        _engine("release_shelf", "release_shelf"),
+        _engine("release_bl", "release_bl"),
+        _engine("aptas", "aptas", eps=0.9),
+    ),
+    sizes=(10, 20, 40, 80),
+    quick_sizes=(10, 20),
+    source="benchmarks/bench_release_baselines.py (E10)",
+))
+
+register_bench(BenchSpec(
+    name="packers",
+    title="E11: unconstrained packers (subroutine-A candidates)",
+    workload=_plain_uniform,
+    entries=(
+        _engine("nfdh", "nfdh"),
+        _engine("ffdh", "ffdh"),
+        _engine("bfdh", "bfdh"),
+        _engine("bottom_left", "bottom_left"),
+    ),
+    sizes=(100, 400, 1_600),
+    quick_sizes=(50, 100),
+    source="benchmarks/bench_subroutine_a.py (E11)",
+))
+
+register_bench(BenchSpec(
+    name="fpga_jpeg",
+    title="E12: JPEG pipelines scheduled with DC on a 16-column device",
+    workload=_jpeg_pipeline,
+    entries=(_engine("dc", "dc"),),
+    sizes=(2, 4, 8),
+    quick_sizes=(2, 4),
+    size_name="tiles",
+    source="benchmarks/bench_fpga_jpeg.py (E12)",
+))
+
+register_bench(BenchSpec(
+    name="portfolio",
+    title="E13: engine batch and portfolio execution",
+    workload=_instance_suite,
+    entries=(
+        _call("solve_many[serial]", _solve_many(1)),
+        _call("solve_many[jobs=4]", _solve_many(4)),
+        _call("portfolio[first]", _portfolio_first),
+    ),
+    sizes=(6, 12, 24),
+    quick_sizes=(4, 6),
+    size_name="instances",
+    source="benchmarks/bench_engine_portfolio.py (E13)",
+))
+
+# ----------------------------------------------------------------------
+# online / simulator benches A4, A5
+# ----------------------------------------------------------------------
+
+register_bench(BenchSpec(
+    name="online_vs_offline",
+    title="A4: price of online first fit vs offline baselines",
+    workload=_bursty_release,
+    entries=(
+        _engine("online_ff", "online_ff"),
+        _engine("release_bl", "release_bl"),
+        _engine("aptas", "aptas", eps=0.9),
+    ),
+    sizes=(10, 20, 40),
+    quick_sizes=(10, 20),
+    source="benchmarks/bench_online_vs_offline.py (A4)",
+))
+
+register_bench(BenchSpec(
+    name="online_policies",
+    title="A5: online policy shoot-out through the event-driven simulator",
+    workload=_bursty_release,
+    entries=(
+        _sim("first_fit", "first_fit"),
+        _sim("best_fit_column", "best_fit_column"),
+        _sim("shelf_online", "shelf_online"),
+    ),
+    sizes=(20, 40, 80),
+    quick_sizes=(10, 20),
+    source="benchmarks/bench_online_policies.py (A5)",
+))
+
+# ----------------------------------------------------------------------
+# ablations A1..A3
+# ----------------------------------------------------------------------
+
+register_bench(BenchSpec(
+    name="dc_subroutine",
+    title="A1: DC with swapped subroutine-A packers",
+    workload=_random_dag,
+    entries=(
+        _call("nfdh", _dc_with_subroutine("nfdh")),
+        _call("ffdh", _dc_with_subroutine("ffdh")),
+        _call("bfdh", _dc_with_subroutine("bfdh")),
+        _call("bottom_left", _dc_with_subroutine("bottom_left")),
+    ),
+    sizes=(50, 100, 200),
+    quick_sizes=(30, 50),
+    source="benchmarks/bench_ablation_dc_subroutine.py (A1)",
+))
+
+register_bench(BenchSpec(
+    name="aptas_budget",
+    title="A2: APTAS width-budget knob (groups per class)",
+    workload=_bursty_release,
+    entries=(
+        _engine("g=1", "aptas", eps=0.9, groups_per_class=1),
+        _engine("g=2", "aptas", eps=0.9, groups_per_class=2),
+        _engine("g=4", "aptas", eps=0.9, groups_per_class=4),
+    ),
+    sizes=(10, 20, 40),
+    quick_sizes=(10,),
+    source="benchmarks/bench_ablation_aptas_budget.py (A2)",
+))
+
+register_bench(BenchSpec(
+    name="latency_dilation",
+    title="A3: reconfiguration-latency dilation on the JPEG pipeline",
+    workload=_jpeg_with_schedule,
+    entries=(_call("dilate", _dilate),),
+    sizes=(2, 4, 6),
+    quick_sizes=(2, 4),
+    size_name="tiles",
+    source="benchmarks/bench_ablation_latency.py (A3)",
+))
+
+# ----------------------------------------------------------------------
+# lower-bound / fractional-optimum probe (shared by E2/E4/A4 tables)
+# ----------------------------------------------------------------------
+
+register_bench(BenchSpec(
+    name="fractional_lb",
+    title="OPT_f probe: fractional optimum via the configuration LP",
+    workload=_bursty_release,
+    entries=(_call("optimal_fractional_height", _fractional_height),),
+    sizes=(10, 20, 40),
+    quick_sizes=(8, 10),
+    source="benchmarks/bench_online_vs_offline.py, bench_online_policies.py (OPT_f)",
+))

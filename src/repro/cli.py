@@ -26,6 +26,12 @@ Commands
     or a path to a release-instance JSON file / trace directory to replay.
     Prints the :class:`~repro.sim.trace.SimTrace` summary (makespan, queue
     depth, utilization) and its engine-report ratio.
+``bench [NAME ...|--all] [--quick] [--out DIR] [--compare BASELINE.json]``
+    Run registered benchmarks (:mod:`repro.bench`) and write one
+    schema-validated ``BENCH_<name>.json`` artifact each; ``--list``
+    prints the bench registry, ``--quick`` restricts each spec to its
+    smoke sizes, and ``--compare`` diffs the fresh artifact against a
+    baseline, exiting 1 when a regression is flagged.
 
 Bad inputs (missing files, malformed JSON, invalid parameters) exit with
 code 2 and a one-line message — never a traceback.
@@ -133,6 +139,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--rate", type=float, default=1.0, help="poisson arrival rate")
     p_sim.add_argument("--events", action="store_true", help="print the per-event commit log")
     p_sim.add_argument("--output", type=Path, default=None, help="write the SimTrace JSON here")
+
+    p_bench = sub.add_parser("bench", help="run registered benchmarks into BENCH_*.json artifacts")
+    p_bench.add_argument("names", nargs="*", help="bench spec names (see --list)")
+    p_bench.add_argument("--all", action="store_true", help="run every registered bench")
+    p_bench.add_argument("--list", action="store_true", help="print the bench registry and exit")
+    p_bench.add_argument("--quick", action="store_true", help="smoke sizes only (CI mode)")
+    p_bench.add_argument(
+        "--out", type=Path, default=Path("."), help="artifact directory (default: cwd)"
+    )
+    p_bench.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="diff the fresh artifact against this baseline; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--repetitions", type=int, default=None, help="override the spec's repetition count"
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="slowdown factor flagged as a regression (default 1.5)",
+    )
     return parser
 
 
@@ -346,6 +377,82 @@ def _cmd_simulate(args, out) -> int:
     return 0 if report.valid else 1
 
 
+def _cmd_bench(args, out) -> int:
+    from .analysis.report import Table
+    from .bench import (
+        BenchArtifactError,
+        artifact_table,
+        bench_names,
+        bench_table_rows,
+        compare_artifacts,
+        get_bench,
+        load_artifact,
+        run_bench,
+        write_artifact,
+    )
+    from .bench.compare import DEFAULT_THRESHOLD
+
+    if args.list:
+        table = Table(["bench", "entries", "sizes", "reps", "source"], title="bench registry")
+        for row in bench_table_rows():
+            table.add_row(list(row))
+        print(table.render(), file=out)
+        return 0
+    if args.all and args.names:
+        raise _CliInputError("pass bench names or --all, not both")
+    names = bench_names() if args.all else list(args.names)
+    if not names:
+        raise _CliInputError("nothing to run: pass bench names, --all, or --list")
+    if args.repetitions is not None and args.repetitions < 1:
+        raise _CliInputError(f"--repetitions must be positive, got {args.repetitions}")
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    if threshold <= 1.0:
+        raise _CliInputError(f"--threshold must be > 1, got {threshold:g}")
+    try:
+        specs = [get_bench(name) for name in names]
+    except ReproError as exc:
+        raise _CliInputError(str(exc)) from exc
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = load_artifact(args.compare)
+        except OSError as exc:
+            raise _CliInputError(f"cannot read {args.compare}: {exc}") from exc
+        except BenchArtifactError as exc:
+            raise _CliInputError(str(exc)) from exc
+        if baseline["name"] not in names:
+            raise _CliInputError(
+                f"baseline {args.compare} is for bench {baseline['name']!r}, "
+                f"which is not being run"
+            )
+
+    regressions = 0
+    for spec in specs:
+        artifact = run_bench(
+            spec,
+            quick=args.quick,
+            repetitions=args.repetitions,
+            progress=lambda line: print(f"  {line}", file=out),
+        )
+        path = write_artifact(artifact, args.out)
+        print(artifact_table(artifact).render(), file=out)
+        print(f"artifact written to {path}\n", file=out)
+        if baseline is not None and baseline["name"] == spec.name:
+            try:
+                result = compare_artifacts(baseline, artifact, threshold=threshold)
+            except ValueError as exc:
+                # e.g. quick run vs full-sweep baseline: nothing overlaps
+                raise _CliInputError(str(exc)) from exc
+            print(result.table().render(), file=out)
+            if result.regressions:
+                regressions += len(result.regressions)
+                print(f"{len(result.regressions)} regression(s) flagged", file=out)
+            else:
+                print("no regressions", file=out)
+            print("", file=out)
+    return 1 if regressions else 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -358,6 +465,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "batch": lambda: _cmd_batch(args, out),
         "portfolio": lambda: _cmd_portfolio(args, out),
         "simulate": lambda: _cmd_simulate(args, out),
+        "bench": lambda: _cmd_bench(args, out),
     }
     handler = commands[args.command]  # argparse enforces the choices
     try:

@@ -24,6 +24,7 @@ from .spec import (
     default_params,
     get_spec,
     register,
+    spec_table_markdown,
     spec_table_rows,
     specs_for_variant,
     variant_of,
@@ -46,4 +47,5 @@ __all__ = [
     "default_algorithm",
     "default_params",
     "spec_table_rows",
+    "spec_table_markdown",
 ]

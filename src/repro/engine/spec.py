@@ -32,6 +32,7 @@ __all__ = [
     "default_algorithm",
     "default_params",
     "spec_table_rows",
+    "spec_table_markdown",
 ]
 
 #: The three problem variants of the paper, in presentation order.
@@ -187,6 +188,23 @@ def spec_table_rows() -> list[tuple[str, str, str, str, str]]:
             )
         )
     return rows
+
+
+def spec_table_markdown() -> str:
+    """The algorithm table as GitHub markdown — the generated block in
+    README.md and docs/ALGORITHMS.md (``tests/test_docs_sync.py`` fails
+    when either file drifts from this rendering)."""
+    lines = [
+        "| algorithm | variants | guarantee | flags | defaults |",
+        "|---|---|---|---|---|",
+    ]
+    for name, variants, guarantee, flags, defaults in spec_table_rows():
+        flags_md = flags.replace("-", "—") if flags == "-" else flags
+        defaults_md = defaults.replace("-", "—") if defaults == "-" else defaults
+        lines.append(
+            f"| `{name}` | {variants} | `{guarantee}` | {flags_md} | {defaults_md} |"
+        )
+    return "\n".join(lines)
 
 
 def _load_specs() -> None:

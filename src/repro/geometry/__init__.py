@@ -1,13 +1,27 @@
-"""Geometric substrate: skyline, shelves, occupancy metrics, stackings."""
+"""Geometric substrate: skyline, shelves, occupancy metrics, stackings.
+
+* :mod:`repro.geometry.skyline` — the optimized skyline kernel behind
+  bottom-left packing, branch-and-bound, and the release heuristics;
+* :mod:`repro.geometry.skyline_reference` — the original linear-scan
+  kernel, kept as the executable specification for differential tests and
+  the ``skyline_bottom_left`` bench;
+* :mod:`repro.geometry.levels` — shelf/level bookkeeping for the
+  level-oriented packers;
+* :mod:`repro.geometry.occupancy` — union area, occupancy profiles, and
+  band densities (with vectorised fast paths);
+* :mod:`repro.geometry.stacking` — the paper's stacking abstraction.
+"""
 
 from .levels import Level, LevelStack
 from .occupancy import band_density, occupancy_profile, union_area, utilisation
 from .skyline import Skyline, SkySegment
+from .skyline_reference import ReferenceSkyline
 from .stacking import Stacking, contains, stack
 
 __all__ = [
     "Skyline",
     "SkySegment",
+    "ReferenceSkyline",
     "Level",
     "LevelStack",
     "union_area",

@@ -1,0 +1,144 @@
+"""Reference skyline implementation — the executable specification.
+
+This is the original sorted-list/linear-scan kernel that
+:class:`repro.geometry.skyline.Skyline` replaced.  It is kept verbatim for
+two purposes:
+
+* **differential testing** — ``tests/test_skyline_differential.py`` drives
+  random placement sequences through both kernels and requires them to
+  agree placement-for-placement (same ``(x, y)`` for every rectangle);
+* **benchmarking** — the ``skyline_bottom_left`` bench spec races the
+  optimized kernel against this one, so every ``BENCH_skyline_bottom_left``
+  artifact records the before/after of the optimization.
+
+The quadratic shape is deliberate: ``candidate_positions`` recomputes
+``support_y`` (a full scan) per candidate, which makes every behaviour a
+direct transcription of the definitions in the module docstring of
+:mod:`repro.geometry.skyline`.  Do not optimize this module — its only job
+is to be obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import tol
+from ..core.errors import InvalidPlacementError
+from .skyline import SkySegment
+
+__all__ = ["ReferenceSkyline"]
+
+
+class ReferenceSkyline:
+    """The skyline over a strip of width 1 (floor at ``y = 0``).
+
+    Same public API and semantics as :class:`repro.geometry.skyline.Skyline`
+    (which documents the operations); this variant favours obviousness over
+    speed — a sorted list of segments, full linear scans everywhere.
+    """
+
+    __slots__ = ("_segs",)
+
+    def __init__(self) -> None:
+        self._segs: list[SkySegment] = [SkySegment(0.0, 1.0, 0.0)]
+
+    # ------------------------------------------------------------------
+    def segments(self) -> list[SkySegment]:
+        """Current segments, left to right."""
+        return list(self._segs)
+
+    def __iter__(self) -> Iterator[SkySegment]:
+        return iter(self._segs)
+
+    @property
+    def max_y(self) -> float:
+        """Highest skyline level."""
+        return max(s.y for s in self._segs)
+
+    @property
+    def min_y(self) -> float:
+        """Lowest skyline level."""
+        return min(s.y for s in self._segs)
+
+    # ------------------------------------------------------------------
+    def support_y(self, x: float, width: float) -> float:
+        """Lowest ``y`` at which a width-``width`` rectangle with left edge at
+        ``x`` can rest: the max skyline height over ``[x, x+width)``."""
+        if tol.lt(x, 0.0) or tol.gt(x + width, 1.0):
+            raise InvalidPlacementError(f"x-range [{x}, {x + width}] outside the strip")
+        y = 0.0
+        for s in self._segs:
+            if tol.leq(s.x2, x) or tol.geq(s.x, x + width):
+                continue
+            y = max(y, s.y)
+        return y
+
+    def candidate_positions(self, width: float) -> list[tuple[float, float]]:
+        """Candidate ``(x, y)`` placements for a width-``width`` rectangle.
+
+        Candidates are left edges flush with segment starts, plus right edge
+        flush with the strip's right wall; each paired with its support
+        height.  Every "bottom-left stable" position is included, which is
+        what both the BL heuristic and the exact solver branch over.
+        """
+        xs: set[float] = set()
+        for s in self._segs:
+            if tol.leq(s.x + width, 1.0):
+                xs.add(s.x)
+            # right-flush against this segment's right end
+            x_right = s.x2 - width
+            if tol.geq(x_right, 0.0):
+                xs.add(max(0.0, x_right))
+        if tol.leq(width, 1.0):
+            xs.add(0.0)
+            xs.add(1.0 - width)
+        out = []
+        for x in sorted(xs):
+            x = tol.clamp(x, 0.0, 1.0 - width)
+            out.append((x, self.support_y(x, width)))
+        return out
+
+    def lowest_position(self, width: float) -> tuple[float, float]:
+        """Bottom-left rule: the candidate with minimal ``y``, ties broken by
+        minimal ``x``."""
+        cands = self.candidate_positions(width)
+        return min(cands, key=lambda p: (p[1], p[0]))
+
+    # ------------------------------------------------------------------
+    def place(self, x: float, width: float, height: float) -> float:
+        """Rest a ``width x height`` rectangle with left edge at ``x`` on the
+        skyline; returns the ``y`` it lands at and raises the envelope."""
+        y = self.support_y(x, width)
+        top = y + height
+        new: list[SkySegment] = []
+        for s in self._segs:
+            if tol.leq(s.x2, x) or tol.geq(s.x, x + width):
+                new.append(s)
+                continue
+            # left remainder
+            if tol.lt(s.x, x):
+                new.append(SkySegment(s.x, x - s.x, s.y))
+            # right remainder
+            if tol.gt(s.x2, x + width):
+                new.append(SkySegment(x + width, s.x2 - (x + width), s.y))
+        new.append(SkySegment(x, width, top))
+        new.sort(key=lambda s: s.x)
+        self._segs = _merge_adjacent(new)
+        return y
+
+    def waste_below(self, level: float) -> float:
+        """Area of the region under ``level`` but above the skyline — the
+        holes a level-based packer has committed to waste."""
+        return sum(max(0.0, level - s.y) * s.width for s in self._segs)
+
+
+def _merge_adjacent(segs: list[SkySegment]) -> list[SkySegment]:
+    """Merge consecutive segments at equal height (within tolerance)."""
+    merged: list[SkySegment] = []
+    for s in segs:
+        if merged and tol.eq(merged[-1].y, s.y) and tol.eq(merged[-1].x2, s.x):
+            last = merged.pop()
+            merged.append(SkySegment(last.x, last.width + s.width, last.y))
+        else:
+            merged.append(s)
+    return merged

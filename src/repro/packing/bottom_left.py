@@ -27,15 +27,22 @@ def bottom_left(
     rects: Sequence[Rect],
     y: float = 0.0,
     order: Callable[[Rect], tuple] | None = None,
+    skyline_cls: type = Skyline,
 ) -> PackResult:
     """Pack ``rects`` bottom-left; ``order`` overrides the sort key
-    (default: non-increasing height, then width, then id)."""
+    (default: non-increasing height, then width, then id).
+
+    ``skyline_cls`` swaps the skyline kernel — the differential tests and
+    the ``skyline_bottom_left`` bench pass
+    :class:`~repro.geometry.skyline_reference.ReferenceSkyline` here to
+    race/compare the optimized kernel against the executable spec.
+    """
     placement = Placement()
     if not rects:
         return PackResult(placement, 0.0)
     key = order or (lambda r: (-r.height, -r.width, str(r.rid)))
     ordered = sorted(rects, key=key)
-    sky = Skyline()
+    sky = skyline_cls()
     for r in ordered:
         x, support = sky.lowest_position(r.width)
         sky.place(x, r.width, r.height)

@@ -1,0 +1,376 @@
+"""Tests for the benchmark subsystem: registry, runner, artifacts, compare, CLI."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchArtifactError,
+    BenchEntry,
+    BenchSpec,
+    all_benches,
+    artifact_path,
+    bench_names,
+    compare_artifacts,
+    get_bench,
+    load_artifact,
+    run_bench,
+    validate_artifact,
+    write_artifact,
+)
+from repro.cli import main
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import StripPackingInstance
+from repro.core.rectangle import Rect
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_every_bench_script_has_a_spec(self):
+        """One spec per benchmarks/bench_*.py script (plus the kernel race)."""
+        expected = {
+            "aptas", "aptas_budget", "bin_packing", "dc_ratio", "dc_subroutine",
+            "fig1_gap", "fig2_ratio3", "fpga_jpeg", "fractional_lb", "grouping",
+            "latency_dilation", "lp_configs", "online_policies",
+            "online_vs_offline", "packers", "portfolio", "release_baselines",
+            "rounding", "shelf_nextfit", "skyline_bottom_left",
+        }
+        assert expected <= set(bench_names())
+
+    def test_lookup_roundtrip(self):
+        for spec in all_benches():
+            assert get_bench(spec.name) is spec
+
+    def test_unknown_name_is_canonical_error(self):
+        with pytest.raises(InvalidInstanceError, match="unknown bench 'nope'"):
+            get_bench("nope")
+
+    def test_quick_sweep_defaults_to_prefix(self):
+        spec = _tiny_spec("sweepcheck", sizes=(2, 4, 8), quick_sizes=None)
+        assert spec.sweep(quick=False) == (2, 4, 8)
+        assert spec.sweep(quick=True) == (2, 4)
+
+    def test_spec_validation(self):
+        entry = BenchEntry(label="x", kind="callable", fn=lambda inst: None)
+        with pytest.raises(ValueError, match="at least one entry"):
+            BenchSpec(name="bad", title="", workload=_wl, entries=(), sizes=(1,))
+        with pytest.raises(ValueError, match="at least one size"):
+            BenchSpec(name="bad", title="", workload=_wl, entries=(entry,), sizes=())
+        with pytest.raises(ValueError, match="duplicate entry labels"):
+            BenchSpec(name="bad", title="", workload=_wl, entries=(entry, entry), sizes=(1,))
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            BenchEntry(label="x", kind="warp")
+        with pytest.raises(ValueError, match="algorithm"):
+            BenchEntry(label="x", kind="engine")
+        with pytest.raises(ValueError, match="policy"):
+            BenchEntry(label="x", kind="sim")
+        with pytest.raises(ValueError, match="fn"):
+            BenchEntry(label="x", kind="callable")
+
+
+# ----------------------------------------------------------------------
+# runner + artifact round-trip
+# ----------------------------------------------------------------------
+
+def _wl(n, rng):
+    return StripPackingInstance(
+        [Rect(rid=i, width=0.5, height=1.0) for i in range(n)]
+    )
+
+
+def _tiny_spec(name, *, sizes=(2, 3), quick_sizes=(2,), entries=None, **kw):
+    entries = entries or (
+        BenchEntry(label="nfdh", kind="engine", algorithm="nfdh"),
+        BenchEntry(label="noop", kind="callable", fn=lambda inst: len(inst)),
+    )
+    return BenchSpec(
+        name=name, title=f"test spec {name}", workload=_wl,
+        entries=entries, sizes=sizes, quick_sizes=quick_sizes,
+        repetitions=2, warmup=1, **kw,
+    )
+
+
+class TestRunnerAndArtifact:
+    def test_run_bench_shape(self):
+        artifact = run_bench(_tiny_spec("shape"))
+        validate_artifact(artifact)
+        assert artifact["schema"] == SCHEMA
+        assert artifact["quick"] is False
+        # 2 sizes x 2 entries
+        assert len(artifact["points"]) == 4
+        for pt in artifact["points"]:
+            assert len(pt["times_s"]) == 2
+            assert pt["min_s"] <= pt["median_s"] <= pt["p95_s"]
+        engine_pts = [p for p in artifact["points"] if p["label"] == "nfdh"]
+        assert all(p["metrics"]["valid"] is True for p in engine_pts)
+        assert all(p["metrics"]["ratio"] >= 1.0 for p in engine_pts)
+        callable_pts = [p for p in artifact["points"] if p["label"] == "noop"]
+        assert [p["metrics"]["value"] for p in callable_pts] == [2.0, 3.0]
+
+    def test_quick_run_uses_quick_sizes(self):
+        artifact = run_bench(_tiny_spec("quick"), quick=True)
+        assert artifact["quick"] is True
+        assert {p["size"] for p in artifact["points"]} == {2}
+
+    def test_sim_entries_carry_trace_metrics(self):
+        from repro.workloads.releases import bursty_release_instance
+
+        spec = BenchSpec(
+            name="simspec", title="sim", sizes=(6,),
+            workload=lambda n, rng: bursty_release_instance(n, 4, rng),
+            entries=(BenchEntry(label="ff", kind="sim", policy="first_fit"),),
+            repetitions=1, warmup=0,
+        )
+        artifact = run_bench(spec)
+        (pt,) = artifact["points"]
+        assert pt["metrics"]["valid"] is True
+        assert pt["metrics"]["height"] > 0
+        assert "max_queue_depth" in pt["metrics"]
+
+    def test_engine_entry_requires_instance(self):
+        spec = BenchSpec(
+            name="badwl", title="", sizes=(2,),
+            workload=lambda n, rng: {"not": "an instance"},
+            entries=(BenchEntry(label="nfdh", kind="engine", algorithm="nfdh"),),
+        )
+        with pytest.raises(InvalidInstanceError, match="StripPackingInstance"):
+            run_bench(spec)
+
+    def test_artifact_roundtrip(self, tmp_path):
+        artifact = run_bench(_tiny_spec("roundtrip"), quick=True)
+        path = write_artifact(artifact, tmp_path)
+        assert path == artifact_path(tmp_path, "roundtrip")
+        assert path.name == "BENCH_roundtrip.json"
+        assert load_artifact(path) == artifact
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda a: a.update(schema="repro-bench/0"), "unknown schema"),
+        (lambda a: a.pop("points"), "missing field 'points'"),
+        (lambda a: a["config"].pop("sizes"), "config missing 'sizes'"),
+        (lambda a: a["points"][0].pop("times_s"), "missing 'times_s'"),
+        (lambda a: a["points"][0].update(times_s=[]), "times_s is empty"),
+        (lambda a: a["points"][0].update(median_s="fast"), "median_s must be a number"),
+    ])
+    def test_validate_rejects_malformed(self, mutate, message):
+        artifact = run_bench(_tiny_spec("malformed"), quick=True)
+        mutate(artifact)
+        with pytest.raises(BenchArtifactError, match=message):
+            validate_artifact(artifact)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchArtifactError, match="not JSON"):
+            load_artifact(path)
+
+
+class TestCommittedSkylineArtifact:
+    """The checked-in before/after artifact of the skyline optimization."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "artifacts" / "BENCH_skyline_bottom_left.json"
+        )
+        return load_artifact(path)  # schema-validates
+
+    def test_speedup_at_1e5_rects(self, artifact):
+        """ISSUE acceptance: >= 10x over the reference kernel at n=100000."""
+        medians = {(p["label"], p["size"]): p["median_s"] for p in artifact["points"]}
+        assert medians[("reference", 100_000)] / medians[("optimized", 100_000)] >= 10.0
+        # and the optimized kernel packs 1e5 rectangles in seconds
+        assert medians[("optimized", 100_000)] < 10.0
+
+    def test_same_heights_per_size(self, artifact):
+        """Both kernels packed every sweep size to the same height."""
+        heights: dict[int, set[float]] = {}
+        for p in artifact["points"]:
+            heights.setdefault(p["size"], set()).add(p["metrics"]["height"])
+        assert heights and all(len(hs) == 1 for hs in heights.values())
+
+
+# ----------------------------------------------------------------------
+# comparison mode
+# ----------------------------------------------------------------------
+
+def _synthetic_artifact(medians: dict[tuple[str, int], float], name="synth"):
+    """A schema-valid artifact with prescribed medians."""
+    artifact = {
+        "schema": SCHEMA, "name": name, "title": "synthetic", "source": "",
+        "quick": False, "seed": 0, "created": "2026-07-30T00:00:00+00:00",
+        "machine": {"python": "x", "platform": "y", "numpy": "z"},
+        "config": {
+            "sizes": sorted({s for _, s in medians}), "size_name": "n",
+            "repetitions": 1, "warmup": 0,
+            "entries": sorted({label for label, _ in medians}),
+        },
+        "points": [
+            {
+                "label": label, "kind": "callable", "size": size, "params": {},
+                "times_s": [t], "median_s": t, "p95_s": t, "mean_s": t, "min_s": t,
+                "metrics": {},
+            }
+            for (label, size), t in medians.items()
+        ],
+    }
+    validate_artifact(artifact)
+    return artifact
+
+
+class TestCompare:
+    def test_synthetic_slowdown_is_flagged(self):
+        baseline = _synthetic_artifact({("a", 10): 0.05, ("a", 20): 0.2})
+        current = _synthetic_artifact({("a", 10): 0.051, ("a", 20): 0.9})
+        result = compare_artifacts(baseline, current)
+        assert not result.ok
+        (reg,) = result.regressions
+        assert (reg.label, reg.size) == ("a", 20)
+        assert reg.ratio == pytest.approx(4.5)
+        # the unregressed point is ok, not flagged
+        statuses = {(r.label, r.size): r.status for r in result.rows}
+        assert statuses[("a", 10)] == "ok"
+
+    def test_subfloor_noise_not_flagged(self):
+        """A 10x slowdown on a microsecond point stays quiet (absolute floor)."""
+        baseline = _synthetic_artifact({("a", 10): 1e-5})
+        current = _synthetic_artifact({("a", 10): 1e-4})
+        assert compare_artifacts(baseline, current).ok
+
+    def test_improvement_and_new_and_missing(self):
+        baseline = _synthetic_artifact({("a", 10): 0.5, ("gone", 10): 0.1})
+        current = _synthetic_artifact({("a", 10): 0.1, ("fresh", 10): 0.1})
+        result = compare_artifacts(baseline, current)
+        assert result.ok
+        statuses = {(r.label, r.size): r.status for r in result.rows}
+        assert statuses[("a", 10)] == "improved"
+        assert statuses[("fresh", 10)] == "new"
+        assert statuses[("gone", 10)] == "missing"
+
+    def test_disjoint_sweeps_rejected(self):
+        """A quick-vs-full diff (zero matched points) must not pass vacuously."""
+        baseline = _synthetic_artifact({("a", 500): 0.001})
+        current = _synthetic_artifact({("a", 100_000): 99.0})
+        with pytest.raises(ValueError, match="no overlapping"):
+            compare_artifacts(baseline, current)
+
+    def test_mismatched_names_rejected(self):
+        a = _synthetic_artifact({("a", 1): 0.1}, name="one")
+        b = _synthetic_artifact({("a", 1): 0.1}, name="two")
+        with pytest.raises(ValueError, match="cannot compare"):
+            compare_artifacts(a, b)
+
+    def test_threshold_validation(self):
+        a = _synthetic_artifact({("a", 1): 0.1})
+        with pytest.raises(ValueError, match="threshold"):
+            compare_artifacts(a, a, threshold=0.9)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cli_spec():
+    """A registered spec with a deterministic, compare-friendly duration."""
+    from repro.bench.spec import _BENCHES
+
+    name = "clibench"
+    if name not in _BENCHES:
+        spec = BenchSpec(
+            name=name, title="CLI test bench", workload=_wl,
+            entries=(
+                BenchEntry(
+                    label="sleep", kind="callable",
+                    fn=lambda inst: time.sleep(0.005),
+                ),
+            ),
+            sizes=(2,), repetitions=1, warmup=0,
+        )
+        _BENCHES[name] = spec
+    yield name
+    _BENCHES.pop(name, None)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench registry" in out and "skyline_bottom_left" in out
+
+    def test_run_writes_schema_valid_artifact(self, tmp_path, capsys, cli_spec):
+        assert main(["bench", cli_spec, "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        path = tmp_path / f"BENCH_{cli_spec}.json"
+        assert f"artifact written to {path}" in out
+        artifact = load_artifact(path)  # validates
+        assert artifact["name"] == cli_spec
+
+    def test_compare_regression_exits_1(self, tmp_path, capsys, cli_spec):
+        assert main(["bench", cli_spec, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = tmp_path / f"BENCH_{cli_spec}.json"
+        baseline = json.loads(path.read_text())
+        for pt in baseline["points"]:  # doctor a much faster past
+            for key in ("median_s", "p95_s", "mean_s", "min_s"):
+                pt[key] = pt[key] / 1000.0
+            pt["times_s"] = [pt["median_s"]]
+        base_path = tmp_path / "baseline.json"
+        base_path.write_text(json.dumps(baseline))
+        code = main(["bench", cli_spec, "--out", str(tmp_path), "--compare", str(base_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regression" in out
+
+    def test_compare_self_passes(self, tmp_path, capsys, cli_spec):
+        assert main(["bench", cli_spec, "--out", str(tmp_path)]) == 0
+        path = tmp_path / f"BENCH_{cli_spec}.json"
+        code = main(["bench", cli_spec, "--out", str(tmp_path), "--compare", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0 and "no regressions" in out
+
+    @pytest.mark.parametrize("argv, message", [
+        (["bench"], "nothing to run"),
+        (["bench", "nosuch"], "unknown bench"),
+        (["bench", "--all", "fig1_gap"], "not both"),
+        (["bench", "fig1_gap", "--repetitions", "0"], "--repetitions"),
+        (["bench", "fig1_gap", "--threshold", "0.5"], "--threshold"),
+        (["bench", "fig1_gap", "--compare", "does-not-exist.json"], "cannot read"),
+    ])
+    def test_bad_input_exits_2(self, capsys, argv, message):
+        assert main(argv) == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:") and message in out
+
+    def test_compare_disjoint_sweep_exits_2(self, tmp_path, capsys, cli_spec):
+        """Baseline whose points share no (entry, size) with the run: exit 2."""
+        assert main(["bench", cli_spec, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = tmp_path / f"BENCH_{cli_spec}.json"
+        baseline = json.loads(path.read_text())
+        for pt in baseline["points"]:
+            pt["size"] += 1000  # no longer matches any fresh point
+        base_path = tmp_path / "disjoint.json"
+        base_path.write_text(json.dumps(baseline))
+        assert main(["bench", cli_spec, "--out", str(tmp_path),
+                     "--compare", str(base_path)]) == 2
+        assert "no overlapping" in capsys.readouterr().out
+
+    def test_compare_baseline_for_unrun_bench_exits_2(self, tmp_path, capsys, cli_spec):
+        assert main(["bench", cli_spec, "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = tmp_path / f"BENCH_{cli_spec}.json"
+        assert main(["bench", "fig1_gap", "--quick", "--out", str(tmp_path),
+                     "--compare", str(path)]) == 2
+        assert "not being run" in capsys.readouterr().out

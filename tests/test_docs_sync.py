@@ -1,0 +1,59 @@
+"""Doc-sync tests: generated tables must match the spec registry.
+
+README.md and docs/ALGORITHMS.md embed the algorithm table between
+``BEGIN GENERATED`` / ``END GENERATED`` markers.  These tests re-render
+:func:`repro.engine.spec_table_markdown` and fail on any drift, so
+registering/changing an algorithm spec forces the documentation to follow
+(the failure message says exactly what to paste).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import spec_table_markdown
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BEGIN = "<!-- BEGIN GENERATED: algorithm table (repro.engine.spec_table_markdown) -->"
+END_PREFIX = "<!-- END GENERATED: algorithm table -->"
+
+
+def _embedded_table(path: Path) -> str:
+    text = path.read_text()
+    assert BEGIN in text, f"{path.name} lost its BEGIN marker"
+    assert END_PREFIX in text, f"{path.name} lost its END marker"
+    inner = text.split(BEGIN, 1)[1].split(END_PREFIX, 1)[0]
+    return inner.strip()
+
+
+@pytest.mark.parametrize("relpath", ["README.md", "docs/ALGORITHMS.md"])
+def test_algorithm_table_in_sync(relpath):
+    path = REPO_ROOT / relpath
+    expected = spec_table_markdown()
+    actual = _embedded_table(path)
+    assert actual == expected, (
+        f"{relpath} algorithm table drifted from engine/specs.py.\n"
+        f"Replace the block between the GENERATED markers with:\n\n{expected}\n"
+    )
+
+
+def test_generated_table_lists_every_spec():
+    from repro.engine import all_specs
+
+    table = spec_table_markdown()
+    for spec in all_specs():
+        assert f"| `{spec.name}` |" in table
+
+
+def test_readme_documents_bench_command():
+    text = (REPO_ROOT / "README.md").read_text()
+    assert "## Benchmarking" in text
+    assert "repro bench --all --quick" in text or "bench --all --quick" in text
+
+
+def test_testing_md_links_ci_workflow():
+    text = (REPO_ROOT / "TESTING.md").read_text()
+    assert ".github/workflows/ci.yml" in text
+    assert "bench" in text
