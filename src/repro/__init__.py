@@ -48,7 +48,7 @@ from .dag import TaskDAG
 from .engine import AlgorithmSpec, PortfolioResult, SolveReport, portfolio, run, solve_many
 from .sim import SimTrace, simulate, simulate_instance
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmSpec",

@@ -33,7 +33,7 @@ from ..core.instance import StripPackingInstance
 from .artifact import new_artifact_header
 from .spec import BenchEntry, BenchSpec
 
-__all__ = ["run_bench", "percentile"]
+__all__ = ["run_bench", "run_bench_named", "percentile"]
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -141,6 +141,22 @@ def _json_params(params) -> dict[str, Any]:
         else:
             out[k] = getattr(v, "__name__", None) or repr(v)
     return out
+
+
+def run_bench_named(
+    name: str, *, quick: bool = False, repetitions: int | None = None
+) -> dict[str, Any]:
+    """Look up a registered spec by name and run it.
+
+    The picklable work unit ``repro bench --backend thread|process`` maps
+    over an :class:`~repro.engine.batch.Executor`: only the *name*
+    crosses the pool boundary (spec objects close over workload
+    functions, which need not survive pickling), and the worker resolves
+    it against its own registry.
+    """
+    from .spec import get_bench
+
+    return run_bench(get_bench(name), quick=quick, repetitions=repetitions)
 
 
 def run_bench(

@@ -133,6 +133,16 @@ def _bl_reference(instance):
     return bottom_left(list(instance.rects), skyline_cls=ReferenceSkyline)
 
 
+def _level_reference(name):
+    def run(instance):
+        from ..geometry import levels_reference
+
+        return getattr(levels_reference, f"reference_{name}")(list(instance.rects))
+
+    run.__name__ = f"reference_{name}"
+    return run
+
+
 def _dc_with_subroutine(name):
     def run(instance):
         from .. import packing
@@ -234,6 +244,28 @@ register_bench(BenchSpec(
     repetitions=2,
     warmup=0,
     source="benchmarks/bench_subroutine_a.py (kernel), geometry/skyline.py",
+))
+
+register_bench(BenchSpec(
+    name="level_packers",
+    title="Level-packing kernels: columnar LevelArray vs object-based reference",
+    workload=_plain_powerlaw,
+    entries=(
+        _engine("nfdh", "nfdh"),
+        _engine("ffdh", "ffdh"),
+        _engine("bfdh", "bfdh"),
+        _call("reference_nfdh", _level_reference("nfdh")),
+        _call("reference_ffdh", _level_reference("ffdh")),
+        _call("reference_bfdh", _level_reference("bfdh")),
+    ),
+    # The full sweep shares size 2000 with the quick sweep on purpose: CI
+    # runs `repro bench level_packers --quick --compare` against the
+    # committed artifact, and compare_artifacts needs overlapping points.
+    sizes=(2_000, 10_000, 100_000),
+    quick_sizes=(500, 2_000),
+    repetitions=2,
+    warmup=0,
+    source="benchmarks/bench_subroutine_a.py (kernels), geometry/levels.py",
 ))
 
 # ----------------------------------------------------------------------

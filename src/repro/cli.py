@@ -13,11 +13,13 @@ Commands
     optionally write the placement JSON.
 ``bounds INSTANCE.json``
     Print the elementary lower bounds for an instance.
-``batch DIR [--algorithm NAME] [--jobs N] [--glob PATTERN]``
+``batch DIR [--algorithm NAME] [--jobs N] [--backend B] [--glob PATTERN]``
     Solve every instance JSON under ``DIR`` through the engine's
-    :func:`~repro.engine.batch.solve_many`, with optional thread-pool
-    parallelism; per-instance height/ratio/wall-time plus a summary.
-``portfolio INSTANCE.json [--algorithms a,b,c] [--jobs N]``
+    :func:`~repro.engine.batch.solve_many`; ``--backend serial | thread |
+    process`` picks the :class:`~repro.engine.batch.Executor` (default:
+    serial, or a thread pool when ``--jobs N`` > 1, as before);
+    per-instance height/ratio/wall-time plus a summary.
+``portfolio INSTANCE.json [--algorithms a,b,c] [--jobs N] [--backend B]``
     Race candidate algorithms on one instance; report every entrant and
     the minimum-height valid winner.
 ``simulate STREAM [--policy P] [--seed S] [--n N] [--K K] [--rate R]``
@@ -66,6 +68,24 @@ def _aptas_default_eps() -> float:
     return float(default_params("aptas")["eps"])
 
 
+def _check_jobs(jobs: int | None) -> None:
+    """``--jobs`` must name a positive worker count — 0/negative used to
+    silently mean "serial", which hid typos; now it is a usage error."""
+    if jobs is not None and jobs < 1:
+        raise _CliInputError(f"--jobs must be a positive worker count, got {jobs}")
+
+
+def _add_executor_args(parser) -> None:
+    """The shared ``--jobs`` / ``--backend`` pair of the executor seam."""
+    parser.add_argument("--jobs", type=int, default=1, help="pool workers (1 = serial)")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend (default: serial, or thread when --jobs > 1)",
+    )
+
+
 def _load_instance(path: Path):
     """Read and parse one instance JSON, mapping failures to CLI errors."""
     try:
@@ -109,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch = sub.add_parser("batch", help="solve every instance JSON in a directory")
     p_batch.add_argument("directory", type=Path, help="directory of instance JSON files")
     p_batch.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
-    p_batch.add_argument("--jobs", type=int, default=1, help="thread-pool workers (1 = serial)")
+    _add_executor_args(p_batch)
     p_batch.add_argument("--glob", default="*.json", help="instance file pattern")
 
     p_port = sub.add_parser("portfolio", help="race algorithms on one instance")
@@ -119,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated entrants (default: every spec matching the variant)",
     )
-    p_port.add_argument("--jobs", type=int, default=1, help="thread-pool workers (1 = serial)")
+    _add_executor_args(p_port)
     p_port.add_argument("--output", type=Path, default=None, help="write winning placement JSON here")
 
     from .sim import policy_names
@@ -164,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="slowdown factor flagged as a regression (default 1.5)",
     )
+    _add_executor_args(p_bench)
     return parser
 
 
@@ -240,6 +261,7 @@ def _cmd_bounds(args, out) -> int:
 def _cmd_batch(args, out) -> int:
     from .workloads.suite import read_instance_dir
 
+    _check_jobs(args.jobs)
     if not args.directory.is_dir():
         print(f"not a directory: {args.directory}", file=out)
         return 2
@@ -254,10 +276,17 @@ def _cmd_batch(args, out) -> int:
         instances,
         args.algorithm,
         jobs=args.jobs,
+        backend=args.backend,
         labels=[p.name for p in paths],
         strict=False,
     )
-    title = f"batch {args.directory} ({len(reports)} instances, jobs={args.jobs})"
+    from .engine import resolve_executor
+
+    backend = resolve_executor(args.backend, args.jobs).backend
+    title = (
+        f"batch {args.directory} ({len(reports)} instances, "
+        f"backend={backend}, jobs={args.jobs})"
+    )
     print(reports_table(reports, title=title, label_header="instance").render(), file=out)
     ok = [r for r in reports if r.valid]
     total_time = sum(r.wall_time for r in reports)
@@ -267,9 +296,10 @@ def _cmd_batch(args, out) -> int:
 
 
 def _cmd_portfolio(args, out) -> int:
+    _check_jobs(args.jobs)
     instance = _load_instance(args.instance)
     names = args.algorithms.split(",") if args.algorithms else None
-    result = portfolio(instance, names, jobs=args.jobs)
+    result = portfolio(instance, names, jobs=args.jobs, backend=args.backend)
     title = f"portfolio {args.instance.name} (n={len(instance)})"
     print(reports_table(result.reports, title=title, label_header="entrant").render(), file=out)
     if result.best is None:
@@ -388,10 +418,12 @@ def _cmd_bench(args, out) -> int:
         get_bench,
         load_artifact,
         run_bench,
+        run_bench_named,
         write_artifact,
     )
     from .bench.compare import DEFAULT_THRESHOLD
 
+    _check_jobs(args.jobs)
     if args.list:
         table = Table(["bench", "entries", "sizes", "reps", "source"], title="bench registry")
         for row in bench_table_rows():
@@ -426,30 +458,62 @@ def _cmd_bench(args, out) -> int:
                 f"which is not being run"
             )
 
-    regressions = 0
-    for spec in specs:
-        artifact = run_bench(
-            spec,
-            quick=args.quick,
-            repetitions=args.repetitions,
-            progress=lambda line: print(f"  {line}", file=out),
-        )
+    def emit(spec, artifact) -> int:
+        """Write/print one finished artifact; return flagged regressions."""
         path = write_artifact(artifact, args.out)
         print(artifact_table(artifact).render(), file=out)
         print(f"artifact written to {path}\n", file=out)
-        if baseline is not None and baseline["name"] == spec.name:
-            try:
-                result = compare_artifacts(baseline, artifact, threshold=threshold)
-            except ValueError as exc:
-                # e.g. quick run vs full-sweep baseline: nothing overlaps
-                raise _CliInputError(str(exc)) from exc
-            print(result.table().render(), file=out)
-            if result.regressions:
-                regressions += len(result.regressions)
-                print(f"{len(result.regressions)} regression(s) flagged", file=out)
-            else:
-                print("no regressions", file=out)
-            print("", file=out)
+        if baseline is None or baseline["name"] != spec.name:
+            return 0
+        try:
+            result = compare_artifacts(baseline, artifact, threshold=threshold)
+        except ValueError as exc:
+            # e.g. quick run vs full-sweep baseline: nothing overlaps
+            raise _CliInputError(str(exc)) from exc
+        print(result.table().render(), file=out)
+        if result.regressions:
+            print(f"{len(result.regressions)} regression(s) flagged", file=out)
+        else:
+            print("no regressions", file=out)
+        print("", file=out)
+        return len(result.regressions)
+
+    from .engine import resolve_executor
+
+    executor = resolve_executor(args.backend, args.jobs)
+    regressions = 0
+    if executor.backend == "serial":
+        # Run-then-write per spec, so an interrupted long sweep keeps every
+        # artifact finished so far.
+        for spec in specs:
+            artifact = run_bench(
+                spec,
+                quick=args.quick,
+                repetitions=args.repetitions,
+                progress=lambda line: print(f"  {line}", file=out),
+            )
+            regressions += emit(spec, artifact)
+    else:
+        # Parallel backends fan whole specs out by *name* (picklable) and
+        # forgo per-point progress lines.  Only the process backend keeps
+        # timings trustworthy (each spec times inside its own worker);
+        # threads share the GIL, so concurrent CPU-bound sweeps inflate
+        # each other's wall times.
+        if executor.backend == "thread":
+            print(
+                "warning: thread backend shares the GIL — concurrent specs "
+                "inflate each other's timings; use --backend process for "
+                "trustworthy parallel measurements",
+                file=out,
+            )
+        import functools
+
+        worker = functools.partial(
+            run_bench_named, quick=args.quick, repetitions=args.repetitions
+        )
+        artifacts = executor.map(worker, [spec.name for spec in specs])
+        for spec, artifact in zip(specs, artifacts):
+            regressions += emit(spec, artifact)
     return 1 if regressions else 0
 
 

@@ -1,6 +1,7 @@
 """Core types: rectangles, instances, placements, bounds, tolerances."""
 
 from . import tol
+from .arrays import PlacementBuilder, RectArrays, decreasing_order
 from .bounds import (
     area_bound,
     combined_lower_bound,
@@ -17,8 +18,20 @@ from .errors import (
     SolverError,
 )
 from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
-from .placement import PlacedRect, Placement, find_overlap, validate_placement
-from .rectangle import Rect, max_height, max_width, total_area
+from .placement import (
+    PlacedRect,
+    Placement,
+    find_overlap,
+    find_overlap_columns,
+    validate_placement,
+)
+from .rectangle import (
+    Rect,
+    decreasing_height_order,
+    max_height,
+    max_width,
+    total_area,
+)
 from .serialize import (
     dumps_instance,
     instance_from_dict,
@@ -31,6 +44,10 @@ from .serialize import (
 __all__ = [
     "tol",
     "Rect",
+    "RectArrays",
+    "PlacementBuilder",
+    "decreasing_order",
+    "decreasing_height_order",
     "total_area",
     "max_height",
     "max_width",
@@ -41,6 +58,7 @@ __all__ = [
     "PlacedRect",
     "validate_placement",
     "find_overlap",
+    "find_overlap_columns",
     "area_bound",
     "hmax_bound",
     "critical_path_bound",

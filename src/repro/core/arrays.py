@@ -1,0 +1,179 @@
+"""Columnar (structure-of-arrays) view of a rectangle collection.
+
+The object model (:class:`~repro.core.rectangle.Rect`, frozen dataclasses)
+is the right interface for algorithms that reason about individual tasks,
+but the offline subroutines the paper's reductions call repeatedly —
+NFDH/FFDH/BFDH and the uniform-height algorithm F — iterate over *every*
+rectangle of an instance thousands of times.  Per-object attribute access
+dominates their runtime long before the algorithmic work does.
+
+:class:`RectArrays` is the columnar twin: parallel numpy ``float64``
+columns (``width``/``height``/``release``) plus the original rectangle
+tuple for materialisation at the boundary.  Kernels address rectangles by
+*position* (an integer row index), not by object, and only convert back to
+the object world once, through :class:`PlacementBuilder`.
+
+Discipline shared with the skyline kernel (:mod:`repro.geometry.skyline`):
+columnar compute must be *observationally identical* to the object-based
+reference — numpy ``float64`` arithmetic is IEEE-754 double arithmetic, so
+an elementwise ``used + w`` equals the scalar Python sum bit for bit, and
+the differential suite (``tests/test_levels_differential.py``) holds the
+kernels to that standard placement-for-placement.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .errors import InvalidPlacementError
+from .placement import PlacedRect, Placement
+from .rectangle import Rect
+
+__all__ = ["RectArrays", "PlacementBuilder", "decreasing_order"]
+
+Node = Hashable
+
+
+class RectArrays:
+    """Parallel columns over a fixed rectangle tuple.
+
+    ``width``/``height``/``release`` are read-only ``float64`` arrays with
+    row ``i`` describing ``rects[i]``; ``rids`` and :meth:`index` map
+    between row positions and rectangle ids.  Instances are immutable —
+    :meth:`repro.core.instance.StripPackingInstance.arrays` builds one per
+    instance and caches it, so every kernel run over the same instance
+    shares one copy of the columns.
+    """
+
+    __slots__ = ("rects", "width", "height", "release", "_index")
+
+    def __init__(self, rects: Sequence[Rect]):
+        self.rects: tuple[Rect, ...] = tuple(rects)
+        n = len(self.rects)
+        width = np.empty(n, dtype=np.float64)
+        height = np.empty(n, dtype=np.float64)
+        release = np.empty(n, dtype=np.float64)
+        for i, r in enumerate(self.rects):
+            width[i] = r.width
+            height[i] = r.height
+            release[i] = r.release
+        width.setflags(write=False)
+        height.setflags(write=False)
+        release.setflags(write=False)
+        self.width = width
+        self.height = height
+        self.release = release
+        self._index: dict[Node, int] | None = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect]) -> "RectArrays":
+        """Columnar view of a plain rectangle sequence."""
+        return cls(rects)
+
+    @classmethod
+    def coerce(cls, rects) -> "RectArrays":
+        """Adapt any packer input to columns.
+
+        Accepts a :class:`RectArrays` (returned as-is), anything with an
+        ``arrays()`` method (instances, which cache the columns), or a
+        plain rectangle sequence (columns built on the spot).
+        """
+        if isinstance(rects, RectArrays):
+            return rects
+        arrays = getattr(rects, "arrays", None)
+        if callable(arrays):
+            return arrays()
+        return cls(rects)
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    @property
+    def rids(self) -> tuple[Node, ...]:
+        """Rectangle ids, in row order."""
+        return tuple(r.rid for r in self.rects)
+
+    def index(self) -> dict[Node, int]:
+        """Mapping rid -> row position (built lazily, then reused)."""
+        if self._index is None:
+            self._index = {r.rid: i for i, r in enumerate(self.rects)}
+        return self._index
+
+    def __getstate__(self):
+        # Drop the lazy index; numpy columns pickle fine (process backend).
+        return (self.rects,)
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectArrays(n={len(self)})"
+
+
+def decreasing_order(arrays: RectArrays) -> np.ndarray:
+    """Row permutation sorting by non-increasing height.
+
+    The array-native twin of
+    :func:`repro.core.rectangle.decreasing_height_order`: ties in height
+    break by wider-first, then by the *lexicographic string form* of the
+    id (same intentional tie-break — see that function's docstring).
+    ``np.lexsort`` is stable, exactly like ``sorted``, so rows that tie on
+    all three keys keep their input order and the two orderings agree
+    permutation-for-permutation.
+    """
+    if not len(arrays):
+        return np.empty(0, dtype=np.intp)
+    sids = np.array([str(r.rid) for r in arrays.rects])
+    # lexsort sorts by the *last* key first: height desc, width desc, sid asc.
+    return np.lexsort((sids, -arrays.width, -arrays.height))
+
+
+class PlacementBuilder:
+    """Array-native placement accumulator.
+
+    Kernels append ``(row, x, y)`` triples — plain Python floats, already
+    clamped — and :meth:`build` materialises the one
+    :class:`~repro.core.placement.Placement` at the object boundary.  The
+    accumulation order is preserved, so the built placement iterates in
+    exactly the order the kernel placed (the object-based packers place
+    into a dict in the same order, which keeps the two worlds
+    byte-comparable).
+    """
+
+    __slots__ = ("arrays", "_rows", "_xs", "_ys")
+
+    def __init__(self, arrays: RectArrays):
+        self.arrays = arrays
+        self._rows: list[int] = []
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+
+    def put(self, row: int, x: float, y: float) -> None:
+        """Record the rectangle at row ``row`` with lower-left ``(x, y)``."""
+        self._rows.append(row)
+        self._xs.append(x)
+        self._ys.append(y)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def build(self, dy: float = 0.0) -> Placement:
+        """Materialise the accumulated columns into a :class:`Placement`,
+        optionally shifting every ``y`` up by ``dy``."""
+        rects = self.arrays.rects
+        placed: dict[Node, PlacedRect] = {}
+        if dy:
+            for row, x, y in zip(self._rows, self._xs, self._ys):
+                r = rects[row]
+                placed[r.rid] = PlacedRect(r, x, y + dy)
+        else:
+            for row, x, y in zip(self._rows, self._xs, self._ys):
+                r = rects[row]
+                placed[r.rid] = PlacedRect(r, x, y)
+        if len(placed) != len(self._rows):
+            raise InvalidPlacementError("placement builder saw a rectangle twice")
+        return Placement(placed)

@@ -57,6 +57,24 @@ class StripPackingInstance:
         """Mapping id -> rectangle."""
         return {r.rid: r for r in self.rects}
 
+    def arrays(self):
+        """Columnar view of the rectangles (built once, then cached).
+
+        Returns the instance's :class:`~repro.core.arrays.RectArrays` —
+        parallel ``width``/``height``/``release`` numpy columns over
+        ``self.rects``.  Kernels and validators that batch over the whole
+        instance read these columns instead of walking ``Rect`` objects;
+        the cache means repeated solves (portfolio races, benchmark
+        repetitions) share one copy.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            from .arrays import RectArrays
+
+            cached = RectArrays(self.rects)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
     def heights(self) -> dict[Node, float]:
         """Mapping id -> height (used by DAG critical-path computations)."""
         return {r.rid: r.height for r in self.rects}

@@ -16,6 +16,11 @@ it with :func:`validate_placement`, which dispatches on the instance type.
 The overlap check offers two engines: an O(n^2) pairwise reference and an
 interval-sweep over y-events that is near-linear for the shelf-structured
 packings the algorithms produce; the validator cross-checks them in tests.
+At scale (``n >= 64``) the validator switches to a columnar fast path:
+the placement's x/y columns are gathered once and containment, overlap,
+precedence, and release checks all run as vectorized passes — the same
+tolerance predicates, evaluated elementwise, so accept/reject decisions
+are identical to the scalar loops.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
+
+import numpy as np
 
 from . import tol
 from .errors import InvalidPlacementError
@@ -34,9 +41,13 @@ __all__ = [
     "Placement",
     "validate_placement",
     "find_overlap",
+    "find_overlap_columns",
 ]
 
 Node = Hashable
+
+#: Below this many rectangles the scalar loops win (no column-gather cost).
+_COLUMNAR_MIN_N = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,6 +176,74 @@ def find_overlap(
     return None
 
 
+def find_overlap_columns(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    x2: np.ndarray,
+    y2: np.ndarray,
+    atol: float = tol.ATOL,
+    *,
+    pair_budget: int = 1 << 20,
+) -> tuple[int, int] | None:
+    """Columnar twin of :func:`find_overlap`: row indices of an overlapping
+    pair, or ``None``.
+
+    Rows are sorted by base ``y``; for each row the candidate partners —
+    the later rows whose base lies below this row's top, found by one
+    ``searchsorted`` — are tested against the full four-inequality
+    predicate of :meth:`PlacedRect.overlaps` in vectorized batches of at
+    most ``pair_budget`` candidate pairs (bounding temporary memory).
+    Exactly the predicate of the scalar sweep, so the two engines agree on
+    overlap existence; which *pair* is reported may differ when several
+    overlap.
+    """
+    n = len(xs)
+    order = np.argsort(ys, kind="stable")
+    xs_s, ys_s = xs[order], ys[order]
+    x2_s, y2_s = x2[order], y2[order]
+    # Candidate partners for row k: rows k+1 .. his[k]-1 (bases below k's
+    # top, beyond tolerance — the y-condition tol.lt(y_j, y2_k) verbatim).
+    his = np.searchsorted(ys_s, y2_s - atol, side="left")
+    counts = np.maximum(his - np.arange(1, n + 1), 0)
+    start = 0
+    while start < n:
+        end = start + 1
+        total = int(counts[start])
+        while end < n and total + counts[end] <= pair_budget:
+            total += int(counts[end])
+            end += 1
+        if total:
+            c = counts[start:end]
+            kk = np.repeat(np.arange(start, end), c)
+            base = np.cumsum(c) - c
+            jj = np.arange(total) - np.repeat(base, c) + kk + 1
+            hit = (
+                (xs_s[kk] < x2_s[jj] - atol)
+                & (xs_s[jj] < x2_s[kk] - atol)
+                & (ys_s[kk] < y2_s[jj] - atol)
+            )
+            h = int(hit.argmax())
+            if hit[h]:
+                return int(order[kk[h]]), int(order[jj[h]])
+        start = end
+    return None
+
+
+def _placement_columns(pairs: list[tuple[Node, PlacedRect]]):
+    """Gather x/y/x2/y2 columns from placement items (one pass)."""
+    n = len(pairs)
+    xs = np.empty(n)
+    ys = np.empty(n)
+    x2 = np.empty(n)
+    y2 = np.empty(n)
+    for i, (_, pr) in enumerate(pairs):
+        xs[i] = pr.x
+        ys[i] = pr.y
+        x2[i] = pr.x + pr.rect.width
+        y2[i] = pr.y + pr.rect.height
+    return xs, ys, x2, y2
+
+
 def validate_placement(
     instance: StripPackingInstance,
     placement: Placement,
@@ -191,11 +270,19 @@ def validate_placement(
 
     by_id = instance.by_id()
     for rid, pr in placement.items():
-        if pr.rect != by_id[rid]:
+        r = by_id[rid]
+        if pr.rect is not r and pr.rect != r:
             raise InvalidPlacementError(
                 f"rectangle {rid!r} was placed with altered dimensions "
-                f"({pr.rect} != {by_id[rid]})"
+                f"({pr.rect} != {r})"
             )
+
+    pairs = list(placement.items())
+    if len(pairs) >= _COLUMNAR_MIN_N:
+        _validate_columnar(instance, placement, pairs, atol, max_height)
+        return
+
+    for rid, pr in pairs:
         if tol.lt(pr.x, 0.0, atol) or tol.gt(pr.x2, 1.0, atol):
             raise InvalidPlacementError(
                 f"rectangle {rid!r} sticks out horizontally: x in [{pr.x:.6g}, {pr.x2:.6g}]"
@@ -207,26 +294,100 @@ def validate_placement(
                 f"rectangle {rid!r} exceeds height budget {max_height:g}: top={pr.y2:.6g}"
             )
 
-    bad = find_overlap((pr for _, pr in placement.items()), atol)
+    bad = find_overlap((pr for _, pr in pairs), atol)
     if bad is not None:
-        a, b = bad
-        raise InvalidPlacementError(
-            f"rectangles {a.rect.rid!r} and {b.rect.rid!r} overlap: "
-            f"[{a.x:.4g},{a.x2:.4g}]x[{a.y:.4g},{a.y2:.4g}] vs "
-            f"[{b.x:.4g},{b.x2:.4g}]x[{b.y:.4g},{b.y2:.4g}]"
-        )
+        _raise_overlap(*bad)
 
     if isinstance(instance, PrecedenceInstance):
         for u, v in instance.dag.edges():
             pu, pv = placement[u], placement[v]
             if tol.gt(pu.y2, pv.y, atol):
-                raise InvalidPlacementError(
-                    f"precedence violated: top({u!r})={pu.y2:.6g} > base({v!r})={pv.y:.6g}"
-                )
+                _raise_precedence(u, v, pu, pv)
 
     if isinstance(instance, ReleaseInstance):
-        for rid, pr in placement.items():
+        for rid, pr in pairs:
             if tol.lt(pr.y, pr.rect.release, atol):
-                raise InvalidPlacementError(
-                    f"release violated: {rid!r} starts at {pr.y:.6g} < r={pr.rect.release:.6g}"
-                )
+                _raise_release(rid, pr)
+
+
+def _raise_overlap(a: PlacedRect, b: PlacedRect) -> None:
+    raise InvalidPlacementError(
+        f"rectangles {a.rect.rid!r} and {b.rect.rid!r} overlap: "
+        f"[{a.x:.4g},{a.x2:.4g}]x[{a.y:.4g},{a.y2:.4g}] vs "
+        f"[{b.x:.4g},{b.x2:.4g}]x[{b.y:.4g},{b.y2:.4g}]"
+    )
+
+
+def _raise_precedence(u: Node, v: Node, pu: PlacedRect, pv: PlacedRect) -> None:
+    raise InvalidPlacementError(
+        f"precedence violated: top({u!r})={pu.y2:.6g} > base({v!r})={pv.y:.6g}"
+    )
+
+
+def _raise_release(rid: Node, pr: PlacedRect) -> None:
+    raise InvalidPlacementError(
+        f"release violated: {rid!r} starts at {pr.y:.6g} < r={pr.rect.release:.6g}"
+    )
+
+
+def _validate_columnar(
+    instance: StripPackingInstance,
+    placement: Placement,
+    pairs: list[tuple[Node, PlacedRect]],
+    atol: float,
+    max_height: float | None,
+) -> None:
+    """Vectorized containment/overlap/precedence/release checks.
+
+    Every comparison is the elementwise image of the scalar tolerance
+    predicate (``tol.lt(a, b)`` becomes ``a < b - atol`` on whole
+    columns), so the accept/reject outcome matches the scalar path
+    exactly; only *which* offender is reported may differ when a
+    placement violates several constraints at once.
+    """
+    xs, ys, x2, y2 = _placement_columns(pairs)
+
+    viol = (xs < 0.0 - atol) | (x2 > 1.0 + atol)
+    i = int(viol.argmax())
+    if viol[i]:
+        rid, pr = pairs[i]
+        raise InvalidPlacementError(
+            f"rectangle {rid!r} sticks out horizontally: x in [{pr.x:.6g}, {pr.x2:.6g}]"
+        )
+    viol = ys < 0.0 - atol
+    i = int(viol.argmax())
+    if viol[i]:
+        rid, pr = pairs[i]
+        raise InvalidPlacementError(f"rectangle {rid!r} below the strip base: y={pr.y:.6g}")
+    if max_height is not None:
+        viol = y2 > max_height + atol
+        i = int(viol.argmax())
+        if viol[i]:
+            rid, pr = pairs[i]
+            raise InvalidPlacementError(
+                f"rectangle {rid!r} exceeds height budget {max_height:g}: top={pr.y2:.6g}"
+            )
+
+    bad = find_overlap_columns(xs, ys, x2, y2, atol)
+    if bad is not None:
+        _raise_overlap(pairs[bad[0]][1], pairs[bad[1]][1])
+
+    if isinstance(instance, PrecedenceInstance):
+        edges = list(instance.dag.edges())
+        if edges:
+            pos = {rid: i for i, (rid, _) in enumerate(pairs)}
+            ui = np.fromiter((pos[u] for u, _ in edges), np.intp, count=len(edges))
+            vi = np.fromiter((pos[v] for _, v in edges), np.intp, count=len(edges))
+            viol = y2[ui] > ys[vi] + atol
+            k = int(viol.argmax())
+            if viol[k]:
+                u, v = edges[k]
+                _raise_precedence(u, v, placement[u], placement[v])
+
+    if isinstance(instance, ReleaseInstance):
+        rel = np.fromiter((pr.rect.release for _, pr in pairs), float, count=len(pairs))
+        viol = ys < rel - atol
+        i = int(viol.argmax())
+        if viol[i]:
+            rid, pr = pairs[i]
+            _raise_release(rid, pr)

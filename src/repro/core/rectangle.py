@@ -26,6 +26,7 @@ from .errors import InvalidInstanceError
 __all__ = [
     "Rect",
     "arrival_order",
+    "decreasing_height_order",
     "total_area",
     "max_height",
     "max_width",
@@ -102,6 +103,21 @@ def arrival_order(rect: Rect) -> tuple[float, float, str]:
     identical.
     """
     return (rect.release, -rect.height, str(rect.rid))
+
+
+def decreasing_height_order(rects: Iterable[Rect]) -> list[Rect]:
+    """Rectangles sorted for the decreasing-height packers (NFDH/FFDH/BFDH).
+
+    Key ``(-height, -width, str(rid))``: tallest first, wider-first within
+    a height tie, then ids as the final deterministic tie-break.  The id
+    tie-break is *intentionally lexicographic on the string form* (so
+    ``'10' < '9'`` and ids of mixed types compare uniformly) — it has been
+    the packers' observable order since the seed and the differential
+    suites pin it, so it must not be "fixed" to numeric order.  The
+    array kernels share this exact ordering through
+    :func:`repro.core.arrays.decreasing_order`.
+    """
+    return sorted(rects, key=lambda r: (-r.height, -r.width, str(r.rid)))
 
 
 def total_area(rects: Iterable[Rect]) -> float:

@@ -13,7 +13,14 @@ The engine is the architectural seam every scaling feature plugs into:
 shim over :func:`run` that returns just the placement.
 """
 
-from .batch import PortfolioResult, portfolio, solve_many
+from .batch import (
+    BACKENDS,
+    Executor,
+    PortfolioResult,
+    portfolio,
+    resolve_executor,
+    solve_many,
+)
 from .report import SolveReport
 from .runner import bound_components, run
 from .spec import (
@@ -34,6 +41,9 @@ __all__ = [
     "AlgorithmSpec",
     "SolveReport",
     "PortfolioResult",
+    "BACKENDS",
+    "Executor",
+    "resolve_executor",
     "VARIANTS",
     "run",
     "solve_many",

@@ -35,6 +35,20 @@ def _plain(packer_name: str):
     return run
 
 
+def _columnar(packer_name: str):
+    """Like :func:`_plain`, but hands the packer the instance's cached
+    :class:`~repro.core.arrays.RectArrays` so repeated solves share one
+    copy of the columns (the level packers are array-native)."""
+
+    def run(instance: StripPackingInstance, **kw) -> Placement:
+        from .. import packing
+
+        packer = getattr(packing, packer_name)
+        return packer(instance.arrays(), **kw).placement
+
+    return run
+
+
 def _as_precedence(instance: StripPackingInstance) -> PrecedenceInstance:
     if isinstance(instance, PrecedenceInstance):
         return instance
@@ -90,21 +104,21 @@ register(AlgorithmSpec(
     name="nfdh",
     variants=("plain",),
     guarantee="2*AREA + hmax",
-    runner=_plain("nfdh"),
+    runner=_columnar("nfdh"),
     summary="Next Fit Decreasing Height level packing",
 ))
 register(AlgorithmSpec(
     name="ffdh",
     variants=("plain",),
     guarantee="1.7*OPT + hmax (asymptotic)",
-    runner=_plain("ffdh"),
+    runner=_columnar("ffdh"),
     summary="First Fit Decreasing Height level packing",
 ))
 register(AlgorithmSpec(
     name="bfdh",
     variants=("plain",),
     guarantee="heuristic",
-    runner=_plain("bfdh"),
+    runner=_columnar("bfdh"),
     summary="Best Fit Decreasing Height level packing",
 ))
 register(AlgorithmSpec(

@@ -4,36 +4,40 @@ Variant of FFDH that places each rectangle on the open level with the
 *least* residual width among those that fit (tightest fit), opening a new
 level when none fits.  Empirically denser than FFDH on heterogeneous widths;
 no better worst-case guarantee.  Included as a baseline for experiment E11.
+
+The best-fit selection is a masked ``argmin`` over
+:class:`~repro.geometry.levels.LevelArray`'s residual column (lowest level
+wins ties, exactly like the reference scan's strict-improvement rule); the
+original object-based loop is preserved as
+:func:`repro.geometry.levels_reference.reference_bfdh`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..core.arrays import PlacementBuilder, RectArrays, decreasing_order
 from ..core.placement import Placement
 from ..core.rectangle import Rect
-from ..geometry.levels import LevelStack
+from ..geometry.levels import LevelArray
 from .base import PackResult
 
 __all__ = ["bfdh"]
 
 
-def bfdh(rects: Sequence[Rect], y: float = 0.0) -> PackResult:
+def bfdh(rects: Sequence[Rect] | RectArrays, y: float = 0.0) -> PackResult:
     """Pack ``rects`` (no constraints) starting at height ``y``."""
-    placement = Placement()
-    if not rects:
-        return PackResult(placement, 0.0)
-    ordered = sorted(rects, key=lambda r: (-r.height, -r.width, str(r.rid)))
-    stack = LevelStack(base=y)
-    for r in ordered:
-        best = None
-        best_resid = None
-        for level in stack:
-            if level.fits(r):
-                resid = 1.0 - level.used_width - r.width
-                if best_resid is None or resid < best_resid:
-                    best, best_resid = level, resid
-        if best is None:
-            best = stack.open_level(r.height)
-        best.add(r, placement)
-    return PackResult(placement, stack.extent)
+    arrays = RectArrays.coerce(rects)
+    if not len(arrays):
+        return PackResult(Placement(), 0.0)
+    widths, heights = arrays.width, arrays.height
+    order = decreasing_order(arrays)
+    builder = PlacementBuilder(arrays)
+    levels = LevelArray(base=y)
+    for row in order:
+        w = float(widths[row])
+        idx = levels.best_fit(w)
+        if idx < 0:
+            idx = levels.open_level(float(heights[row]))
+        builder.put(int(row), *levels.place(idx, w))
+    return PackResult(builder.build(), levels.extent)

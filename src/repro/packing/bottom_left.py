@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from ..core.placement import Placement
-from ..core.rectangle import Rect, arrival_order
+from ..core.rectangle import Rect, arrival_order, decreasing_height_order
 from ..geometry.skyline import Skyline
 from .base import PackResult
 
@@ -40,8 +40,7 @@ def bottom_left(
     placement = Placement()
     if not rects:
         return PackResult(placement, 0.0)
-    key = order or (lambda r: (-r.height, -r.width, str(r.rid)))
-    ordered = sorted(rects, key=key)
+    ordered = sorted(rects, key=order) if order else decreasing_height_order(rects)
     sky = skyline_cls()
     for r in ordered:
         x, support = sky.lowest_position(r.width)

@@ -16,34 +16,45 @@ with the first rectangle of level ``i+1`` their widths exceed 1, so
 ``AREA(level i) + AREA(first of i+1) > H_{i+1} * 1 / 2`` pairwise-summed
 gives ``sum_{i>=2} H_i <= 2 * AREA``; adding the first level's ``H_1 <=
 h_max`` yields the bound.
+
+This is the array-native strategy over
+:class:`~repro.geometry.levels.LevelArray`; the original object-based loop
+is preserved as :func:`repro.geometry.levels_reference.reference_nfdh` and
+the differential suite pins the two placement-for-placement.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from ..core.arrays import PlacementBuilder, RectArrays, decreasing_order
 from ..core.placement import Placement
 from ..core.rectangle import Rect
-from ..geometry.levels import LevelStack
+from ..geometry.levels import LevelArray
 from .base import PackResult
 
 __all__ = ["nfdh"]
 
 
-def nfdh(rects: Sequence[Rect], y: float = 0.0) -> PackResult:
+def nfdh(rects: Sequence[Rect] | RectArrays, y: float = 0.0) -> PackResult:
     """Pack ``rects`` (no constraints) starting at height ``y``.
 
     Deterministic: ties in height are broken by wider-first, then id, so
-    repeated runs produce identical placements.
+    repeated runs produce identical placements.  Accepts a plain rectangle
+    sequence or a prebuilt :class:`~repro.core.arrays.RectArrays` (the
+    engine passes the instance's cached columns).
     """
-    placement = Placement()
-    if not rects:
-        return PackResult(placement, 0.0)
-    ordered = sorted(rects, key=lambda r: (-r.height, -r.width, str(r.rid)))
-    stack = LevelStack(base=y)
-    level = stack.open_level(ordered[0].height)
-    for r in ordered:
-        if not level.fits(r):
-            level = stack.open_level(r.height)
-        level.add(r, placement)
-    return PackResult(placement, stack.extent)
+    arrays = RectArrays.coerce(rects)
+    if not len(arrays):
+        return PackResult(Placement(), 0.0)
+    widths, heights = arrays.width, arrays.height
+    order = decreasing_order(arrays)
+    builder = PlacementBuilder(arrays)
+    levels = LevelArray(base=y)
+    open_idx = levels.open_level(float(heights[order[0]]))
+    for row in order:
+        w = float(widths[row])
+        if not levels.fits_on(open_idx, w):
+            open_idx = levels.open_level(float(heights[row]))
+        builder.put(int(row), *levels.place(open_idx, w))
+    return PackResult(builder.build(), levels.extent)

@@ -38,7 +38,7 @@ class TestRegistry:
         expected = {
             "aptas", "aptas_budget", "bin_packing", "dc_ratio", "dc_subroutine",
             "fig1_gap", "fig2_ratio3", "fpga_jpeg", "fractional_lb", "grouping",
-            "latency_dilation", "lp_configs", "online_policies",
+            "latency_dilation", "level_packers", "lp_configs", "online_policies",
             "online_vs_offline", "packers", "portfolio", "release_baselines",
             "rounding", "shelf_nextfit", "skyline_bottom_left",
         }
@@ -201,6 +201,57 @@ class TestCommittedSkylineArtifact:
         assert heights and all(len(hs) == 1 for hs in heights.values())
 
 
+class TestCommittedLevelPackersArtifact:
+    """The checked-in before/after artifact of the columnar level kernels."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "artifacts" / "BENCH_level_packers.json"
+        )
+        return load_artifact(path)  # schema-validates
+
+    def test_ffdh_speedup_at_1e5_rects(self, artifact):
+        """ISSUE acceptance: >= 5x over the reference FFDH at n=100000."""
+        medians = {(p["label"], p["size"]): p["median_s"] for p in artifact["points"]}
+        assert medians[("reference_ffdh", 100_000)] / medians[("ffdh", 100_000)] >= 5.0
+        # and the array kernel packs 1e5 rectangles in seconds
+        assert medians[("ffdh", 100_000)] < 10.0
+
+    def test_scan_packers_speed_up_nfdh_stays_parity(self, artifact):
+        """The scan-heavy packers gain an order of magnitude; NFDH (a
+        one-level streaming loop, never quadratic) stays within a small
+        constant of its reference — the columnar boundary costs a few
+        list appends per rectangle, which only NFDH ever notices."""
+        medians = {(p["label"], p["size"]): p["median_s"] for p in artifact["points"]}
+        for name in ("ffdh", "bfdh"):
+            assert medians[(f"reference_{name}", 100_000)] / medians[(name, 100_000)] >= 5.0
+        assert medians[("nfdh", 100_000)] <= medians[("reference_nfdh", 100_000)] * 2.0
+
+    def test_same_heights_per_size_and_packer(self, artifact):
+        """Array and reference kernels packed every size to the same height."""
+        heights: dict[tuple[str, int], set[float]] = {}
+        for p in artifact["points"]:
+            key = (p["label"].replace("reference_", ""), p["size"])
+            heights.setdefault(key, set()).add(p["metrics"]["height"])
+        assert heights and all(len(hs) == 1 for hs in heights.values())
+
+    def test_quick_sizes_overlap_for_ci_compare(self, artifact):
+        """CI diffs a --quick run against this artifact; at least one
+        (label, size) point must overlap or compare_artifacts errors."""
+        from repro.bench import get_bench
+
+        spec = get_bench("level_packers")
+        committed = {(p["label"], p["size"]) for p in artifact["points"]}
+        quick = {
+            (e.label, s) for e in spec.entries for s in spec.sweep(quick=True)
+        }
+        assert committed & quick
+
+
 # ----------------------------------------------------------------------
 # comparison mode
 # ----------------------------------------------------------------------
@@ -340,6 +391,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0 and "no regressions" in out
 
+    def test_thread_backend_writes_artifacts(self, tmp_path, capsys, cli_spec):
+        code = main([
+            "bench", cli_spec, "--out", str(tmp_path),
+            "--backend", "thread", "--jobs", "2",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        load_artifact(tmp_path / f"BENCH_{cli_spec}.json")  # validates
+
     @pytest.mark.parametrize("argv, message", [
         (["bench"], "nothing to run"),
         (["bench", "nosuch"], "unknown bench"),
@@ -347,6 +407,8 @@ class TestCli:
         (["bench", "fig1_gap", "--repetitions", "0"], "--repetitions"),
         (["bench", "fig1_gap", "--threshold", "0.5"], "--threshold"),
         (["bench", "fig1_gap", "--compare", "does-not-exist.json"], "cannot read"),
+        (["bench", "fig1_gap", "--jobs", "0"], "--jobs"),
+        (["bench", "fig1_gap", "--jobs", "-3"], "--jobs"),
     ])
     def test_bad_input_exits_2(self, capsys, argv, message):
         assert main(argv) == 2

@@ -122,6 +122,18 @@ class TestBatch:
         assert "error: InvalidInstanceError" in text
         assert "solved" in text
 
+    def test_batch_process_backend(self, instance_dir):
+        code, text = run_cli(["batch", str(instance_dir), "--backend", "process", "--jobs", "2"])
+        assert code == 0
+        assert "backend=process" in text
+        assert "solved 4/4 valid" in text
+
+    @pytest.mark.parametrize("jobs", ["0", "-2"])
+    def test_batch_non_positive_jobs_exits_2(self, instance_dir, jobs):
+        code, text = run_cli(["batch", str(instance_dir), "--jobs", jobs])
+        assert code == 2
+        assert text.startswith("error:") and "--jobs" in text
+
     def test_batch_empty_dir(self, tmp_path):
         code, text = run_cli(["batch", str(tmp_path)])
         assert code == 2
@@ -163,6 +175,25 @@ class TestPortfolio:
         assert code == 0
         data = json.loads(out_path.read_text())
         assert len(data["placements"]) == 4
+
+    def test_portfolio_thread_backend_same_winner(self, release_file):
+        code_a, text_a = run_cli(["portfolio", str(release_file)])
+        code_b, text_b = run_cli(
+            ["portfolio", str(release_file), "--backend", "thread", "--jobs", "3"]
+        )
+        assert code_a == code_b == 0
+
+        def winner(text):  # strip wall time — the only nondeterministic bit
+            lines = [ln for ln in text.splitlines() if ln.startswith("winner:")]
+            return [ln.split(", wall time")[0] for ln in lines]
+
+        assert winner(text_a) and winner(text_a) == winner(text_b)
+
+    @pytest.mark.parametrize("jobs", ["0", "-1"])
+    def test_portfolio_non_positive_jobs_exits_2(self, release_file, jobs):
+        code, text = run_cli(["portfolio", str(release_file), "--jobs", jobs])
+        assert code == 2
+        assert text.startswith("error:") and "--jobs" in text
 
 
 class TestSimulate:

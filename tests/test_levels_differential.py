@@ -1,0 +1,189 @@
+"""Differential tests: array-native level packers vs the reference kernels.
+
+The columnar packers (:mod:`repro.packing` on
+:class:`repro.geometry.levels.LevelArray`) must be *observationally
+identical* to the executable specification
+(:mod:`repro.geometry.levels_reference`): same ``(x, y)`` for every
+rectangle, same extents — on hypothesis-generated rectangle lists and on
+the real workload generators at packing scale.  This is what makes the
+``level_packers`` bench's speedup trustworthy.
+
+Also here: the :class:`~repro.engine.batch.Executor` determinism sweep —
+``solve_many`` and ``portfolio`` must return bit-identical outputs on the
+serial, thread, and process backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrays import RectArrays, decreasing_order
+from repro.core.rectangle import Rect, decreasing_height_order
+from repro.geometry.levels_reference import (
+    reference_bfdh,
+    reference_ffdh,
+    reference_nfdh,
+)
+from repro.packing import bfdh, ffdh, nfdh
+
+from .conftest import rect_lists
+
+PAIRS = [
+    pytest.param(nfdh, reference_nfdh, id="nfdh"),
+    pytest.param(ffdh, reference_ffdh, id="ffdh"),
+    pytest.param(bfdh, reference_bfdh, id="bfdh"),
+]
+
+
+def assert_identical(fast_result, ref_result, rects):
+    """Placement-for-placement equality (exact float comparison)."""
+    assert fast_result.extent == ref_result.extent
+    for r in rects:
+        assert fast_result.placement[r.rid] == ref_result.placement[r.rid], r.rid
+
+
+@pytest.mark.parametrize("fast, ref", PAIRS)
+@given(rect_lists(min_size=1, max_size=24, max_h=3.0))
+def test_hypothesis_sequences_identical(fast, ref, rects):
+    """Random rectangle lists land every rectangle identically."""
+    assert_identical(fast(rects), ref(rects), rects)
+
+
+@pytest.mark.parametrize("fast, ref", PAIRS)
+@settings(max_examples=25)
+@given(
+    rect_lists(min_size=1, max_size=16, max_h=2.0),
+    st.floats(min_value=0.0, max_value=7.5, allow_nan=False),
+)
+def test_base_offset_identical(fast, ref, rects, y):
+    """The y-offset (subroutine-A calling convention) threads identically."""
+    assert_identical(fast(rects, y=y), ref(rects, y=y), rects)
+
+
+@pytest.mark.parametrize("fast, ref", PAIRS)
+def test_mixed_id_types_share_tie_break(fast, ref):
+    """Height/width ties fall through to the lexicographic str(rid)
+    tie-break — including across int and str ids (and '10' < '9')."""
+    rects = [
+        Rect(rid=rid, width=0.3, height=1.0)
+        for rid in (9, 10, "10", "9x", 2, "a")
+    ]
+    assert_identical(fast(rects), ref(rects), rects)
+
+
+@pytest.mark.parametrize("fast, ref", PAIRS)
+@pytest.mark.parametrize("generator", ["uniform_rects", "powerlaw_rects"])
+@pytest.mark.parametrize("n", [200, 1000])
+def test_workload_sweeps_identical(fast, ref, generator, n):
+    """Placement-for-placement equality on the bench workloads."""
+    from repro import workloads
+
+    rects = getattr(workloads, generator)(n, np.random.default_rng(7))
+    assert_identical(fast(rects), ref(rects), rects)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fast, ref", PAIRS)
+@pytest.mark.parametrize("seed", range(5))
+def test_packer_differential_deep(fast, ref, seed):
+    """Larger randomized sweep (CI): 5 seeds x 3000 powerlaw rectangles."""
+    from repro.workloads import powerlaw_rects
+
+    rects = powerlaw_rects(3000, np.random.default_rng(seed))
+    assert_identical(fast(rects), ref(rects), rects)
+
+
+@given(rect_lists(min_size=0, max_size=24, max_h=3.0))
+def test_decreasing_order_matches_sorted(rects):
+    """The lexsort permutation equals the object-world sort."""
+    arrays = RectArrays.from_rects(rects)
+    by_array = [rects[i].rid for i in decreasing_order(arrays)]
+    by_sorted = [r.rid for r in decreasing_height_order(rects)]
+    assert by_array == by_sorted
+
+
+def test_packers_accept_columnar_inputs():
+    """Sequence[Rect], RectArrays, and instances all give the same result."""
+    from repro.core.instance import StripPackingInstance
+
+    rects = [Rect(rid=i, width=0.4, height=1.0 + i % 3) for i in range(9)]
+    instance = StripPackingInstance(rects)
+    for algo in (nfdh, ffdh, bfdh):
+        from_list = algo(rects)
+        from_arrays = algo(RectArrays.from_rects(rects))
+        from_instance = algo(instance.arrays())
+        for r in rects:
+            assert from_list.placement[r.rid] == from_arrays.placement[r.rid]
+            assert from_list.placement[r.rid] == from_instance.placement[r.rid]
+    assert instance.arrays() is instance.arrays()  # cached
+
+
+# ----------------------------------------------------------------------
+# executor determinism: serial == thread == process, bit for bit
+# ----------------------------------------------------------------------
+
+def _assert_reports_bit_identical(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.algorithm == rb.algorithm
+        assert ra.height == rb.height
+        assert ra.lower_bound == rb.lower_bound
+        assert ra.valid == rb.valid and ra.error == rb.error
+        if ra.placement is None or rb.placement is None:
+            assert ra.placement is None and rb.placement is None
+            continue
+        assert len(ra.placement) == len(rb.placement)
+        for rid, pr in ra.placement.items():
+            assert rb.placement[rid] == pr
+
+
+class TestExecutorDeterminism:
+    @pytest.fixture(scope="class")
+    def instances(self):
+        from repro.workloads.suite import mixed_instance_suite
+
+        return mixed_instance_suite(8, np.random.default_rng(42))
+
+    def test_solve_many_backends_bit_identical(self, instances):
+        from repro.engine import solve_many
+
+        serial = solve_many(instances, backend="serial")
+        threaded = solve_many(instances, backend="thread", jobs=3)
+        processed = solve_many(instances, backend="process", jobs=2)
+        _assert_reports_bit_identical(serial, threaded)
+        _assert_reports_bit_identical(serial, processed)
+
+    def test_portfolio_backends_bit_identical(self):
+        from repro.core.instance import ReleaseInstance
+        from repro.engine import portfolio
+
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.5 * i) for i in range(6)],
+            K=2,
+        )
+        serial = portfolio(inst, backend="serial")
+        threaded = portfolio(inst, backend="thread", jobs=4)
+        processed = portfolio(inst, backend="process", jobs=2)
+        for other in (threaded, processed):
+            assert other.best is not None and serial.best is not None
+            assert other.best.algorithm == serial.best.algorithm
+            assert other.best.height == serial.best.height
+            assert other.heights == serial.heights
+            _assert_reports_bit_identical(list(serial.reports), list(other.reports))
+
+    def test_unknown_backend_rejected(self):
+        from repro.core.errors import InvalidInstanceError
+        from repro.engine import Executor
+
+        with pytest.raises(InvalidInstanceError, match="unknown backend"):
+            Executor("warp")
+
+    def test_non_positive_jobs_rejected(self):
+        from repro.core.errors import InvalidInstanceError
+        from repro.engine import Executor
+
+        with pytest.raises(InvalidInstanceError, match="jobs"):
+            Executor("thread", 0)
