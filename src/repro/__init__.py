@@ -43,12 +43,11 @@ from .core import (
     combined_lower_bound,
     validate_placement,
 )
+from ._version import __version__
 from .core.registry import available_algorithms, solve
 from .dag import TaskDAG
 from .engine import AlgorithmSpec, PortfolioResult, SolveReport, portfolio, run, solve_many
 from .sim import SimTrace, simulate, simulate_instance
-
-__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmSpec",

@@ -1,0 +1,73 @@
+"""Single-sourced package version.
+
+The authoritative version lives in ``pyproject.toml`` (``[project]
+version``); everything else derives from it:
+
+* running from a source tree (the ``PYTHONPATH=src`` development mode) —
+  the pyproject two directories above this file is parsed directly, so
+  the tree is self-consistent without an install;
+* running from an installed package — ``importlib.metadata`` reports what
+  the installer recorded from that same pyproject;
+* neither available (vendored copy, exotic packaging) — a sentinel that
+  is obviously not a release.
+
+Before this module existed ``repro.__version__`` was a literal that had
+to be bumped in lockstep with the packaging metadata; the pair drifting
+apart is exactly the failure ``tests/test_cli.py`` now guards against
+(``repro --version`` must match pyproject).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+__all__ = ["__version__", "detect_version"]
+
+#: The distribution name in pyproject's ``[project] name``.
+DIST_NAME = "repro-augustine-bi06"
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_pyproject() -> str | None:
+    """The version from the source tree's pyproject.toml, if we are in one."""
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    try:
+        import tomllib  # Python >= 3.11
+
+        project = tomllib.loads(text).get("project", {})
+        if project.get("name") != DIST_NAME:
+            return None
+        version = project.get("version")
+        return str(version) if version else None
+    except Exception:
+        # No tomllib (Python 3.10) or a transiently malformed file (a
+        # merge conflict mid-edit must not break `import repro`): fall
+        # back to a line-level scan of the file we ship.
+        if not re.search(rf'^name\s*=\s*"{re.escape(DIST_NAME)}"', text, re.M):
+            return None
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.M)
+        return match.group(1) if match else None
+
+
+def _from_metadata() -> str | None:
+    """The version the installer recorded, for installed copies."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version(DIST_NAME)
+    except Exception:
+        return None
+
+
+def detect_version() -> str:
+    """Resolve the version (source tree first — it wins over a stale install)."""
+    return _from_pyproject() or _from_metadata() or _FALLBACK
+
+
+__version__ = detect_version()

@@ -496,6 +496,70 @@ register_bench(BenchSpec(
 ))
 
 # ----------------------------------------------------------------------
+# serving layer: request throughput through the async solve service
+# ----------------------------------------------------------------------
+
+def _service_workload(n, rng):
+    """Prepared request traffic for ``n`` posts against a fresh server.
+
+    ``cached`` cycles one instance (after the first solve every request is
+    a content-addressed cache hit — the serving hot path); ``cold`` posts
+    ``n`` distinct instances (every request pays queue + batcher + solve).
+    The rng argument is unused: payloads are seeded internally so both
+    entries and all repetitions replay identical traffic.
+    """
+    from ..service.loadgen import solve_payloads
+
+    return {
+        "requests": n,
+        "cached": solve_payloads(1, n_rects=16, seed=0, algorithm="ffdh"),
+        "cold": solve_payloads(n, n_rects=16, seed=0, algorithm="ffdh"),
+    }
+
+
+def _service_loadtest(mode):
+    def run(prepared):
+        from ..service.loadgen import run_closed_loop
+        from ..service.server import InProcessServer
+
+        with InProcessServer() as srv:
+            result = run_closed_loop(
+                srv.url,
+                prepared[mode],
+                requests=prepared["requests"],
+                concurrency=4,
+            )
+        return {
+            "rps": result.throughput_rps,
+            "p50_ms": result.latency_ms(50),
+            "p95_ms": result.latency_ms(95),
+            "ok": result.errors == 0,
+            "hit_rate": result.cache_hits / result.requests,
+        }
+
+    run.__name__ = f"loadtest[{mode}]"
+    return run
+
+
+register_bench(BenchSpec(
+    name="service_throughput",
+    title="Solve service: closed-loop request throughput (cached vs cold)",
+    workload=_service_workload,
+    entries=(
+        _call("cached", _service_loadtest("cached")),
+        _call("cold", _service_loadtest("cold")),
+    ),
+    # The full sweep shares size 200 with the quick sweep (like
+    # level_packers) so CI can `--quick --compare` the committed artifact.
+    sizes=(200, 400, 800),
+    quick_sizes=(100, 200),
+    size_name="requests",
+    repetitions=2,
+    warmup=0,
+    source="service/server.py + service/loadgen.py (repro serve / loadtest)",
+))
+
+# ----------------------------------------------------------------------
 # lower-bound / fractional-optimum probe (shared by E2/E4/A4 tables)
 # ----------------------------------------------------------------------
 

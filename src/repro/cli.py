@@ -34,9 +34,23 @@ Commands
     prints the bench registry, ``--quick`` restricts each spec to its
     smoke sizes, and ``--compare`` diffs the fresh artifact against a
     baseline, exiting 1 when a regression is flagged.
+``serve [--host H] [--port P] [--backend B --jobs N] [--cache-dir DIR]``
+    Run the asyncio JSON-over-HTTP solve service (:mod:`repro.service`):
+    ``POST /solve`` and ``POST /portfolio`` with micro-batching and a
+    content-addressed result cache, ``GET /healthz`` / ``GET /metrics``
+    for operations.  Runs until interrupted.
+``loadtest [--url URL] [--mode closed|open] [--requests N] [--quick]``
+    Drive a solve service with the load generator
+    (:mod:`repro.service.loadgen`); without ``--url`` an in-process
+    server is started on an ephemeral port.  Prints throughput,
+    latency percentiles, and a latency histogram.
 
-Bad inputs (missing files, malformed JSON, invalid parameters) exit with
-code 2 and a one-line message — never a traceback.
+``repro --version`` prints the package version (single-sourced from
+pyproject via :mod:`repro._version`).
+
+Bad inputs (missing files, malformed JSON, invalid parameters, an
+unbindable serve port) exit with code 2 and a one-line message — never a
+traceback.
 
 The CLI is a thin shell over the library; every code path it exercises is
 covered by unit tests through :func:`main`.
@@ -105,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Strip packing with precedence constraints and release times "
         "(Augustine-Banerjee-Irani reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -185,6 +202,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="slowdown factor flagged as a regression (default 1.5)",
     )
     _add_executor_args(p_bench)
+
+    p_serve = sub.add_parser("serve", help="run the async JSON-over-HTTP solve service")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    _add_executor_args(p_serve)
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="most requests one micro-batch drains (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="longest a lone request waits for batch-mates (default 2 ms)",
+    )
+    p_serve.add_argument(
+        "--queue-size", type=int, default=512,
+        help="pending-request bound; beyond it requests get 503 (default 512)",
+    )
+    p_serve.add_argument(
+        "--cache-bytes", type=int, default=None,
+        help="result cache memory budget in bytes (default 32 MiB)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="spill evicted results to this directory (persistent warm cache)",
+    )
+
+    p_load = sub.add_parser("loadtest", help="drive a solve service with generated traffic")
+    p_load.add_argument(
+        "--url", default=None,
+        help="target service (default: start an in-process server)",
+    )
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (saturation) or open loop (fixed offered rate)",
+    )
+    p_load.add_argument("--requests", type=int, default=None, help="total requests (default 1000)")
+    p_load.add_argument("--concurrency", type=int, default=None,
+                        help="closed-loop workers (default 8)")
+    p_load.add_argument("--rate", type=float, default=100.0,
+                        help="open-loop arrival rate, req/s (default 100)")
+    p_load.add_argument("--distinct", type=int, default=None,
+                        help="distinct instances cycled over the run (default 8)")
+    p_load.add_argument("--rects", type=int, default=12,
+                        help="rectangles per generated instance (default 12)")
+    p_load.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
+    p_load.add_argument("--seed", type=int, default=0, help="payload/arrival RNG seed")
+    p_load.add_argument("--quick", action="store_true",
+                        help="CI smoke preset: 200 requests, 4 workers, 2 distinct instances")
+    p_load.add_argument("--output", type=Path, default=None,
+                        help="write the load result JSON here")
     return parser
 
 
@@ -517,6 +584,138 @@ def _cmd_bench(args, out) -> int:
     return 1 if regressions else 0
 
 
+def _build_server(args):
+    """A :class:`~repro.service.server.SolveServer` from serve CLI flags,
+    mapping configuration mistakes to exit-2 errors."""
+    from .core.errors import InvalidInstanceError
+    from .service import SolveServer
+    from .service.cache import DEFAULT_CACHE_BYTES
+
+    _check_jobs(args.jobs)
+    if not 0 <= args.port <= 65535:
+        raise _CliInputError(f"--port must be in [0, 65535], got {args.port}")
+    cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
+    try:
+        return SolveServer(
+            backend=args.backend,
+            jobs=args.jobs if args.jobs > 1 or args.backend else None,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            queue_size=args.queue_size,
+            cache_bytes=cache_bytes,
+            cache_dir=args.cache_dir,
+        )
+    except (InvalidInstanceError, OSError) as exc:
+        raise _CliInputError(str(exc)) from exc
+
+
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    server = _build_server(args)
+
+    def ready(srv) -> None:
+        print(
+            f"repro {__version__} serving on http://{srv.host}:{srv.port} "
+            f"(queue {args.queue_size}, batch {args.max_batch}, "
+            f"backend {args.backend or 'serial'}) — Ctrl-C to stop",
+            file=out,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.serve(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+        return 0
+    except OSError as exc:
+        raise _CliInputError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_loadtest(args, out) -> int:
+    import json as _json
+
+    from .core.errors import ReproError as _ReproError
+    from .service.loadgen import run_closed_loop, run_open_loop, solve_payloads
+
+    # --quick is the CI smoke preset; explicit flags still win.
+    requests = args.requests if args.requests is not None else (200 if args.quick else 1000)
+    concurrency = args.concurrency if args.concurrency is not None else (4 if args.quick else 8)
+    distinct = args.distinct if args.distinct is not None else (2 if args.quick else 8)
+    if requests < 1:
+        raise _CliInputError(f"--requests must be positive, got {requests}")
+    if concurrency < 1:
+        raise _CliInputError(f"--concurrency must be positive, got {concurrency}")
+    if args.mode == "open" and args.rate <= 0:
+        raise _CliInputError(f"--rate must be positive, got {args.rate:g}")
+    if args.algorithm is not None:
+        from .engine import get_spec
+
+        try:
+            get_spec(args.algorithm)
+        except _ReproError as exc:
+            raise _CliInputError(str(exc)) from exc
+    try:
+        payloads = solve_payloads(
+            distinct, n_rects=args.rects, seed=args.seed, algorithm=args.algorithm
+        )
+    except _ReproError as exc:
+        raise _CliInputError(str(exc)) from exc
+
+    def drive(url: str):
+        if args.mode == "open":
+            return run_open_loop(
+                url, payloads, requests=requests, rate=args.rate, seed=args.seed
+            )
+        return run_closed_loop(url, payloads, requests=requests, concurrency=concurrency)
+
+    def preflight(url: str) -> None:
+        """Fail fast (exit 2) when the target is not a live solve service,
+        instead of timing out request by request."""
+        import http.client
+
+        from .service.loadgen import _parse_url
+
+        host, port = _parse_url(url)
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/healthz")
+            status = conn.getresponse().status
+            conn.close()
+        except (OSError, http.client.HTTPException) as exc:
+            raise _CliInputError(f"cannot reach {url}: {exc}") from exc
+        if status != 200:
+            raise _CliInputError(f"{url}/healthz answered {status}, not a solve service")
+
+    try:
+        if args.url is None:
+            from .service import InProcessServer
+
+            with InProcessServer() as srv:
+                print(f"in-process server on {srv.url}", file=out)
+                result = drive(srv.url)
+        else:
+            preflight(args.url)
+            result = drive(args.url)
+    except (_ReproError, OSError) as exc:
+        raise _CliInputError(str(exc)) from exc
+
+    print(f"target = {args.url or 'in-process'}, requests = {requests}, "
+          f"distinct instances = {distinct}, seed = {args.seed}", file=out)
+    for line in result.summary_lines():
+        print(line, file=out)
+    print("\nlatency histogram:", file=out)
+    for line in result.histogram_lines():
+        print(f"  {line}", file=out)
+    if args.output is not None:
+        args.output.write_text(_json.dumps(result.to_dict(), indent=2))
+        print(f"\nresult written to {args.output}", file=out)
+    return 0 if result.errors == 0 else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -530,6 +729,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "portfolio": lambda: _cmd_portfolio(args, out),
         "simulate": lambda: _cmd_simulate(args, out),
         "bench": lambda: _cmd_bench(args, out),
+        "serve": lambda: _cmd_serve(args, out),
+        "loadtest": lambda: _cmd_loadtest(args, out),
     }
     handler = commands[args.command]  # argparse enforces the choices
     try:

@@ -15,17 +15,28 @@ instances from any tooling::
 
 Placements serialise as ``{"placements": [{"id":..., "x":..., "y":...}]}``.
 Round-tripping is exact for ids and floats (no quantisation is applied).
+
+The module also owns the **canonical fingerprint** used by the serving
+layer's content-addressed result cache (:mod:`repro.service`):
+:func:`canonical_instance_dict` reduces an instance to a form that is
+insensitive to rectangle order and to float noise below the shared
+geometric tolerance (:data:`repro.core.tol.ATOL`), :func:`canonical_hash`
+is its SHA-256, and :func:`result_key` combines the hash with an algorithm
+name and its parameter overrides into the cache key for one solve.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any
+import math
+from typing import Any, Mapping
 
 from .errors import InvalidInstanceError
 from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
 from .placement import Placement
 from .rectangle import Rect
+from .tol import ATOL
 
 __all__ = [
     "instance_to_dict",
@@ -34,6 +45,10 @@ __all__ = [
     "loads_instance",
     "placement_to_dict",
     "placement_from_dict",
+    "canonical_instance_dict",
+    "canonical_hash",
+    "canonical_params",
+    "result_key",
 ]
 
 
@@ -106,6 +121,143 @@ def placement_to_dict(placement: Placement) -> dict[str, Any]:
             key=lambda e: str(e["id"]),
         ),
     }
+
+
+# ----------------------------------------------------------------------
+# canonical fingerprinting (the serving layer's cache identity)
+# ----------------------------------------------------------------------
+
+def _ticks(value: float, atol: float) -> int:
+    """Quantise ``value`` onto the ``atol`` grid (integer tick count).
+
+    Two dimensions that differ by less than half a tolerance step land on
+    the same tick, so float noise far below any geometric decision
+    threshold never splits the cache; genuinely different dimensions are
+    many ticks apart (see :mod:`repro.core.tol` for why ``ATOL`` separates
+    the two regimes).  Non-finite values (``json.loads`` accepts NaN and
+    Infinity) have no tick and are rejected.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise InvalidInstanceError(f"cannot canonicalise non-finite value {value!r}")
+    return int(round(value / atol))
+
+
+def _canonical_json(value: Any) -> str:
+    """Deterministic JSON used both for hashing and as a sort key."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_instance_dict(
+    instance: StripPackingInstance, *, atol: float = ATOL
+) -> dict[str, Any]:
+    """Reduce ``instance`` to its canonical, fingerprint-ready dict.
+
+    Properties the serving cache relies on:
+
+    * **order-insensitive** — rectangles (and precedence edges) are sorted
+      canonically, so permuting ``instance.rects`` does not change the
+      result;
+    * **tolerance-aware** — ``width``/``height``/``release`` are quantised
+      to integer ticks on the ``atol`` grid, so float noise below the
+      library's geometric tolerance maps to the same form;
+    * **variant-complete** — the instance type, ``K`` (release), and the
+      DAG edges (precedence) are part of the form, so instances that would
+      solve differently never collide by construction.
+
+    Ids are preserved verbatim (placements and precedence edges refer to
+    them), which makes the fingerprint intentionally *not* invariant under
+    id renaming.
+    """
+    rects = sorted(
+        (
+            {
+                "id": r.rid,
+                "w": _ticks(r.width, atol),
+                "h": _ticks(r.height, atol),
+                "r": _ticks(r.release, atol),
+            }
+            for r in instance.rects
+        ),
+        key=_canonical_json,
+    )
+    data: dict[str, Any] = {"v": 1, "type": "plain", "rects": rects}
+    if isinstance(instance, ReleaseInstance):
+        data["type"] = "release"
+        data["K"] = instance.K
+    elif isinstance(instance, PrecedenceInstance):
+        data["type"] = "precedence"
+        data["edges"] = sorted(
+            ([u, v] for u, v in instance.dag.edges()), key=_canonical_json
+        )
+    return data
+
+
+def canonical_hash(instance: StripPackingInstance, *, atol: float = ATOL) -> str:
+    """SHA-256 hex digest of the canonical dict form of ``instance``.
+
+    Equal canonical dicts hash equal (the digest is a pure function of
+    :func:`canonical_instance_dict`); hash inequality therefore implies the
+    canonical dicts differ.
+    """
+    payload = _canonical_json(canonical_instance_dict(instance, atol=atol))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_params(
+    params: Mapping[str, Any] | None, *, atol: float = ATOL
+) -> str:
+    """Parameter overrides as deterministic JSON (``None`` == no overrides).
+
+    Numbers (ints and floats alike) are quantised to the same ``atol``
+    grid as geometry and rendered as tagged ``"n:<ticks>"`` strings: an
+    ``eps`` that differs by float noise does not split the cache, and
+    ``4`` and ``4.0`` (JSON clients emit either) share one key.  String
+    values get an ``"s:"`` tag so no string can ever alias a number's
+    canonical form.  Nested lists/dicts are canonicalised recursively;
+    bools and ``None`` pass through (JSON keeps them distinct from every
+    tagged string).
+    """
+
+    def canon(value: Any) -> Any:
+        if isinstance(value, bool) or value is None:
+            return value
+        if isinstance(value, str):
+            return f"s:{value}"
+        if isinstance(value, (int, float)):
+            return f"n:{_ticks(value, atol)}"
+        if isinstance(value, Mapping):
+            return {str(k): canon(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [canon(v) for v in value]
+        raise InvalidInstanceError(
+            f"parameter value {value!r} is not JSON-canonicalisable"
+        )
+
+    return _canonical_json(canon(dict(params) if params else {}))
+
+
+def result_key(
+    instance: StripPackingInstance,
+    spec_name: str,
+    params: Mapping[str, Any] | None = None,
+    *,
+    atol: float = ATOL,
+) -> str:
+    """The content-addressed cache key for one ``(instance, spec, params)``.
+
+    ``spec_name`` must be the *resolved* algorithm name (callers that let
+    the engine pick a per-variant default resolve it first, via
+    :func:`repro.engine.default_algorithm`), so an explicit request and a
+    defaulted request for the same solve share one cache entry.  Two solves
+    with the same key are the same solve: same canonical instance, same
+    algorithm, same (quantised) parameter overrides.
+    """
+    if not spec_name:
+        raise InvalidInstanceError("result_key needs a non-empty spec name")
+    return "|".join(
+        (canonical_hash(instance, atol=atol), spec_name, canonical_params(params, atol=atol))
+    )
 
 
 def placement_from_dict(

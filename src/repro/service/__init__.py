@@ -1,0 +1,36 @@
+"""Serving subsystem: turn the solver library into a long-running service.
+
+Four layers, composed bottom-up (each is independently testable):
+
+* :mod:`repro.service.cache`   — content-addressed result cache
+  (thread-safe LRU over response bytes, keyed by
+  :func:`repro.core.serialize.result_key`, optional disk spill);
+* :mod:`repro.service.queue`   — bounded request queue with
+  micro-batching; compatible requests fan out together through the
+  engine's :class:`~repro.engine.batch.Executor` seam;
+* :mod:`repro.service.server`  — stdlib-only asyncio JSON-over-HTTP
+  server (``POST /solve``, ``POST /portfolio``, ``GET /healthz``,
+  ``GET /metrics``) surfaced as ``repro serve``;
+* :mod:`repro.service.loadgen` — closed-/open-loop load generator
+  surfaced as ``repro loadtest``.
+
+Heavy modules are imported lazily by their consumers; importing
+``repro.service`` itself stays cheap so the CLI can always build its
+parser.
+"""
+
+from .cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
+from .queue import BackpressureError, MicroBatcher, QueueStats
+from .server import InProcessServer, SolveServer, encode_report
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "DEFAULT_CACHE_BYTES",
+    "BackpressureError",
+    "MicroBatcher",
+    "QueueStats",
+    "SolveServer",
+    "InProcessServer",
+    "encode_report",
+]

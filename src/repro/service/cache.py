@@ -1,0 +1,235 @@
+"""Content-addressed result cache: thread-safe LRU over response bytes.
+
+The cache maps :func:`repro.core.serialize.result_key` strings to the
+*serialised* response payload (the ``SolveReport`` + placement JSON the
+server would send), not to live report objects:
+
+* byte values make the size budget exact — the cache holds at most
+  ``max_bytes`` of payload, measured in the same units the network sends;
+* a repeated request is served the *same bytes* as the first one, which is
+  what makes cached responses byte-identical by construction;
+* values are opaque here, so the cache also stores portfolio responses or
+  any future endpoint's payloads without schema knowledge.
+
+Eviction is LRU by access order.  With a ``spill_dir``, evicted entries
+are written to disk (one ``<sha256(key)>.json`` file each) and a later
+``get`` quietly promotes them back into memory — a warm restart directory
+doubles as a second cache tier.  All counters needed by ``GET /metrics``
+(hits, misses, evictions, spills, spill hits) are maintained under the
+same lock that guards the map, so a stats snapshot is always consistent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..core.errors import InvalidInstanceError
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_BYTES"]
+
+#: Default in-memory budget: plenty for ~10k typical solve payloads.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache counters (one lock acquisition)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    spills: int
+    spill_hits: int
+    entries: int
+    bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class ResultCache:
+    """Thread-safe LRU byte cache with a size budget and optional disk spill.
+
+    ``max_bytes`` bounds the summed length of cached values (keys are not
+    charged: they are fixed-size fingerprints, two orders of magnitude
+    smaller than any payload).  ``max_bytes=0`` disables the in-memory
+    tier entirely — with a ``spill_dir`` that degrades to a disk-only
+    cache, without one to a no-op that still counts misses.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        *,
+        spill_dir: Path | str | None = None,
+    ) -> None:
+        if max_bytes < 0:
+            raise InvalidInstanceError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._spills = 0
+        self._spill_hits = 0
+
+    # -- key/value plumbing --------------------------------------------
+
+    def _spill_path(self, key: str) -> Path:
+        """Filesystem-safe location for ``key`` (keys contain ``|``)."""
+        assert self.spill_dir is not None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.spill_dir / f"{digest}.json"
+
+    def _spill(self, key: str, payload: bytes) -> None:
+        """Write one evicted/oversized payload to disk (no lock held).
+
+        Spill failures (full disk, permissions) drop the entry silently —
+        the cache is an accelerator, never a source of truth, so losing an
+        entry only costs a future re-solve.  Concurrent writers of the
+        same key write identical content, so last-writer-wins is safe.
+        """
+        assert self.spill_dir is not None
+        try:
+            self._spill_path(key).write_bytes(payload)
+        except OSError:
+            return
+        with self._lock:
+            self._spills += 1
+
+    # -- public API -----------------------------------------------------
+
+    def get_memory(self, key: str) -> bytes | None:
+        """Memory-tier-only lookup: counts a hit when found, never a miss.
+
+        The serving hot path probes this inline (it is a lock + dict
+        lookup) and only falls to the full :meth:`get` — which may block
+        on spill-tier disk I/O — when it returns ``None``.
+        """
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            return payload
+
+    def get(self, key: str) -> bytes | None:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        A memory hit refreshes LRU recency; a disk hit (spilled entry)
+        promotes the payload back into the memory tier.  Disk I/O happens
+        outside the lock, so a slow spill device never serialises the
+        memory-tier hot path behind it.
+        """
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return payload
+        if self.spill_dir is not None:
+            try:
+                payload = self._spill_path(key).read_bytes()
+            except OSError:
+                payload = None
+            if payload is not None:
+                with self._lock:
+                    self._spill_hits += 1
+                    self._hits += 1
+                if len(payload) <= self.max_bytes:
+                    # Promote into memory; an entry the budget can't hold
+                    # (including the disk-only max_bytes=0 configuration)
+                    # stays on disk — re-spilling identical bytes would
+                    # turn every disk hit into a redundant write.
+                    self.put(key, payload)
+                return payload
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Insert (or refresh) ``key`` → ``payload``, evicting LRU entries
+        until the memory tier fits its budget again.
+
+        A payload larger than the whole budget bypasses memory and goes
+        straight to disk (when configured) — admitting it would evict
+        everything else for one entry that gets evicted next anyway.
+        Evicted entries are collected under the lock and spilled after it
+        is released.
+        """
+        if not isinstance(payload, bytes):
+            raise InvalidInstanceError(
+                f"cache values are bytes, got {type(payload).__name__}"
+            )
+        if len(payload) > self.max_bytes:
+            with self._lock:
+                # An oversized refresh must not leave a stale smaller
+                # value behind in the memory tier.
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= len(old)
+            if self.spill_dir is not None:
+                self._spill(key, payload)
+            return
+        evicted: list[tuple[str, bytes]] = []
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = payload
+            self._bytes += len(payload)
+            while self._bytes > self.max_bytes:
+                victim_key, victim = self._entries.popitem(last=False)
+                self._bytes -= len(victim)
+                self._evictions += 1
+                evicted.append((victim_key, victim))
+        if self.spill_dir is not None:
+            for victim_key, victim in evicted:
+                self._spill(victim_key, victim)
+
+    def stats(self) -> CacheStats:
+        """Consistent counter snapshot (for ``GET /metrics`` and tests)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                spills=self._spills,
+                spill_hits=self._spill_hits,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop the memory tier (spilled files are left on disk)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership in the *memory* tier, without touching counters."""
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,662 @@
+"""Async JSON-over-HTTP solve server (stdlib only).
+
+One :class:`SolveServer` wires the serving layers together: requests come
+in over a hand-rolled HTTP/1.1 front-end (``asyncio.start_server`` — no
+third-party web framework, per the repo's no-new-deps rule), solve traffic
+flows ``client → queue → micro-batcher → Executor → cache → response``,
+and operational state is always one ``GET /metrics`` away.
+
+Endpoints
+---------
+``POST /solve``
+    Body ``{"instance": {...}, "algorithm"?: str, "params"?: {...}}``
+    (instance format: :mod:`repro.core.serialize`).  Responds with the
+    serialised :class:`~repro.engine.report.SolveReport` + placement.  The
+    ``X-Repro-Cache: hit | coalesced | miss`` header says whether the
+    content-addressed cache served it, a concurrent in-flight solve of the
+    same key was joined, or this request triggered the solve; all three
+    return the exact bytes of the original miss.
+``POST /portfolio``
+    Body ``{"instance": {...}, "algorithms"?: [str], "params"?: {...}}``.
+    Races the entrants via :func:`repro.engine.portfolio` off the event
+    loop and responds with the winner plus every entrant's summary.
+``GET /healthz``
+    Liveness: ``{"status": "ok", "version": ..., "uptime_s": ...}``.
+``GET /metrics``
+    Queue depth and batch counters, cache hit/miss/eviction counters,
+    request counts by endpoint/status, and p50/p95/mean latency.
+
+Error mapping: malformed JSON → 400; invalid instance, unknown algorithm,
+or a failed solve → 422; full request queue → 503 (with ``Retry-After``);
+unknown path → 404; unsupported method → 405; oversized body → 413.  The
+body of every error is ``{"error": "..."}``.
+
+:class:`InProcessServer` runs a ``SolveServer`` on a daemon thread with
+its own event loop — the harness behind ``repro loadtest``'s default
+target, the ``service_throughput`` bench, and the test suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.errors import InvalidInstanceError, ReproError
+from ..core.serialize import instance_from_dict, placement_to_dict, result_key
+from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .queue import BackpressureError, MicroBatcher
+
+__all__ = ["SolveServer", "InProcessServer", "ServiceMetrics", "encode_report"]
+
+#: Largest accepted request body (a ~100k-rect instance is ~10 MB).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Most header lines one request may carry (no legitimate client nears it).
+MAX_HEADERS = 128
+
+_JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+def encode_report(report) -> bytes:
+    """Serialise one ``SolveReport`` (+ placement) into response bytes.
+
+    This is the cache value and the wire format in one: deterministic JSON
+    (sorted keys, no whitespace), so repeated cache hits are byte-identical
+    and every deterministic field matches a direct ``engine.run()`` —
+    ``wall_time`` alone is measured per solve rather than derived.
+    """
+    payload = {
+        "report": report.to_dict(),
+        "placement": (
+            placement_to_dict(report.placement) if report.placement is not None else None
+        ),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class _BadRequest(Exception):
+    """Maps to an HTTP error response (status + one-line message)."""
+
+    def __init__(self, status: HTTPStatus, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceMetrics:
+    """Request counters and latency reservoirs for ``GET /metrics``.
+
+    Latencies are kept in bounded deques (last ``maxlen`` requests) per
+    endpoint; percentiles are computed on read with the bench subsystem's
+    :func:`~repro.bench.runner.percentile`, so ``/metrics`` and
+    ``BENCH_*.json`` artifacts report the same statistic.
+    """
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._by_endpoint: dict[str, int] = {}
+        self._by_status: dict[str, int] = {}
+        self._latencies: dict[str, deque[float]] = {}
+        self._maxlen = maxlen
+
+    def record(self, endpoint: str, status: int, latency_s: float | None) -> None:
+        """Count one response; ``latency_s=None`` counts without a sample
+        (unparseable requests have no meaningful latency, and zeros would
+        drag the aggregate percentiles toward 0)."""
+        with self._lock:
+            self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
+            key = str(int(status))
+            self._by_status[key] = self._by_status.get(key, 0) + 1
+            if latency_s is not None:
+                self._latencies.setdefault(endpoint, deque(maxlen=self._maxlen)).append(
+                    latency_s
+                )
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    @staticmethod
+    def _latency_summary(samples: list[float]) -> dict[str, float | int]:
+        from ..bench.runner import percentile
+
+        if not samples:
+            return {"count": 0}
+        return {
+            "count": len(samples),
+            "p50_ms": percentile(samples, 50.0) * 1e3,
+            "p95_ms": percentile(samples, 95.0) * 1e3,
+            "mean_ms": sum(samples) / len(samples) * 1e3,
+            "max_ms": max(samples) * 1e3,
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            by_endpoint = dict(self._by_endpoint)
+            by_status = dict(self._by_status)
+            per_endpoint = {k: list(v) for k, v in self._latencies.items()}
+        all_samples = [s for samples in per_endpoint.values() for s in samples]
+        return {
+            "uptime_s": self.uptime_s,
+            "requests": {
+                "total": sum(by_endpoint.values()),
+                "by_endpoint": by_endpoint,
+                "by_status": by_status,
+            },
+            "latency": self._latency_summary(all_samples),
+            "endpoints": {
+                name: self._latency_summary(samples)
+                for name, samples in sorted(per_endpoint.items())
+            },
+        }
+
+
+class SolveServer:
+    """The serving stack: HTTP front-end + batcher + cache + metrics.
+
+    Constructor knobs mirror the ``repro serve`` flags; all have serving-
+    friendly defaults.  ``backend``/``jobs`` select the engine executor
+    micro-batches fan out over (the same seam as ``repro batch``).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | None = None,
+        jobs: int | None = None,
+        max_batch: int = 16,
+        max_wait_s: float = 0.002,
+        queue_size: int = 512,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_dir: Path | str | None = None,
+    ) -> None:
+        self.cache = ResultCache(cache_bytes, spill_dir=cache_dir)
+        self.batcher = MicroBatcher(
+            backend=backend,
+            jobs=jobs,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            maxsize=queue_size,
+        )
+        self.metrics = ServiceMetrics()
+        # Portfolio races block a worker thread (they fan out internally
+        # through their own executor); two workers keep /portfolio off the
+        # event loop without competing with the batcher for cores.
+        self._pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="repro-portfolio")
+        # In-flight coalescing: result-key -> future payload of the request
+        # currently solving it.  Only the event loop touches this dict, so
+        # no lock is needed; concurrent identical misses join the leader's
+        # solve instead of duplicating it.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._backend = backend
+        self._jobs = jobs
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Bind and start serving; returns the listening ``asyncio.Server``.
+
+        ``port=0`` binds an ephemeral port; the chosen one is on
+        ``self.port``.  Bind failures (port in use, bad host) propagate as
+        ``OSError`` for the CLI to map to exit code 2 — the batcher thread
+        only starts once the bind succeeded, so a failed start leaves no
+        thread behind.
+        """
+        server = await asyncio.start_server(self._handle_client, host, port)
+        self.batcher.start()
+        sockname = server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return server
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 8080, *, ready=None
+    ) -> None:
+        """Run until cancelled (the ``repro serve`` entry point)."""
+        server = await self.start(host, port)
+        if ready is not None:
+            ready(self)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the batcher and the portfolio pool (idempotent)."""
+        self.batcher.stop()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- HTTP front-end --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection, keep-alive until EOF or ``Connection: close``."""
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    # The request head itself is unacceptable (garbled
+                    # line, oversized body): answer once, then close —
+                    # the stream position is no longer trustworthy.
+                    status, headers, payload = self._error(exc.status, str(exc))
+                    self.metrics.record("unparsed", status, None)
+                    await self._write_response(writer, status, payload, headers, False)
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                t0 = time.monotonic()
+                status, extra_headers, payload = await self._dispatch(method, path, body)
+                # Unmatched paths share one metrics key, so a client
+                # probing random URLs cannot grow the endpoint table.
+                endpoint = path if path in self.ENDPOINTS else "unmatched"
+                self.metrics.record(endpoint, status, time.monotonic() - t0)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._write_response(
+                    writer, status, payload, extra_headers, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            # A truncated request or a vanished client: drop the
+            # connection; there is no well-formed request to answer.
+            # (Handler-side failures never reach here — _dispatch maps
+            # them to 4xx/500 responses.)
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _readline(reader: asyncio.StreamReader) -> bytes:
+        """One protocol line; an over-limit line (StreamReader raises
+        ``ValueError`` past its 64 KiB default) becomes a 400."""
+        try:
+            return await reader.readline()
+        except ValueError:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "header line too long")
+
+    @classmethod
+    async def _read_request(
+        cls, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await cls._readline(reader)
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            header = await cls._readline(reader)
+            if header in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise _BadRequest(
+                    HTTPStatus.REQUEST_HEADER_FIELDS_TOO_LARGE,
+                    f"more than {MAX_HEADERS} header fields",
+                )
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            # No chunked decoding here; misparsing the chunk stream as the
+            # next request would desync the connection, so say what we need.
+            raise _BadRequest(
+                HTTPStatus.LENGTH_REQUIRED,
+                "chunked transfer encoding is not supported; send Content-Length",
+            )
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, f"bad Content-Length: {raw_length!r}")
+        if length < 0:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, f"bad Content-Length: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                HTTPStatus.REQUEST_ENTITY_TOO_LARGE,
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], headers, body
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        extra_headers: Mapping[str, str],
+        keep_alive: bool,
+    ) -> None:
+        reason = HTTPStatus(status).phrase
+        headers = {
+            **_JSON_HEADERS,
+            "Content-Length": str(len(payload)),
+            "Connection": "keep-alive" if keep_alive else "close",
+            **extra_headers,
+        }
+        head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+            f"{k}: {v}\r\n" for k, v in headers.items()
+        )
+        writer.write(head.encode("latin-1") + b"\r\n" + payload)
+        await writer.drain()
+
+    # -- routing ----------------------------------------------------------
+
+    #: (method, path) -> handler name; also the metrics cardinality bound.
+    ROUTES = {
+        ("GET", "/healthz"): "_healthz",
+        ("GET", "/metrics"): "_metrics",
+        ("POST", "/solve"): "_solve",
+        ("POST", "/portfolio"): "_portfolio",
+    }
+    ENDPOINTS = frozenset(path for _, path in ROUTES)
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, str], bytes]:
+        handler_name = self.ROUTES.get((method, path))
+        if handler_name is None:
+            if path in self.ENDPOINTS:
+                return self._error(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed on {path}")
+            return self._error(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
+        try:
+            return await getattr(self, handler_name)(body)
+        except _BadRequest as exc:
+            return self._error(exc.status, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # A handler bug must answer 500, not silently drop the
+            # connection — invisible failures are unoperable failures.
+            return self._error(
+                HTTPStatus.INTERNAL_SERVER_ERROR, f"{type(exc).__name__}: {exc}"
+            )
+
+    @staticmethod
+    def _error(status: HTTPStatus, message: str) -> tuple[int, dict[str, str], bytes]:
+        payload = json.dumps({"error": message}).encode("utf-8")
+        headers = {"Retry-After": "1"} if status == HTTPStatus.SERVICE_UNAVAILABLE else {}
+        return int(status), headers, payload
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict[str, Any]:
+        try:
+            data = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, f"malformed JSON body: {exc}")
+        if not isinstance(data, dict):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "request body must be a JSON object")
+        return data
+
+    @staticmethod
+    def _parse_instance(data: dict[str, Any]):
+        if "instance" not in data:
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "missing 'instance' field")
+        try:
+            return instance_from_dict(data["instance"])
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, f"invalid instance: {exc}")
+
+    async def _coalesced(self, key: str, produce) -> tuple[bytes, str]:
+        """Serve ``key`` from cache, a joined in-flight solve, or ``produce``.
+
+        Returns ``(payload, "hit" | "coalesced" | "miss")``.  The leader
+        (first miss) registers a future, runs ``produce`` (an async
+        callable returning payload bytes), caches, and resolves the future;
+        followers await it shielded, so one slow client's disconnect never
+        cancels work others are waiting on.  A failed leader resolves the
+        future with ``None`` and each follower retries independently —
+        errors are never coalesced into unrelated requests.
+        """
+        cached = await self._cache_get(key)
+        if cached is not None:
+            return cached, "hit"
+        existing = self._inflight.get(key)
+        if existing is not None:
+            payload = await asyncio.shield(existing)
+            if payload is not None:
+                return payload, "coalesced"
+        leader: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = leader
+        payload = None
+        try:
+            payload = await produce()
+            await self._cache_put(key, payload)
+            return payload, "miss"
+        finally:
+            if self._inflight.get(key) is leader:
+                del self._inflight[key]
+            if not leader.done():
+                leader.set_result(payload)
+
+    async def _cache_get(self, key: str) -> bytes | None:
+        """Cache lookup that keeps spill-tier disk reads off the event loop.
+
+        Without a spill directory ``get`` is a pure in-memory operation —
+        call it inline.  With one, the memory tier is still probed inline
+        (a lock + dict lookup; the hot path must not pay executor
+        scheduling per hit) and only the possible-disk-read miss path
+        moves to the default thread-pool executor.
+        """
+        if self.cache.spill_dir is None:
+            return self.cache.get(key)
+        payload = self.cache.get_memory(key)
+        if payload is not None:
+            return payload
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.get, key
+        )
+
+    async def _cache_put(self, key: str, payload: bytes) -> None:
+        """Cache insert; eviction may spill to disk, so same treatment."""
+        if self.cache.spill_dir is None:
+            self.cache.put(key, payload)
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.put, key, payload
+        )
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _healthz(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        from .. import __version__
+
+        payload = json.dumps(
+            {"status": "ok", "version": __version__, "uptime_s": self.metrics.uptime_s}
+        ).encode("utf-8")
+        return 200, {}, payload
+
+    async def _metrics(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"] = self.batcher.stats().to_dict()
+        snapshot["cache"] = self.cache.stats().to_dict()
+        return 200, {}, json.dumps(snapshot, sort_keys=True).encode("utf-8")
+
+    async def _solve(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        data = self._json_body(body)
+        instance = self._parse_instance(data)
+        algorithm = data.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithm' must be a string")
+        params = data.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+        from ..engine import default_algorithm, get_spec
+
+        try:
+            # Resolve the per-variant default up front so explicit and
+            # defaulted requests for the same solve share one cache entry.
+            # Only an *absent* algorithm means "default": an explicit ""
+            # is a client bug and must fail loudly, not solve silently.
+            name = (
+                get_spec(algorithm).name
+                if algorithm is not None
+                else default_algorithm(instance)
+            )
+            key = result_key(instance, name, params)
+        except ReproError as exc:
+            raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, str(exc))
+        async def produce() -> bytes:
+            try:
+                future = self.batcher.submit(instance, name, params)
+                # The queue can also shed this request *after* accepting
+                # it (shutdown drains pending futures) — still 503.
+                report = await asyncio.wrap_future(future)
+            except BackpressureError as exc:
+                raise _BadRequest(HTTPStatus.SERVICE_UNAVAILABLE, str(exc))
+            if report.placement is None:
+                raise _BadRequest(
+                    HTTPStatus.UNPROCESSABLE_ENTITY, report.error or "solve failed"
+                )
+            return encode_report(report)
+
+        payload, source = await self._coalesced(key, produce)
+        return 200, {"X-Repro-Cache": source}, payload
+
+    async def _portfolio(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        data = self._json_body(body)
+        instance = self._parse_instance(data)
+        algorithms = data.get("algorithms")
+        params = data.get("params")
+        if algorithms is not None and (
+            not isinstance(algorithms, list)
+            or not all(isinstance(a, str) for a in algorithms)
+        ):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithms' must be a list of names")
+        if params is not None and not isinstance(params, dict):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+        key = result_key(
+            instance, "portfolio", {"algorithms": algorithms, "params": params}
+        )
+
+        async def produce() -> bytes:
+            from ..engine import portfolio
+
+            loop = asyncio.get_running_loop()
+            try:
+                result = await loop.run_in_executor(
+                    self._pool,
+                    lambda: portfolio(
+                        instance,
+                        algorithms,
+                        params=params,
+                        backend=self._backend,
+                        jobs=self._jobs,
+                    ),
+                )
+            except ReproError as exc:
+                raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, str(exc))
+            best = result.best
+            return json.dumps(
+                {
+                    "winner": json.loads(encode_report(best)) if best is not None else None,
+                    "entrants": [r.to_dict() for r in result.reports],
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+
+        payload, source = await self._coalesced(key, produce)
+        return 200, {"X-Repro-Cache": source}, payload
+
+
+class InProcessServer:
+    """A :class:`SolveServer` on a daemon thread with its own event loop.
+
+    The context-manager harness behind ``repro loadtest`` (default
+    target), the ``service_throughput`` bench, and the server tests::
+
+        with InProcessServer() as srv:
+            conn = http.client.HTTPConnection(srv.host, srv.port)
+            ...
+
+    Startup errors inside the thread (port in use) re-raise in the
+    entering thread, so failures surface at ``__enter__`` time.
+    """
+
+    def __init__(self, server: SolveServer | None = None, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = server if server is not None else SolveServer()
+        self._host_arg = host
+        self._port_arg = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host or self._host_arg
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "InProcessServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("in-process server failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            bound = loop.run_until_complete(
+                self.server.start(self._host_arg, self._port_arg)
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            self.server.close()  # nothing to leave running after a failed bind
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            bound.close()
+            loop.run_until_complete(bound.wait_closed())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        self.server.close()
+        self._loop = None
+        self._thread = None

@@ -40,7 +40,7 @@ class TestRegistry:
             "fig1_gap", "fig2_ratio3", "fpga_jpeg", "fractional_lb", "grouping",
             "latency_dilation", "level_packers", "lp_configs", "online_policies",
             "online_vs_offline", "packers", "portfolio", "release_baselines",
-            "rounding", "shelf_nextfit", "skyline_bottom_left",
+            "rounding", "service_throughput", "shelf_nextfit", "skyline_bottom_left",
         }
         assert expected <= set(bench_names())
 
@@ -249,6 +249,50 @@ class TestCommittedLevelPackersArtifact:
         quick = {
             (e.label, s) for e in spec.entries for s in spec.sweep(quick=True)
         }
+        assert committed & quick
+
+
+class TestCommittedServiceArtifact:
+    """The checked-in throughput artifact of the solve service."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "artifacts" / "BENCH_service_throughput.json"
+        )
+        return load_artifact(path)  # schema-validates
+
+    def test_cached_requests_sustain_100_rps(self, artifact):
+        """ISSUE acceptance: >= 100 req/s on cached requests."""
+        by_point = {(p["label"], p["size"]): p["metrics"] for p in artifact["points"]}
+        biggest = max(size for _, size in by_point)
+        assert by_point[("cached", biggest)]["rps"] >= 100.0
+        assert by_point[("cached", biggest)]["ok"] is True
+
+    def test_cached_runs_hit_the_cache_and_cold_runs_do_not(self, artifact):
+        for p in artifact["points"]:
+            if p["label"] == "cached":
+                # everything after the first solve of the single instance
+                assert p["metrics"]["hit_rate"] >= 1.0 - 2.0 / p["size"]
+            else:
+                assert p["metrics"]["hit_rate"] == 0.0
+
+    def test_cached_faster_than_cold(self, artifact):
+        medians = {(p["label"], p["size"]): p["median_s"] for p in artifact["points"]}
+        for size in {s for _, s in medians}:
+            assert medians[("cached", size)] < medians[("cold", size)]
+
+    def test_quick_sizes_overlap_for_ci_compare(self, artifact):
+        """CI diffs a --quick run against this artifact; at least one
+        (label, size) point must overlap or compare_artifacts errors."""
+        from repro.bench import get_bench
+
+        spec = get_bench("service_throughput")
+        committed = {(p["label"], p["size"]) for p in artifact["points"]}
+        quick = {(e.label, s) for e in spec.entries for s in spec.sweep(quick=True)}
         assert committed & quick
 
 

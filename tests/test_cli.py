@@ -356,6 +356,125 @@ class TestInputErrors:
         assert code == 2 and "invalid instance file" in text
 
 
+class TestVersion:
+    """``repro --version`` is single-sourced from pyproject.toml."""
+
+    @staticmethod
+    def _pyproject_version():
+        import re
+        from pathlib import Path
+
+        text = (Path(__file__).resolve().parent.parent / "pyproject.toml").read_text()
+        return re.search(r'^version\s*=\s*"([^"]+)"', text, re.M).group(1)
+
+    def test_version_flag_matches_pyproject(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {self._pyproject_version()}"
+
+    def test_dunder_version_matches_pyproject(self):
+        import repro
+
+        assert repro.__version__ == self._pyproject_version()
+
+    def test_info_reports_the_same_version(self):
+        code, text = run_cli(["info"])
+        assert code == 0
+        assert f"repro {self._pyproject_version()}" in text
+
+    def test_malformed_pyproject_falls_back_to_line_scan(self, monkeypatch):
+        """A mid-edit TOML syntax error must not break `import repro`."""
+        from repro import _version
+
+        bad = 'garbage [ ===\nname = "repro-augustine-bi06"\nversion = "9.9.9"\n'
+        monkeypatch.setattr(_version.Path, "read_text", lambda self, *a, **k: bad)
+        assert _version._from_pyproject() == "9.9.9"
+
+
+class TestServeErrors:
+    """``repro serve`` bad input exits 2 with a one-line message."""
+
+    def test_port_in_use_exits_2(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        port = sock.getsockname()[1]
+        try:
+            code, text = run_cli(["serve", "--port", str(port)])
+        finally:
+            sock.close()
+        assert code == 2
+        assert text.splitlines()[-1].startswith("error:") and "cannot bind" in text
+
+    def test_out_of_range_port_exits_2(self):
+        code, text = run_cli(["serve", "--port", "70000"])
+        assert code == 2 and "--port" in text
+
+    @pytest.mark.parametrize("argv, message", [
+        (["serve", "--jobs", "0"], "--jobs"),
+        (["serve", "--max-batch", "0"], "max_batch"),
+        (["serve", "--max-wait-ms", "-1"], "max_wait"),
+        (["serve", "--queue-size", "0"], "maxsize"),
+        (["serve", "--cache-bytes", "-5"], "max_bytes"),
+    ])
+    def test_bad_parameters_exit_2(self, argv, message):
+        code, text = run_cli(argv)
+        assert code == 2
+        assert text.startswith("error:") and message in text
+
+
+class TestLoadtest:
+    def test_quick_in_process_run(self):
+        code, text = run_cli(["loadtest", "--quick", "--algorithm", "nfdh"])
+        assert code == 0
+        assert "in-process server on http://" in text
+        assert "req/s" in text and "latency histogram" in text
+
+    def test_open_mode_and_output(self, tmp_path):
+        out_path = tmp_path / "load.json"
+        code, text = run_cli([
+            "loadtest", "--mode", "open", "--requests", "20", "--rate", "500",
+            "--distinct", "1", "--algorithm", "nfdh", "--output", str(out_path),
+        ])
+        assert code == 0
+        assert "lateness" in text
+        data = json.loads(out_path.read_text())
+        assert data["mode"] == "open" and data["requests"] == 20
+
+    def test_unreachable_url_exits_2(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        code, text = run_cli([
+            "loadtest", "--url", f"http://127.0.0.1:{port}",
+            "--requests", "2", "--quick",
+        ])
+        assert code == 2 and "cannot reach" in text
+
+    @pytest.mark.parametrize("argv, message", [
+        (["loadtest", "--requests", "0"], "--requests"),
+        (["loadtest", "--concurrency", "0"], "--concurrency"),
+        (["loadtest", "--mode", "open", "--rate", "0"], "--rate"),
+        (["loadtest", "--algorithm", "oracle"], "unknown algorithm"),
+        (["loadtest", "--rects", "0"], "n_rects"),
+        (["loadtest", "--url", "ftp://bad", "--requests", "1"], "http"),
+    ])
+    def test_bad_parameters_exit_2(self, argv, message):
+        code, text = run_cli(argv)
+        assert code == 2
+        assert text.splitlines()[-1].startswith("error:") and message in text
+
+    def test_unknown_mode_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--mode", "chaos"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -3,20 +3,29 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import InvalidInstanceError
 from repro.core.instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
 from repro.core.placement import validate_placement
 from repro.core.rectangle import Rect
 from repro.core.serialize import (
+    canonical_hash,
+    canonical_instance_dict,
+    canonical_params,
     dumps_instance,
     instance_from_dict,
     instance_to_dict,
     loads_instance,
     placement_from_dict,
     placement_to_dict,
+    result_key,
 )
+from repro.core.tol import ATOL
 from repro.dag.graph import TaskDAG
+
+from .conftest import precedence_instances, rect_lists, release_instances
 
 
 def rects3():
@@ -90,3 +99,146 @@ class TestPlacementRoundTrip:
         d = placement_to_dict(solve(inst, "nfdh"))
         ids = [e["id"] for e in d["placements"]]
         assert ids == sorted(ids)
+
+
+# ----------------------------------------------------------------------
+# canonical fingerprinting (the serving cache's identity function)
+# ----------------------------------------------------------------------
+
+def _permuted(instance, seed):
+    """The same instance with its rectangle tuple reordered (ids kept)."""
+    import numpy as np
+
+    rects = list(instance.rects)
+    order = np.random.default_rng(seed).permutation(len(rects))
+    rects = [rects[i] for i in order]
+    if isinstance(instance, ReleaseInstance):
+        return ReleaseInstance(rects, instance.K)
+    if isinstance(instance, PrecedenceInstance):
+        return PrecedenceInstance(rects, instance.dag)
+    return StripPackingInstance(rects)
+
+
+class TestCanonicalHash:
+    @given(rects=rect_lists(min_size=1, max_size=12), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_rect_reordering(self, rects, seed):
+        inst = StripPackingInstance(rects)
+        shuffled = _permuted(inst, seed)
+        assert canonical_instance_dict(inst) == canonical_instance_dict(shuffled)
+        assert canonical_hash(inst) == canonical_hash(shuffled)
+
+    @given(inst=precedence_instances(max_size=8), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_precedence_invariant_under_reordering(self, inst, seed):
+        assert canonical_hash(inst) == canonical_hash(_permuted(inst, seed))
+
+    @given(inst=release_instances(max_size=8), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_release_invariant_under_reordering(self, inst, seed):
+        assert canonical_hash(inst) == canonical_hash(_permuted(inst, seed))
+
+    @given(rects=rect_lists(min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_hash_inequality_implies_dict_inequality(self, rects):
+        """The digest is a pure function of the canonical dict, so two
+        instances with equal canonical dicts can never hash apart."""
+        a = StripPackingInstance(rects)
+        b = _permuted(a, 7)
+        if canonical_hash(a) != canonical_hash(b):
+            assert canonical_instance_dict(a) != canonical_instance_dict(b)
+        if canonical_instance_dict(a) == canonical_instance_dict(b):
+            assert canonical_hash(a) == canonical_hash(b)
+
+    def test_subtolerance_noise_collapses(self):
+        a = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        b = StripPackingInstance(
+            [Rect(rid=0, width=0.5 + ATOL / 10, height=1.0 - ATOL / 10)]
+        )
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_super_tolerance_difference_separates(self):
+        a = StripPackingInstance([Rect(rid=0, width=0.5, height=1.0)])
+        b = StripPackingInstance([Rect(rid=0, width=0.5 + 1e4 * ATOL, height=1.0)])
+        assert canonical_hash(a) != canonical_hash(b)
+
+    def test_ids_are_part_of_the_identity(self):
+        a = StripPackingInstance([Rect(rid="a", width=0.5, height=1.0)])
+        b = StripPackingInstance([Rect(rid="b", width=0.5, height=1.0)])
+        assert canonical_hash(a) != canonical_hash(b)
+
+    def test_variant_and_structure_separate(self):
+        rects = rects3()
+        plain = StripPackingInstance(rects)
+        release = ReleaseInstance(rects, K=4)
+        release8 = ReleaseInstance(rects, K=8)
+        chain = PrecedenceInstance(rects, TaskDAG(["a", "b", "c"], [("a", "b")]))
+        loose = PrecedenceInstance(rects, TaskDAG(["a", "b", "c"], []))
+        hashes = [canonical_hash(i) for i in (plain, release, release8, chain, loose)]
+        assert len(set(hashes)) == 5
+
+    def test_edge_order_is_canonicalised(self):
+        a = PrecedenceInstance(rects3(), TaskDAG(["a", "b", "c"], [("a", "b"), ("b", "c")]))
+        b = PrecedenceInstance(rects3(), TaskDAG(["a", "b", "c"], [("b", "c"), ("a", "b")]))
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_hash_is_hex_sha256(self):
+        digest = canonical_hash(StripPackingInstance(rects3()))
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+
+class TestResultKey:
+    def test_key_structure_and_determinism(self):
+        inst = StripPackingInstance(rects3())
+        key = result_key(inst, "nfdh", {"x": 1})
+        assert key == result_key(inst, "nfdh", {"x": 1})
+        assert key.split("|")[0] == canonical_hash(inst)
+        assert key.split("|")[1] == "nfdh"
+
+    def test_spec_and_params_separate_keys(self):
+        inst = StripPackingInstance(rects3())
+        keys = {
+            result_key(inst, "nfdh"),
+            result_key(inst, "ffdh"),
+            result_key(inst, "aptas", {"eps": 0.5}),
+            result_key(inst, "aptas", {"eps": 0.25}),
+        }
+        assert len(keys) == 4
+
+    def test_none_and_empty_params_share_a_key(self):
+        inst = StripPackingInstance(rects3())
+        assert result_key(inst, "nfdh", None) == result_key(inst, "nfdh", {})
+
+    def test_param_floats_are_tolerance_aware(self):
+        inst = StripPackingInstance(rects3())
+        assert result_key(inst, "aptas", {"eps": 0.5}) == result_key(
+            inst, "aptas", {"eps": 0.5 + ATOL / 10}
+        )
+
+    def test_param_key_order_is_canonical(self):
+        assert canonical_params({"a": 1, "b": 2}) == canonical_params({"b": 2, "a": 1})
+
+    def test_nested_and_scalar_param_values(self):
+        out = canonical_params({"names": ("a", "b"), "flag": True, "depth": 2})
+        parsed = json.loads(out)
+        assert parsed["names"] == ["s:a", "s:b"] and parsed["flag"] is True
+        assert parsed["depth"].startswith("n:")  # numbers are tagged ticks
+
+    def test_params_never_alias_across_types(self):
+        # 4 and 4.0 are the same parameter value (JSON clients emit either)
+        assert canonical_params({"K": 4}) == canonical_params({"K": 4.0})
+        # a float never collides with the raw integer equal to its tick
+        # count (both quantise, so 0.5 -> n:5e8 but 500000000 -> n:5e17)
+        assert canonical_params({"eps": 0.5}) != canonical_params({"eps": 500000000})
+        # a string can't forge a number's canonical form (the "s:" tag)
+        assert canonical_params({"eps": 0.5}) != canonical_params({"eps": "n:500000000"})
+        # and bools stay bools, never numbers
+        assert canonical_params({"x": True}) != canonical_params({"x": 1})
+
+    def test_empty_spec_name_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            result_key(StripPackingInstance(rects3()), "")
+
+    def test_unserialisable_param_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            canonical_params({"fn": object()})

@@ -1,0 +1,191 @@
+"""Tests for the serving layer's content-addressed result cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.service.cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
+
+
+class TestBasics:
+    def test_roundtrip_and_counters(self):
+        cache = ResultCache(1024)
+        assert cache.get("k") is None
+        cache.put("k", b"payload")
+        assert cache.get("k") == b"payload"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 0)
+        assert stats.entries == 1 and stats.bytes == len(b"payload")
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_put_refreshes_value_and_bytes(self):
+        cache = ResultCache(1024)
+        cache.put("k", b"short")
+        cache.put("k", b"a-longer-payload")
+        assert cache.get("k") == b"a-longer-payload"
+        assert cache.stats().bytes == len(b"a-longer-payload")
+        assert cache.stats().entries == 1
+
+    def test_non_bytes_value_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="bytes"):
+            ResultCache(64).put("k", "text")  # type: ignore[arg-type]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="max_bytes"):
+            ResultCache(-1)
+
+    def test_default_budget(self):
+        assert ResultCache().max_bytes == DEFAULT_CACHE_BYTES
+
+    def test_get_memory_counts_hits_but_never_misses(self):
+        cache = ResultCache(64)
+        assert cache.get_memory("absent") is None
+        cache.put("k", b"x")
+        assert cache.get_memory("k") == b"x"
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 0
+
+    def test_len_and_contains_do_not_touch_counters(self):
+        cache = ResultCache(64)
+        cache.put("k", b"x")
+        assert len(cache) == 1 and "k" in cache and "other" not in cache
+        assert cache.stats().hits == 0 and cache.stats().misses == 0
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        cache = ResultCache(64)
+        cache.put("k", b"x")
+        cache.get("k")
+        cache.clear()
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.entries == 0 and stats.bytes == 0 and stats.hits == 1
+
+    def test_stats_to_dict_shape(self):
+        stats = ResultCache(64).stats()
+        assert isinstance(stats, CacheStats)
+        d = stats.to_dict()
+        assert {"hits", "misses", "evictions", "spills", "spill_hits",
+                "entries", "bytes", "max_bytes", "hit_rate"} <= set(d)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(3)  # holds three 1-byte payloads
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.put("c", b"3")
+        cache.get("a")  # refresh a: b becomes LRU
+        cache.put("d", b"4")
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats().evictions == 1
+
+    def test_byte_budget_enforced(self):
+        cache = ResultCache(10)
+        for i in range(8):
+            cache.put(f"k{i}", b"xxxx")  # 4 bytes each, budget fits 2
+        stats = cache.stats()
+        assert stats.bytes <= 10 and stats.entries == 2
+        assert stats.evictions == 6
+
+    def test_oversized_payload_not_admitted_to_memory(self):
+        cache = ResultCache(4)
+        cache.put("big", b"x" * 100)
+        assert "big" not in cache and cache.stats().bytes == 0
+
+    def test_oversized_refresh_evicts_the_stale_small_value(self):
+        """A later over-budget put for the same key must not leave the old
+        in-memory value to be served forever."""
+        cache = ResultCache(8)
+        cache.put("k", b"old")
+        cache.put("k", b"x" * 100)  # oversize: cannot live in memory
+        assert cache.get("k") is None  # and the stale b"old" is gone too
+        assert cache.stats().bytes == 0
+
+    def test_zero_budget_is_a_counting_noop(self):
+        cache = ResultCache(0)
+        cache.put("k", b"x")
+        assert cache.get("k") is None
+        assert cache.stats().misses == 1
+
+    def test_disk_only_mode_does_not_rewrite_on_every_hit(self, tmp_path):
+        """max_bytes=0 + spill_dir is the disk-only tier: hits must read
+        the file, not re-spill identical bytes on each lookup."""
+        cache = ResultCache(0, spill_dir=tmp_path)
+        cache.put("k", b"payload")
+        assert cache.stats().spills == 1
+        for _ in range(5):
+            assert cache.get("k") == b"payload"
+        stats = cache.stats()
+        assert stats.spills == 1  # the original write only
+        assert stats.spill_hits == 5 and stats.hits == 5
+
+
+class TestDiskSpill:
+    def test_evicted_entry_served_from_disk_and_promoted(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        cache.put("a", b"aaaa")
+        cache.put("b", b"bbbb")  # evicts a -> spilled to disk
+        assert "a" not in cache
+        assert cache.stats().spills == 1
+        assert cache.get("a") == b"aaaa"  # disk hit
+        stats = cache.stats()
+        assert stats.spill_hits == 1 and stats.hits == 1
+        assert "a" in cache  # promoted back into memory
+
+    def test_spill_files_are_filesystem_safe(self, tmp_path):
+        cache = ResultCache(1, spill_dir=tmp_path)
+        cache.put("hash|spec|{...}/|nasty", b"xy")  # oversized -> straight to disk
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert files[0].suffix == ".json" and "|" not in files[0].name
+
+    def test_oversized_payload_spills_directly(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        cache.put("big", b"x" * 100)
+        assert cache.stats().spills == 1
+        assert cache.get("big") == b"x" * 100
+        assert cache.stats().spill_hits == 1
+
+    def test_spill_dir_created(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        ResultCache(64, spill_dir=target)
+        assert target.is_dir()
+
+    def test_restart_reuses_spilled_results(self, tmp_path):
+        first = ResultCache(4, spill_dir=tmp_path)
+        first.put("a", b"aaaa")
+        first.put("b", b"bbbb")  # spills a
+        second = ResultCache(1024, spill_dir=tmp_path)  # fresh process, same dir
+        assert second.get("a") == b"aaaa"
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_workload_stays_consistent(self):
+        cache = ResultCache(256)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(200):
+                    key = f"k{(seed * 7 + i) % 32}"
+                    if i % 3 == 0:
+                        cache.put(key, key.encode() * 4)
+                    else:
+                        got = cache.get(key)
+                        assert got is None or got == key.encode() * 4
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.bytes <= 256
+        assert stats.hits + stats.misses > 0

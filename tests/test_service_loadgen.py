@@ -1,0 +1,185 @@
+"""Tests for the load generator (closed/open loops, payloads, histograms)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.service import InProcessServer
+from repro.service.loadgen import (
+    LoadResult,
+    arrival_offsets,
+    run_closed_loop,
+    run_open_loop,
+    solve_payloads,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with InProcessServer() as srv:
+        yield srv
+
+
+class TestPayloads:
+    def test_deterministic_per_seed(self):
+        assert solve_payloads(3, seed=5) == solve_payloads(3, seed=5)
+        assert solve_payloads(3, seed=5) != solve_payloads(3, seed=6)
+
+    def test_distinct_instances(self):
+        bodies = [json.loads(p) for p in solve_payloads(4, n_rects=6)]
+        fingerprints = {json.dumps(b["instance"], sort_keys=True) for b in bodies}
+        assert len(fingerprints) == 4
+
+    def test_algorithm_and_params_embedded(self):
+        (payload,) = solve_payloads(1, algorithm="ffdh", params={"x": 1})
+        body = json.loads(payload)
+        assert body["algorithm"] == "ffdh" and body["params"] == {"x": 1}
+
+    @pytest.mark.parametrize("kwargs", [{"distinct": 0}, {"distinct": 1, "n_rects": 0}])
+    def test_bad_arguments(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            solve_payloads(**kwargs)
+
+
+class TestArrivals:
+    def test_offsets_are_sorted_and_seeded(self):
+        a = arrival_offsets(20, rate=50.0, seed=1)
+        b = arrival_offsets(20, rate=50.0, seed=1)
+        assert a == b and a == sorted(a) and len(a) == 20
+        assert arrival_offsets(20, rate=50.0, seed=2) != a
+
+    def test_custom_stream_source(self):
+        from repro.core.instance import ReleaseInstance
+        from repro.core.rectangle import Rect
+        from repro.sim.stream import InstanceStream
+
+        inst = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.25 * i) for i in range(4)], K=2
+        )
+        offsets = arrival_offsets(3, stream=InstanceStream(inst))
+        assert offsets == [0.0, 0.25, 0.5]
+
+    def test_bad_arguments(self):
+        with pytest.raises(InvalidInstanceError):
+            arrival_offsets(0)
+        with pytest.raises(InvalidInstanceError):
+            arrival_offsets(5, rate=0.0)
+
+
+class TestClosedLoop:
+    def test_all_ok_and_cache_hits_on_repeats(self, server):
+        result = run_closed_loop(
+            server.url, solve_payloads(2, algorithm="nfdh", seed=11),
+            requests=40, concurrency=4,
+        )
+        assert result.mode == "closed"
+        assert result.requests == 40 and result.errors == 0 and result.ok == 40
+        assert result.cache_hits >= 38  # all but the two distinct first solves
+        assert result.throughput_rps > 0
+        assert result.latency_ms(50) <= result.latency_ms(95)
+
+    def test_cached_hot_path_sustains_100_rps(self, server):
+        """ISSUE acceptance: >= 100 req/s on cached requests in-process."""
+        payloads = solve_payloads(1, algorithm="ffdh", seed=12)
+        run_closed_loop(server.url, payloads, requests=1, concurrency=1)  # warm
+        result = run_closed_loop(server.url, payloads, requests=200, concurrency=4)
+        assert result.errors == 0
+        assert result.throughput_rps >= 100.0
+
+    def test_bad_arguments(self, server):
+        payloads = solve_payloads(1)
+        with pytest.raises(InvalidInstanceError):
+            run_closed_loop(server.url, payloads, requests=0)
+        with pytest.raises(InvalidInstanceError):
+            run_closed_loop(server.url, payloads, requests=1, concurrency=0)
+        with pytest.raises(InvalidInstanceError):
+            run_closed_loop(server.url, [], requests=1)
+        with pytest.raises(InvalidInstanceError):
+            run_closed_loop("ftp://nope", payloads, requests=1)
+
+    def test_unreachable_server_counts_errors(self):
+        # A bound-then-closed socket yields a port nothing listens on.
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        result = run_closed_loop(
+            f"http://127.0.0.1:{port}", solve_payloads(1), requests=3, concurrency=1,
+            timeout=0.5,
+        )
+        assert result.errors == 3 and result.ok == 0
+
+
+class TestOpenLoop:
+    def test_scheduled_arrivals_complete(self, server):
+        result = run_open_loop(
+            server.url, solve_payloads(2, algorithm="nfdh", seed=13),
+            requests=30, rate=500.0, seed=3,
+        )
+        assert result.mode == "open"
+        assert result.requests == 30 and result.errors == 0
+        assert len(result.lateness_s) == 30
+        assert result.max_lateness_s >= 0.0
+        assert result.cache_hits >= 28
+
+    def test_duration_respects_schedule(self, server):
+        """At 100 req/s the last of ~20 arrivals lands well after 50 ms."""
+        offsets = arrival_offsets(20, rate=100.0, seed=4)
+        result = run_open_loop(
+            server.url, solve_payloads(1, algorithm="nfdh"),
+            requests=20, rate=100.0, seed=4,
+        )
+        assert result.duration_s >= offsets[-1]
+
+    def test_bad_arguments(self, server):
+        with pytest.raises(InvalidInstanceError):
+            run_open_loop(server.url, solve_payloads(1), requests=0)
+        with pytest.raises(InvalidInstanceError):
+            run_open_loop(server.url, solve_payloads(1), requests=1, max_workers=0)
+
+
+class TestLoadResult:
+    def _result(self, latencies=(0.001, 0.002, 0.004), mode="closed", **kw):
+        defaults = dict(
+            mode=mode, requests=len(latencies), ok=len(latencies), errors=0,
+            cache_hits=1, duration_s=0.5, latencies_s=tuple(latencies),
+        )
+        defaults.update(kw)
+        return LoadResult(**defaults)
+
+    def test_throughput_and_percentiles(self):
+        result = self._result()
+        assert result.throughput_rps == pytest.approx(6.0)
+        assert result.latency_ms(50) == pytest.approx(2.0)
+        assert result.latency_ms(99) <= 4.0
+
+    def test_to_dict_and_summary(self):
+        result = self._result()
+        d = result.to_dict()
+        assert d["throughput_rps"] == pytest.approx(6.0)
+        assert set(d["latency_ms"]) == {50.0, 95.0, 99.0}
+        text = "\n".join(result.summary_lines())
+        assert "req/s" in text and "p50/p95/p99" in text
+
+    def test_open_mode_summary_mentions_lateness(self):
+        result = self._result(mode="open", lateness_s=(0.0, 0.01))
+        assert any("lateness" in line for line in result.summary_lines())
+        assert result.max_lateness_s == pytest.approx(0.01)
+
+    def test_histogram_buckets_cover_all_samples(self):
+        result = self._result(latencies=(0.0001, 0.0005, 0.0005, 0.02))
+        lines = result.histogram_lines(width=10)
+        total = sum(int(line.split()[3]) for line in lines)
+        assert total == 4
+        assert all("ms" in line for line in lines)
+
+    def test_histogram_empty(self):
+        result = self._result(latencies=())
+        assert result.histogram_lines() == ["(no samples)"]
+        assert result.latency_ms(50) == 0.0 and result.throughput_rps == 0.0

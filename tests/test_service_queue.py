@@ -1,0 +1,177 @@
+"""Tests for the micro-batching request queue.
+
+The contract under test: a request submitted through the batcher resolves
+to a report identical to a direct ``engine.run()`` (deterministic fields —
+wall time is measured, not computed), batches group compatible requests,
+and a full queue sheds load with :class:`BackpressureError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import ReleaseInstance, StripPackingInstance
+from repro.core.rectangle import Rect
+from repro.core.serialize import placement_to_dict
+from repro.engine import run
+from repro.service.queue import BackpressureError, MicroBatcher
+from repro.workloads.random_rects import powerlaw_rects
+
+
+def _instances(n, seed=0, size=10):
+    rng = np.random.default_rng(seed)
+    return [StripPackingInstance(powerlaw_rects(size, rng)) for _ in range(n)]
+
+
+def _same_report(a, b):
+    """Deterministic-field equality between two SolveReports."""
+    assert a.algorithm == b.algorithm
+    assert a.height == b.height
+    assert a.lower_bound == b.lower_bound
+    assert dict(a.bounds) == dict(b.bounds)
+    assert a.valid == b.valid and a.error == b.error
+    assert a.params == b.params and a.label == b.label
+    assert placement_to_dict(a.placement) == placement_to_dict(b.placement)
+
+
+@pytest.fixture
+def batcher():
+    b = MicroBatcher(max_batch=8, max_wait_s=0.001, maxsize=64)
+    yield b
+    b.stop()
+
+
+class TestResults:
+    def test_identical_to_direct_run(self, batcher):
+        batcher.start()
+        (instance,) = _instances(1)
+        report = batcher.submit(instance, "ffdh").result(timeout=10)
+        _same_report(report, run(instance, "ffdh"))
+
+    def test_default_algorithm_resolution(self, batcher):
+        batcher.start()
+        (instance,) = _instances(1)
+        report = batcher.submit(instance).result(timeout=10)
+        _same_report(report, run(instance))
+
+    def test_params_are_honoured(self, batcher):
+        batcher.start()
+        instance = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.5 * i) for i in range(4)],
+            K=2,
+        )
+        report = batcher.submit(instance, "aptas", {"eps": 1.0}).result(timeout=30)
+        _same_report(report, run(instance, "aptas", params={"eps": 1.0}))
+
+    def test_incompatible_algorithm_becomes_error_report(self, batcher):
+        batcher.start()
+        (instance,) = _instances(1)  # plain instance, aptas needs release
+        report = batcher.submit(instance, "aptas").result(timeout=10)
+        assert report.error is not None and report.placement is None
+
+    def test_unknown_algorithm_becomes_error_report(self, batcher):
+        batcher.start()
+        (instance,) = _instances(1)
+        report = batcher.submit(instance, "oracle").result(timeout=10)
+        assert report.error is not None and "unknown algorithm" in report.error
+
+
+class TestBatching:
+    def test_queued_requests_drain_as_one_batch(self):
+        """Pre-load the queue before any drain: one drain, grouped fan-out."""
+        batcher = MicroBatcher(max_batch=8, maxsize=64)
+        instances = _instances(6, seed=1)
+        futures = [batcher.submit(inst, "nfdh") for inst in instances]
+        assert batcher.depth == 6
+        assert batcher.drain_once() == 6
+        stats = batcher.stats()
+        assert stats.batches == 1 and stats.max_batch == 6
+        assert stats.completed == stats.submitted == 6
+        assert stats.mean_batch == pytest.approx(6.0)
+        for fut, inst in zip(futures, instances):
+            _same_report(fut.result(timeout=1), run(inst, "nfdh"))
+
+    def test_mixed_algorithms_grouped_but_all_correct(self):
+        batcher = MicroBatcher(max_batch=8, maxsize=64)
+        instances = _instances(4, seed=2)
+        futures = [
+            batcher.submit(inst, algo)
+            for inst, algo in zip(instances, ["nfdh", "ffdh", "nfdh", "bfdh"])
+        ]
+        batcher.drain_once()
+        for fut, inst, algo in zip(futures, instances, ["nfdh", "ffdh", "nfdh", "bfdh"]):
+            _same_report(fut.result(timeout=1), run(inst, algo))
+
+    def test_max_batch_caps_one_drain(self):
+        batcher = MicroBatcher(max_batch=3, maxsize=64)
+        for inst in _instances(5, seed=3):
+            batcher.submit(inst, "nfdh")
+        assert batcher.drain_once() == 3
+        assert batcher.depth == 2
+        assert batcher.drain_once() == 2
+        assert batcher.stats().max_batch == 3
+
+    def test_distinct_params_solve_in_distinct_groups(self):
+        batcher = MicroBatcher(max_batch=8, maxsize=64)
+        instance = ReleaseInstance(
+            [Rect(rid=i, width=0.5, height=0.5, release=0.5 * i) for i in range(4)],
+            K=2,
+        )
+        f1 = batcher.submit(instance, "aptas", {"eps": 1.0})
+        f2 = batcher.submit(instance, "aptas", {"eps": 0.5})
+        batcher.drain_once()
+        r1, r2 = f1.result(timeout=30), f2.result(timeout=30)
+        assert r1.params["eps"] == 1.0 and r2.params["eps"] == 0.5
+
+    def test_thread_backend_matches_serial(self):
+        serial = MicroBatcher(maxsize=64)
+        threaded = MicroBatcher(backend="thread", jobs=3, maxsize=64)
+        instances = _instances(5, seed=4)
+        fs = [serial.submit(i, "ffdh") for i in instances]
+        ft = [threaded.submit(i, "ffdh") for i in instances]
+        serial.drain_once()
+        threaded.drain_once()
+        for a, b in zip(fs, ft):
+            _same_report(a.result(timeout=1), b.result(timeout=1))
+
+
+class TestBackpressureAndLifecycle:
+    def test_full_queue_rejects(self):
+        batcher = MicroBatcher(maxsize=2)
+        instances = _instances(3, seed=5)
+        batcher.submit(instances[0])
+        batcher.submit(instances[1])
+        with pytest.raises(BackpressureError, match="full"):
+            batcher.submit(instances[2])
+        stats = batcher.stats()
+        assert stats.rejected == 1 and stats.submitted == 2
+
+    def test_stop_fails_pending_and_rejects_new(self):
+        batcher = MicroBatcher(maxsize=8)
+        (instance,) = _instances(1, seed=6)
+        fut = batcher.submit(instance)
+        batcher.stop()
+        with pytest.raises(BackpressureError):
+            fut.result(timeout=1)
+        with pytest.raises(BackpressureError, match="stopped"):
+            batcher.submit(instance)
+
+    def test_start_is_idempotent_and_restartable(self):
+        batcher = MicroBatcher(maxsize=8)
+        assert batcher.start() is batcher
+        batcher.start()
+        batcher.stop()
+        batcher.start()  # restart after stop
+        (instance,) = _instances(1, seed=7)
+        assert batcher.submit(instance, "nfdh").result(timeout=10).valid
+        batcher.stop()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch": 0}, {"max_wait_s": -1}, {"maxsize": 0},
+                   {"backend": "warp"}, {"jobs": 0}]
+    )
+    def test_bad_construction_rejected(self, kwargs):
+        with pytest.raises(InvalidInstanceError):
+            MicroBatcher(**kwargs)
