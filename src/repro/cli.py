@@ -34,16 +34,20 @@ Commands
     prints the bench registry, ``--quick`` restricts each spec to its
     smoke sizes, and ``--compare`` diffs the fresh artifact against a
     baseline, exiting 1 when a regression is flagged.
-``serve [--host H] [--port P] [--backend B --jobs N] [--cache-dir DIR]``
+``serve [--host H] [--port P] [--workers N] [--backend B --jobs N] [--cache-dir DIR]``
     Run the asyncio JSON-over-HTTP solve service (:mod:`repro.service`):
     ``POST /solve`` and ``POST /portfolio`` with micro-batching and a
     content-addressed result cache, ``GET /healthz`` / ``GET /metrics``
-    for operations.  Runs until interrupted.
-``loadtest [--url URL] [--mode closed|open] [--requests N] [--quick]``
+    for operations.  ``--workers N`` (N > 1) shards the service over N
+    worker processes behind a consistent-hash router
+    (:mod:`repro.service.router`).  Runs until interrupted; SIGTERM or
+    Ctrl-C drains gracefully (accepted requests are answered) and exits 0.
+``loadtest [--url URL] [--mode closed|open] [--requests N] [--quick] [--workers-sweep 1,2,4]``
     Drive a solve service with the load generator
     (:mod:`repro.service.loadgen`); without ``--url`` an in-process
     server is started on an ephemeral port.  Prints throughput,
-    latency percentiles, and a latency histogram.
+    latency percentiles, and a latency histogram.  ``--workers-sweep``
+    measures the scaling curve: one closed-loop step per worker count.
 
 ``repro --version`` prints the package version (single-sourced from
 pyproject via :mod:`repro._version`).
@@ -206,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser("serve", help="run the async JSON-over-HTTP solve service")
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
     p_serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes behind a consistent-hash router "
+             "(default 1 = single-process, no router)",
+    )
     _add_executor_args(p_serve)
     p_serve.add_argument(
         "--max-batch", type=int, default=16,
@@ -250,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--seed", type=int, default=0, help="payload/arrival RNG seed")
     p_load.add_argument("--quick", action="store_true",
                         help="CI smoke preset: 200 requests, 4 workers, 2 distinct instances")
+    p_load.add_argument("--workers-sweep", default=None, metavar="N,N,...",
+                        help="run one closed-loop step per worker count against "
+                             "in-process sharded servers (e.g. 1,2,4) and report "
+                             "per-step rps/p95 in one JSON document")
     p_load.add_argument("--output", type=Path, default=None,
                         help="write the load result JSON here")
     return parser
@@ -585,46 +598,91 @@ def _cmd_bench(args, out) -> int:
 
 
 def _build_server(args):
-    """A :class:`~repro.service.server.SolveServer` from serve CLI flags,
-    mapping configuration mistakes to exit-2 errors."""
+    """A server from serve CLI flags — :class:`SolveServer` for
+    ``--workers 1``, a sharded :class:`RouterServer` above — mapping
+    configuration mistakes to exit-2 errors."""
     from .core.errors import InvalidInstanceError
-    from .service import SolveServer
+    from .service import RouterServer, SolveServer
     from .service.cache import DEFAULT_CACHE_BYTES
 
     _check_jobs(args.jobs)
     if not 0 <= args.port <= 65535:
         raise _CliInputError(f"--port must be in [0, 65535], got {args.port}")
-    cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
-    try:
-        return SolveServer(
-            backend=args.backend,
-            jobs=args.jobs if args.jobs > 1 or args.backend else None,
-            max_batch=args.max_batch,
-            max_wait_s=args.max_wait_ms / 1e3,
-            queue_size=args.queue_size,
-            cache_bytes=cache_bytes,
-            cache_dir=args.cache_dir,
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise _CliInputError(f"--workers must be >= 1, got {workers}")
+    if workers > 1 and args.backend == "process":
+        # Worker processes are daemonic (so a dead router leaks nothing)
+        # and daemonic processes cannot have children of their own; the
+        # fleet already provides the process parallelism anyway.
+        raise _CliInputError(
+            "--backend process cannot nest inside --workers > 1; "
+            "workers already provide process parallelism "
+            "(use --backend thread or drop --backend)"
         )
+    cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
+    config = dict(
+        backend=args.backend,
+        jobs=args.jobs if args.jobs > 1 or args.backend else None,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_size=args.queue_size,
+        cache_bytes=cache_bytes,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        if workers > 1:
+            # Validate the per-worker config here (exit 2 at the CLI)
+            # rather than inside the first spawned child (exit 1 + noise).
+            SolveServer(**config).close()
+            return RouterServer(workers=workers, worker_config=config)
+        return SolveServer(**config)
     except (InvalidInstanceError, OSError) as exc:
         raise _CliInputError(str(exc)) from exc
 
 
 def _cmd_serve(args, out) -> int:
     import asyncio
+    import signal as _signal
 
     server = _build_server(args)
+    workers = getattr(args, "workers", 1)
 
-    def ready(srv) -> None:
+    def ready() -> None:
         print(
-            f"repro {__version__} serving on http://{srv.host}:{srv.port} "
-            f"(queue {args.queue_size}, batch {args.max_batch}, "
+            f"repro {__version__} serving on http://{server.host}:{server.port} "
+            f"(workers {workers}, queue {args.queue_size}, batch {args.max_batch}, "
             f"backend {args.backend or 'serial'}) — Ctrl-C to stop",
             file=out,
             flush=True,
         )
 
+    async def _serve_until_signal() -> None:
+        bound = await server.start(args.host, args.port)
+        ready()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        registered: list[int] = []
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                registered.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # No signal support here (Windows event loops, non-main
+                # threads): Ctrl-C falls back to KeyboardInterrupt below.
+                pass
+        try:
+            await stop.wait()
+            print("draining: refusing new requests, flushing queue", file=out)
+            # Graceful drain: answer everything already accepted, flush
+            # the micro-batcher (and, sharded, every worker's), then exit.
+            await server.drain(bound)
+        finally:
+            for sig in registered:
+                loop.remove_signal_handler(sig)
+
     try:
-        asyncio.run(server.serve(args.host, args.port, ready=ready))
+        asyncio.run(_serve_until_signal())
     except KeyboardInterrupt:
         print("shutting down", file=out)
         return 0
@@ -632,6 +690,7 @@ def _cmd_serve(args, out) -> int:
         raise _CliInputError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
     finally:
         server.close()
+    print("drained, exiting", file=out)
     return 0
 
 
@@ -664,6 +723,9 @@ def _cmd_loadtest(args, out) -> int:
         )
     except _ReproError as exc:
         raise _CliInputError(str(exc)) from exc
+
+    if args.workers_sweep is not None:
+        return _run_workers_sweep(args, out, payloads, requests, concurrency, distinct)
 
     def drive(url: str):
         if args.mode == "open":
@@ -714,6 +776,66 @@ def _cmd_loadtest(args, out) -> int:
         args.output.write_text(_json.dumps(result.to_dict(), indent=2))
         print(f"\nresult written to {args.output}", file=out)
     return 0 if result.errors == 0 else 1
+
+
+def _run_workers_sweep(args, out, payloads, requests, concurrency, distinct) -> int:
+    """``repro loadtest --workers-sweep 1,2,4``: one closed-loop step per
+    worker count, same payloads throughout, one JSON document out."""
+    import json as _json
+
+    from .core.errors import ReproError as _ReproError
+    from .service.loadgen import sweep_workers
+
+    if args.url is not None:
+        raise _CliInputError(
+            "--workers-sweep builds its own in-process servers; drop --url"
+        )
+    if args.mode == "open":
+        raise _CliInputError("--workers-sweep is closed-loop only; drop --mode open")
+    try:
+        counts = [int(part) for part in args.workers_sweep.split(",") if part.strip()]
+    except ValueError:
+        raise _CliInputError(
+            f"--workers-sweep wants comma-separated integers, got {args.workers_sweep!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise _CliInputError(
+            f"--workers-sweep counts must be positive, got {args.workers_sweep!r}"
+        )
+
+    print(
+        f"workers sweep {counts}: {requests} requests each, "
+        f"concurrency {concurrency}, distinct instances = {distinct}, "
+        f"seed = {args.seed}",
+        file=out,
+        flush=True,
+    )
+    try:
+        stepped = sweep_workers(
+            counts, payloads, requests=requests, concurrency=concurrency
+        )
+    except (_ReproError, OSError, RuntimeError) as exc:
+        raise _CliInputError(str(exc)) from exc
+
+    base_rps = None
+    steps = []
+    for count, result in stepped:
+        if base_rps is None:
+            base_rps = result.throughput_rps or 1.0
+        speedup = result.throughput_rps / base_rps
+        print(
+            f"workers = {count}: {result.throughput_rps:8.1f} req/s, "
+            f"p95 = {result.latency_ms(95):7.2f} ms, "
+            f"errors = {result.errors}, speedup = {speedup:.2f}x",
+            file=out,
+            flush=True,
+        )
+        steps.append({"workers": count, "speedup": speedup, **result.to_dict()})
+    document = {"sweep": steps}
+    if args.output is not None:
+        args.output.write_text(_json.dumps(document, indent=2))
+        print(f"\nresult written to {args.output}", file=out)
+    return 0 if all(step["errors"] == 0 for step in steps) else 1
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

@@ -33,7 +33,7 @@ pool of ``N`` workers, exactly as before the seam existed.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import InvalidInstanceError, ReproError
@@ -62,10 +62,20 @@ class Executor:
 
     ``jobs`` is the worker count for the pooled backends (``None`` lets
     the pool pick its default); the serial backend ignores it.
+
+    One-shot use needs no ceremony: :meth:`map` spins an ephemeral pool
+    per call.  Long-lived callers (the service micro-batcher draining
+    thousands of small batches) call :meth:`open` once to keep a
+    persistent pool — pool startup, especially process fork/spawn, would
+    otherwise dominate every micro-batch — and :meth:`close` on shutdown.
     """
 
     backend: str = "serial"
     jobs: int | None = None
+    # Mutable pool handle on a frozen value object: the (backend, jobs)
+    # identity stays immutable/hashable/comparable while the pool rides
+    # along outside equality, like a cache.
+    _pool: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -75,6 +85,25 @@ class Executor:
         if self.jobs is not None and self.jobs < 1:
             raise InvalidInstanceError(f"jobs must be >= 1, got {self.jobs}")
 
+    def _make_pool(self):
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=self.jobs)
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def open(self) -> "Executor":
+        """Start a persistent pool reused by every :meth:`map` (idempotent;
+        a no-op for the serial backend).  Returns self for chaining."""
+        if self.backend != "serial" and self._pool is None:
+            object.__setattr__(self, "_pool", self._make_pool())
+        return self
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        pool = self._pool
+        if pool is not None:
+            object.__setattr__(self, "_pool", None)
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every item, results in input order.
 
@@ -83,15 +112,15 @@ class Executor:
         backend always runs through its pool — even for one item or one
         worker — so an explicit ``backend="process"`` request really
         exercises the pickling path instead of silently degrading to
-        in-process execution.
+        in-process execution.  Runs on the persistent pool when
+        :meth:`open` was called, on an ephemeral one otherwise.
         """
         items = list(items)
         if not items or self.backend == "serial":
             return [fn(it) for it in items]
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                return list(pool.map(fn, items))
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        if self._pool is not None:
+            return list(self._pool.map(fn, items))
+        with self._make_pool() as pool:
             return list(pool.map(fn, items))
 
 
@@ -171,11 +200,14 @@ def solve_many(
     compute_bounds: bool = True,
     labels: Sequence[str] | None = None,
     strict: bool = True,
+    executor: Executor | None = None,
 ) -> list[SolveReport]:
     """Solve every instance, returning reports in input order.
 
     ``backend``/``jobs`` select the :class:`Executor` (see
-    :func:`resolve_executor`).  ``labels`` (parallel to ``instances``)
+    :func:`resolve_executor`); passing a pre-built ``executor`` (e.g. one
+    held open by the service micro-batcher) overrides both and reuses its
+    persistent pool.  ``labels`` (parallel to ``instances``)
     tags each report, e.g. with the source file name.  With
     ``strict=False`` a per-instance
     :class:`~repro.core.errors.ReproError` (e.g. forcing a release-only
@@ -185,7 +217,8 @@ def solve_many(
     items = list(instances)
     if labels is not None and len(labels) != len(items):
         raise ValueError(f"{len(labels)} labels for {len(items)} instances")
-    executor = resolve_executor(backend, jobs)
+    if executor is None:
+        executor = resolve_executor(backend, jobs)
     merged = None if params is None else dict(params)
     tasks = [
         (

@@ -1,6 +1,6 @@
 """Serving subsystem: turn the solver library into a long-running service.
 
-Four layers, composed bottom-up (each is independently testable):
+Six layers, composed bottom-up (each is independently testable):
 
 * :mod:`repro.service.cache`   — content-addressed result cache
   (thread-safe LRU over response bytes, keyed by
@@ -11,8 +11,13 @@ Four layers, composed bottom-up (each is independently testable):
 * :mod:`repro.service.server`  — stdlib-only asyncio JSON-over-HTTP
   server (``POST /solve``, ``POST /portfolio``, ``GET /healthz``,
   ``GET /metrics``) surfaced as ``repro serve``;
+* :mod:`repro.service.worker`  — worker-process entry point: one
+  :class:`SolveServer` per core, spawn-started, SIGTERM-drained;
+* :mod:`repro.service.router`  — sharded front-end: consistent-hashes
+  each request's ``result_key`` over the worker fleet, fails over around
+  the ring, respawns dead workers; surfaced as ``repro serve --workers N``;
 * :mod:`repro.service.loadgen` — closed-/open-loop load generator
-  surfaced as ``repro loadtest``.
+  surfaced as ``repro loadtest`` (including ``--workers-sweep``).
 
 Heavy modules are imported lazily by their consumers; importing
 ``repro.service`` itself stays cheap so the CLI can always build its
@@ -21,6 +26,7 @@ parser.
 
 from .cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
 from .queue import BackpressureError, MicroBatcher, QueueStats
+from .router import HashRing, RouterServer
 from .server import InProcessServer, SolveServer, encode_report
 
 __all__ = [
@@ -33,4 +39,6 @@ __all__ = [
     "SolveServer",
     "InProcessServer",
     "encode_report",
+    "HashRing",
+    "RouterServer",
 ]

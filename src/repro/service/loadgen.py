@@ -42,6 +42,7 @@ __all__ = [
     "arrival_offsets",
     "run_closed_loop",
     "run_open_loop",
+    "sweep_workers",
 ]
 
 
@@ -377,3 +378,49 @@ def run_open_loop(
         lateness_s=tuple(recorder.lateness),
         status_counts=recorder.status_counts,
     )
+
+
+# ----------------------------------------------------------------------
+# worker-count sweeps
+# ----------------------------------------------------------------------
+
+def sweep_workers(
+    counts: Sequence[int],
+    payloads: Sequence[bytes],
+    *,
+    requests: int,
+    concurrency: int = 4,
+    worker_config: dict | None = None,
+) -> list[tuple[int, LoadResult]]:
+    """Closed-loop load against a fresh in-process fleet per worker count.
+
+    The scaling-curve primitive behind ``repro loadtest --workers-sweep``
+    and the ``service_scaling`` bench: for each count a new server is
+    built (``1`` = the single-process :class:`~repro.service.server
+    .SolveServer` — exactly the non-sharded path — ``>1`` = a
+    :class:`~repro.service.router.RouterServer` fleet), driven with the
+    *same* payload cycle, and torn down, so the only variable across
+    steps is the worker count.  Returns ``(count, result)`` pairs in
+    input order.
+    """
+    from .router import RouterServer
+    from .server import InProcessServer, SolveServer
+
+    if not counts:
+        raise InvalidInstanceError("counts must be non-empty")
+    if any(count < 1 for count in counts):
+        raise InvalidInstanceError(f"worker counts must be >= 1, got {list(counts)}")
+    config = dict(worker_config or {})
+    results: list[tuple[int, LoadResult]] = []
+    for count in counts:
+        server = (
+            SolveServer(**config)
+            if count == 1
+            else RouterServer(workers=count, worker_config=config)
+        )
+        with InProcessServer(server) as srv:
+            result = run_closed_loop(
+                srv.url, payloads, requests=requests, concurrency=concurrency
+            )
+        results.append((count, result))
+    return results

@@ -15,6 +15,12 @@ against a full queue raises :class:`BackpressureError` immediately instead
 of blocking the caller — the server maps it to HTTP 503 so load shedding
 is visible to clients rather than silently queueing unbounded work.
 
+Shutdown comes in two flavours: :meth:`MicroBatcher.stop` halts the drain
+thread and *fails* whatever is still queued (crash-stop semantics), while
+:meth:`MicroBatcher.drain` first refuses new submits, then waits for every
+already-accepted request to be answered before stopping — the building
+block behind ``repro serve``'s graceful SIGTERM handling.
+
 Results travel on :class:`concurrent.futures.Future` objects, which both
 plain threads (the load generator, tests) and the asyncio server (via
 ``asyncio.wrap_future``) can await.
@@ -116,10 +122,12 @@ class MicroBatcher:
             # CLI's history; a service configured with jobs=0 is a typo.
             raise InvalidInstanceError(f"jobs must be >= 1, got {jobs}")
         # Resolve eagerly so a bad backend/jobs pair fails at construction
-        # (CLI time), not on the first request.
+        # (CLI time), not on the first request.  The resolved executor is
+        # kept: start()/stop() open and close its persistent pool, so the
+        # serving hot path never pays a per-batch pool spin-up.
         from ..engine import resolve_executor
 
-        resolve_executor(backend, jobs)
+        self._executor = resolve_executor(backend, jobs)
         self.backend = backend
         self.jobs = jobs
         self.max_batch = int(max_batch)
@@ -132,6 +140,7 @@ class MicroBatcher:
         self._batches = 0
         self._max_batch_seen = 0
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._thread: threading.Thread | None = None
 
     # -- lifecycle ------------------------------------------------------
@@ -140,6 +149,8 @@ class MicroBatcher:
         """Start the drain thread (idempotent); returns self for chaining."""
         if self._thread is None or not self._thread.is_alive():
             self._stop.clear()
+            self._draining.clear()
+            self._executor.open()
             self._thread = threading.Thread(
                 target=self._drain_loop, name="repro-batcher", daemon=True
             )
@@ -154,6 +165,29 @@ class MicroBatcher:
             thread.join(timeout=timeout)
             self._thread = None
         self._fail_pending()
+        self._executor.close()
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful stop: refuse new work, answer everything accepted.
+
+        New submits fail with :class:`BackpressureError` the moment this
+        is called; requests already queued keep draining through the
+        worker thread until the queue's task accounting reports them all
+        answered (or ``timeout`` elapses — anything still pending then
+        fails through :meth:`stop`).  Without a running drain thread (unit
+        tests drive :meth:`drain_once` by hand) the flush happens inline.
+        """
+        self._draining.set()
+        deadline = time.monotonic() + timeout
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            while self.drain_once():
+                pass
+        else:
+            with self._queue.all_tasks_done:
+                while self._queue.unfinished_tasks and time.monotonic() < deadline:
+                    self._queue.all_tasks_done.wait(timeout=0.05)
+        self.stop()
 
     def _fail_pending(self) -> None:
         """Fail everything still queued after the stop flag is up.
@@ -171,6 +205,7 @@ class MicroBatcher:
                 request.future.set_exception(
                     BackpressureError("request queue stopped before this solve ran")
                 )
+            self._queue.task_done()
 
     # -- submission ------------------------------------------------------
 
@@ -185,10 +220,14 @@ class MicroBatcher:
         Raises :class:`BackpressureError` when the queue is full or the
         batcher is stopped — callers shed load instead of blocking.
         """
-        if self._stop.is_set():
+        if self._stop.is_set() or self._draining.is_set():
             with self._lock:
                 self._rejected += 1
-            raise BackpressureError("request queue is stopped")
+            raise BackpressureError(
+                "request queue is draining for shutdown"
+                if self._draining.is_set() and not self._stop.is_set()
+                else "request queue is stopped"
+            )
         request = SolveRequest(
             instance=instance,
             algorithm=algorithm,
@@ -251,7 +290,14 @@ class MicroBatcher:
                     batch.append(self._queue.get(timeout=remaining))
                 except _queue.Empty:
                     break
-            self._run_batch(batch)
+            try:
+                self._run_batch(batch)
+            finally:
+                # task_done only after the futures are resolved, so
+                # drain()'s all_tasks_done wait means "answered", not
+                # merely "dequeued".
+                for _ in batch:
+                    self._queue.task_done()
 
     def drain_once(self) -> int:
         """Synchronously drain up to ``max_batch`` queued requests (tests).
@@ -265,7 +311,11 @@ class MicroBatcher:
             except _queue.Empty:
                 break
         if batch:
-            self._run_batch(batch)
+            try:
+                self._run_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
         return len(batch)
 
     def _run_batch(self, batch: list[SolveRequest]) -> None:
@@ -291,8 +341,7 @@ class MicroBatcher:
                     [r.instance for r in requests],
                     algorithm,
                     params=requests[0].params,
-                    backend=self.backend,
-                    jobs=self.jobs,
+                    executor=self._executor,
                     labels=[""] * len(requests),
                     strict=False,
                 )

@@ -6,6 +6,12 @@ third-party web framework, per the repo's no-new-deps rule), solve traffic
 flows ``client → queue → micro-batcher → Executor → cache → response``,
 and operational state is always one ``GET /metrics`` away.
 
+The HTTP machinery lives in :class:`HttpServerBase` so the sharded
+front-end (:class:`repro.service.router.RouterServer`) speaks the same
+wire protocol with the same error mapping and the same metrics shapes —
+``SolveServer`` is "the worker" and the router is "the fleet", but a
+client cannot tell them apart.
+
 Endpoints
 ---------
 ``POST /solve``
@@ -24,16 +30,19 @@ Endpoints
     Liveness: ``{"status": "ok", "version": ..., "uptime_s": ...}``.
 ``GET /metrics``
     Queue depth and batch counters, cache hit/miss/eviction counters,
-    request counts by endpoint/status, and p50/p95/mean latency.
+    request counts by endpoint/status/algorithm, and p50/p95/mean
+    latency.  JSON by default; ``Accept: text/plain`` negotiates the
+    Prometheus text exposition format instead.
 
 Error mapping: malformed JSON → 400; invalid instance, unknown algorithm,
 or a failed solve → 422; full request queue → 503 (with ``Retry-After``);
 unknown path → 404; unsupported method → 405; oversized body → 413.  The
 body of every error is ``{"error": "..."}``.
 
-:class:`InProcessServer` runs a ``SolveServer`` on a daemon thread with
-its own event loop — the harness behind ``repro loadtest``'s default
-target, the ``service_throughput`` bench, and the test suite.
+:class:`InProcessServer` runs any server with the ``start``/``close``
+lifecycle on a daemon thread with its own event loop — the harness behind
+``repro loadtest``'s default target, the ``service_throughput`` /
+``service_scaling`` benches, and the test suite.
 """
 
 from __future__ import annotations
@@ -53,7 +62,15 @@ from ..core.serialize import instance_from_dict, placement_to_dict, result_key
 from .cache import DEFAULT_CACHE_BYTES, ResultCache
 from .queue import BackpressureError, MicroBatcher
 
-__all__ = ["SolveServer", "InProcessServer", "ServiceMetrics", "encode_report"]
+__all__ = [
+    "HttpServerBase",
+    "SolveServer",
+    "InProcessServer",
+    "ServiceMetrics",
+    "encode_report",
+    "prometheus_samples",
+    "render_prometheus",
+]
 
 #: Largest accepted request body (a ~100k-rect instance is ~10 MB).
 MAX_BODY_BYTES = 32 * 1024 * 1024
@@ -62,6 +79,9 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 MAX_HEADERS = 128
 
 _JSON_HEADERS = {"Content-Type": "application/json"}
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def encode_report(report) -> bytes:
@@ -103,6 +123,7 @@ class ServiceMetrics:
         self._started = time.monotonic()
         self._by_endpoint: dict[str, int] = {}
         self._by_status: dict[str, int] = {}
+        self._by_algorithm: dict[str, int] = {}
         self._latencies: dict[str, deque[float]] = {}
         self._maxlen = maxlen
 
@@ -118,6 +139,11 @@ class ServiceMetrics:
                 self._latencies.setdefault(endpoint, deque(maxlen=self._maxlen)).append(
                     latency_s
                 )
+
+    def count_algorithm(self, name: str) -> None:
+        """Count one resolved ``/solve`` by algorithm (Prometheus label)."""
+        with self._lock:
+            self._by_algorithm[name] = self._by_algorithm.get(name, 0) + 1
 
     @property
     def uptime_s(self) -> float:
@@ -141,6 +167,7 @@ class ServiceMetrics:
         with self._lock:
             by_endpoint = dict(self._by_endpoint)
             by_status = dict(self._by_status)
+            by_algorithm = dict(self._by_algorithm)
             per_endpoint = {k: list(v) for k, v in self._latencies.items()}
         all_samples = [s for samples in per_endpoint.values() for s in samples]
         return {
@@ -149,6 +176,7 @@ class ServiceMetrics:
                 "total": sum(by_endpoint.values()),
                 "by_endpoint": by_endpoint,
                 "by_status": by_status,
+                "by_algorithm": by_algorithm,
             },
             "latency": self._latency_summary(all_samples),
             "endpoints": {
@@ -158,61 +186,228 @@ class ServiceMetrics:
         }
 
 
-class SolveServer:
-    """The serving stack: HTTP front-end + batcher + cache + metrics.
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
 
-    Constructor knobs mirror the ``repro serve`` flags; all have serving-
-    friendly defaults.  ``backend``/``jobs`` select the engine executor
-    micro-batches fan out over (the same seam as ``repro batch``).
+#: (metric name, type) pairs the snapshot converter can emit.
+_PROM_TYPES = {
+    "repro_uptime_seconds": "gauge",
+    "repro_requests_total": "counter",
+    "repro_responses_total": "counter",
+    "repro_solves_total": "counter",
+    "repro_request_latency_milliseconds": "gauge",
+    "repro_queue_depth": "gauge",
+    "repro_queue_submitted_total": "counter",
+    "repro_queue_completed_total": "counter",
+    "repro_queue_rejected_total": "counter",
+    "repro_queue_batches_total": "counter",
+    "repro_cache_hits_total": "counter",
+    "repro_cache_misses_total": "counter",
+    "repro_cache_evictions_total": "counter",
+    "repro_cache_spills_total": "counter",
+    "repro_cache_spill_hits_total": "counter",
+    "repro_cache_entries": "gauge",
+    "repro_cache_bytes": "gauge",
+    "repro_workers_total": "gauge",
+    "repro_workers_alive": "gauge",
+    "repro_worker_restarts_total": "counter",
+    "repro_router_retries_total": "counter",
+}
+
+#: One metrics sample: (metric name, labels, value).
+Sample = tuple[str, dict, float]
+
+
+def prometheus_samples(
+    snapshot: Mapping[str, Any], labels: Mapping[str, str] | None = None
+) -> list[Sample]:
+    """Flatten one server metrics snapshot into Prometheus samples.
+
+    ``labels`` (e.g. ``{"worker": "0"}``) are merged into every sample so
+    the router can expose per-worker series next to its own aggregates.
+    """
+    base = dict(labels or {})
+    out: list[Sample] = []
+
+    def add(name: str, value, **extra) -> None:
+        if value is not None:
+            out.append((name, {**base, **extra}, float(value)))
+
+    add("repro_uptime_seconds", snapshot.get("uptime_s"))
+    requests = snapshot.get("requests", {})
+    for endpoint, count in sorted(requests.get("by_endpoint", {}).items()):
+        add("repro_requests_total", count, endpoint=endpoint)
+    for status, count in sorted(requests.get("by_status", {}).items()):
+        add("repro_responses_total", count, status=status)
+    for algorithm, count in sorted(requests.get("by_algorithm", {}).items()):
+        add("repro_solves_total", count, algorithm=algorithm)
+    for endpoint, summary in sorted(snapshot.get("endpoints", {}).items()):
+        for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms")):
+            add(
+                "repro_request_latency_milliseconds",
+                summary.get(key),
+                endpoint=endpoint,
+                quantile=quantile,
+            )
+    queue = snapshot.get("queue", {})
+    add("repro_queue_depth", queue.get("depth"))
+    for field in ("submitted", "completed", "rejected", "batches"):
+        add(f"repro_queue_{field}_total", queue.get(field))
+    cache = snapshot.get("cache", {})
+    for field in ("hits", "misses", "evictions", "spills", "spill_hits"):
+        add(f"repro_cache_{field}_total", cache.get(field))
+    add("repro_cache_entries", cache.get("entries"))
+    add("repro_cache_bytes", cache.get("bytes"))
+    return out
+
+
+def render_prometheus(samples: list[Sample]) -> bytes:
+    """Render samples into the text exposition format (one ``# TYPE`` line
+    per metric name, emitted before its first sample)."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, value in samples:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {_PROM_TYPES.get(name, 'gauge')}")
+            typed.add(name)
+        if labels:
+            rendered = ",".join(
+                f'{k}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+                for k, v in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{rendered}}} {value:g}")
+        else:
+            lines.append(f"{name} {value:g}")
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def _wants_prometheus(headers: Mapping[str, str]) -> bool:
+    """Content negotiation for ``GET /metrics``: JSON unless the client
+    asks for ``text/plain`` (the Prometheus scrape default)."""
+    accept = headers.get("accept", "")
+    return "text/plain" in accept and "application/json" not in accept.split(";")[0]
+
+
+# ----------------------------------------------------------------------
+# request resolution (shared by the worker server and the router)
+# ----------------------------------------------------------------------
+
+def parse_json_body(body: bytes) -> dict[str, Any]:
+    try:
+        data = json.loads(body or b"null")
+    except json.JSONDecodeError as exc:
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, f"malformed JSON body: {exc}")
+    if not isinstance(data, dict):
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "request body must be a JSON object")
+    return data
+
+
+def _parse_instance(data: dict[str, Any]):
+    if "instance" not in data:
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "missing 'instance' field")
+    try:
+        return instance_from_dict(data["instance"])
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, f"invalid instance: {exc}")
+
+
+def resolve_solve_request(data: dict[str, Any]):
+    """Validate a ``/solve`` body into ``(key, name, params, instance)``.
+
+    The router and the worker both run this, so the content-addressed
+    ``result_key`` that routes a request over the hash ring is the same
+    key the worker's cache and in-flight coalescing use — routing is
+    key-affine by construction.
+    """
+    instance = _parse_instance(data)
+    algorithm = data.get("algorithm")
+    if algorithm is not None and not isinstance(algorithm, str):
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithm' must be a string")
+    params = data.get("params")
+    if params is not None and not isinstance(params, dict):
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+    from ..engine import default_algorithm, get_spec
+
+    try:
+        # Resolve the per-variant default up front so explicit and
+        # defaulted requests for the same solve share one cache entry.
+        # Only an *absent* algorithm means "default": an explicit ""
+        # is a client bug and must fail loudly, not solve silently.
+        name = (
+            get_spec(algorithm).name
+            if algorithm is not None
+            else default_algorithm(instance)
+        )
+        key = result_key(instance, name, params)
+    except ReproError as exc:
+        raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, str(exc))
+    return key, name, params, instance
+
+
+def resolve_portfolio_request(data: dict[str, Any]):
+    """Validate a ``/portfolio`` body into ``(key, instance, algorithms,
+    params)`` — same contract as :func:`resolve_solve_request`."""
+    instance = _parse_instance(data)
+    algorithms = data.get("algorithms")
+    params = data.get("params")
+    if algorithms is not None and (
+        not isinstance(algorithms, list)
+        or not all(isinstance(a, str) for a in algorithms)
+    ):
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithms' must be a list of names")
+    if params is not None and not isinstance(params, dict):
+        raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+    key = result_key(instance, "portfolio", {"algorithms": algorithms, "params": params})
+    return key, instance, algorithms, params
+
+
+class HttpServerBase:
+    """The stdlib HTTP/1.1 front-end shared by worker and router servers.
+
+    Subclasses define ``ROUTES``/``ENDPOINTS`` plus the handler
+    coroutines (``handler(body, headers) -> (status, extra_headers,
+    payload)``) and may hook the lifecycle:
+
+    * :meth:`_before_bind` — async setup that must precede accepting
+      traffic (the router spawns its worker fleet here);
+    * :meth:`_after_bind` — sync setup tied to a successful bind (the
+      worker server starts its micro-batcher here, so a failed bind
+      leaks no thread).
+
+    Graceful drain support: :meth:`begin_drain` stops keep-alive reuse,
+    and :meth:`drain_requests` awaits in-flight dispatches.
     """
 
-    def __init__(
-        self,
-        *,
-        backend: str | None = None,
-        jobs: int | None = None,
-        max_batch: int = 16,
-        max_wait_s: float = 0.002,
-        queue_size: int = 512,
-        cache_bytes: int = DEFAULT_CACHE_BYTES,
-        cache_dir: Path | str | None = None,
-    ) -> None:
-        self.cache = ResultCache(cache_bytes, spill_dir=cache_dir)
-        self.batcher = MicroBatcher(
-            backend=backend,
-            jobs=jobs,
-            max_batch=max_batch,
-            max_wait_s=max_wait_s,
-            maxsize=queue_size,
-        )
+    #: (method, path) -> handler name; also the metrics cardinality bound.
+    ROUTES: dict[tuple[str, str], str] = {}
+    ENDPOINTS: frozenset[str] = frozenset()
+
+    def __init__(self) -> None:
         self.metrics = ServiceMetrics()
-        # Portfolio races block a worker thread (they fan out internally
-        # through their own executor); two workers keep /portfolio off the
-        # event loop without competing with the batcher for cores.
-        self._pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="repro-portfolio")
-        # In-flight coalescing: result-key -> future payload of the request
-        # currently solving it.  Only the event loop touches this dict, so
-        # no lock is needed; concurrent identical misses join the leader's
-        # solve instead of duplicating it.
-        self._inflight: dict[str, asyncio.Future] = {}
-        self._backend = backend
-        self._jobs = jobs
         self.host: str | None = None
         self.port: int | None = None
+        self._active_requests = 0
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------
+
+    async def _before_bind(self) -> None:
+        """Async setup that must complete before the listener binds."""
+
+    def _after_bind(self) -> None:
+        """Sync setup tied to a successful bind."""
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
         """Bind and start serving; returns the listening ``asyncio.Server``.
 
         ``port=0`` binds an ephemeral port; the chosen one is on
         ``self.port``.  Bind failures (port in use, bad host) propagate as
-        ``OSError`` for the CLI to map to exit code 2 — the batcher thread
-        only starts once the bind succeeded, so a failed start leaves no
-        thread behind.
+        ``OSError`` for the CLI to map to exit code 2.
         """
+        await self._before_bind()
         server = await asyncio.start_server(self._handle_client, host, port)
-        self.batcher.start()
+        self._after_bind()
         sockname = server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return server
@@ -231,9 +426,19 @@ class SolveServer:
             self.close()
 
     def close(self) -> None:
-        """Stop the batcher and the portfolio pool (idempotent)."""
-        self.batcher.stop()
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        """Release resources (idempotent); overridden by subclasses."""
+
+    def begin_drain(self) -> None:
+        """Stop keep-alive reuse: every in-flight response closes its
+        connection, so drained clients reconnect elsewhere (or get
+        connection-refused once the listener is down)."""
+        self._draining = True
+
+    async def drain_requests(self, timeout: float = 30.0) -> None:
+        """Wait until no request is inside a handler (or ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
 
     # -- HTTP front-end --------------------------------------------------
 
@@ -257,12 +462,21 @@ class SolveServer:
                     break
                 method, path, headers, body = request
                 t0 = time.monotonic()
-                status, extra_headers, payload = await self._dispatch(method, path, body)
+                self._active_requests += 1
+                try:
+                    status, extra_headers, payload = await self._dispatch(
+                        method, path, headers, body
+                    )
+                finally:
+                    self._active_requests -= 1
                 # Unmatched paths share one metrics key, so a client
                 # probing random URLs cannot grow the endpoint table.
                 endpoint = path if path in self.ENDPOINTS else "unmatched"
                 self.metrics.record(endpoint, status, time.monotonic() - t0)
-                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self._draining
+                )
                 await self._write_response(
                     writer, status, payload, extra_headers, keep_alive
                 )
@@ -278,11 +492,19 @@ class SolveServer:
             # (Handler-side failures never reach here — _dispatch maps
             # them to 4xx/500 responses.)
             pass
+        except asyncio.CancelledError:
+            # Only server teardown cancels connection handlers; finish
+            # normally so the streams machinery doesn't log the cancel.
+            pass
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
                 pass
 
     @staticmethod
@@ -362,17 +584,8 @@ class SolveServer:
 
     # -- routing ----------------------------------------------------------
 
-    #: (method, path) -> handler name; also the metrics cardinality bound.
-    ROUTES = {
-        ("GET", "/healthz"): "_healthz",
-        ("GET", "/metrics"): "_metrics",
-        ("POST", "/solve"): "_solve",
-        ("POST", "/portfolio"): "_portfolio",
-    }
-    ENDPOINTS = frozenset(path for _, path in ROUTES)
-
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
     ) -> tuple[int, dict[str, str], bytes]:
         handler_name = self.ROUTES.get((method, path))
         if handler_name is None:
@@ -380,7 +593,7 @@ class SolveServer:
                 return self._error(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed on {path}")
             return self._error(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
         try:
-            return await getattr(self, handler_name)(body)
+            return await getattr(self, handler_name)(body, headers)
         except _BadRequest as exc:
             return self._error(exc.status, str(exc))
         except asyncio.CancelledError:
@@ -400,22 +613,81 @@ class SolveServer:
 
     @staticmethod
     def _json_body(body: bytes) -> dict[str, Any]:
-        try:
-            data = json.loads(body or b"null")
-        except json.JSONDecodeError as exc:
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, f"malformed JSON body: {exc}")
-        if not isinstance(data, dict):
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "request body must be a JSON object")
-        return data
+        return parse_json_body(body)
 
-    @staticmethod
-    def _parse_instance(data: dict[str, Any]):
-        if "instance" not in data:
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "missing 'instance' field")
-        try:
-            return instance_from_dict(data["instance"])
-        except (ReproError, KeyError, TypeError, ValueError) as exc:
-            raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, f"invalid instance: {exc}")
+
+class SolveServer(HttpServerBase):
+    """The single-process serving stack: HTTP + batcher + cache + metrics.
+
+    Constructor knobs mirror the ``repro serve`` flags; all have serving-
+    friendly defaults.  ``backend``/``jobs`` select the engine executor
+    micro-batches fan out over (the same seam as ``repro batch``).  With
+    ``repro serve --workers N`` this class is the per-worker shard behind
+    :class:`~repro.service.router.RouterServer`; a shared ``cache_dir``
+    then acts as the common L2 cache tier under each worker's L1 memory.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | None = None,
+        jobs: int | None = None,
+        max_batch: int = 16,
+        max_wait_s: float = 0.002,
+        queue_size: int = 512,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_dir: Path | str | None = None,
+    ) -> None:
+        super().__init__()
+        self.cache = ResultCache(cache_bytes, spill_dir=cache_dir)
+        self.batcher = MicroBatcher(
+            backend=backend,
+            jobs=jobs,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            maxsize=queue_size,
+        )
+        # Portfolio races block a worker thread (they fan out internally
+        # through their own executor); two workers keep /portfolio off the
+        # event loop without competing with the batcher for cores.
+        self._pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="repro-portfolio")
+        # In-flight coalescing: result-key -> future payload of the request
+        # currently solving it.  Only the event loop touches this dict, so
+        # no lock is needed; concurrent identical misses join the leader's
+        # solve instead of duplicating it.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._backend = backend
+        self._jobs = jobs
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _after_bind(self) -> None:
+        # The batcher thread only starts once the bind succeeded, so a
+        # failed start leaves no thread behind.
+        self.batcher.start()
+
+    def close(self) -> None:
+        """Stop the batcher and the portfolio pool (idempotent)."""
+        self.batcher.stop()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    async def drain(self, bound: asyncio.Server, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, flush queued solves, close.
+
+        The contract behind SIGTERM on ``repro serve``: every request the
+        listener accepted is answered (in-flight handlers finish, the
+        micro-batcher drains its queue) before resources are torn down.
+        """
+        self.begin_drain()
+        bound.close()
+        await bound.wait_closed()
+        await self.drain_requests(timeout)
+        await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.batcher.drain(timeout)
+        )
+        self.close()
+
+    # -- caching helpers --------------------------------------------------
 
     async def _coalesced(self, key: str, produce) -> tuple[bytes, str]:
         """Serve ``key`` from cache, a joined in-flight solve, or ``produce``.
@@ -478,7 +750,15 @@ class SolveServer:
 
     # -- endpoints ---------------------------------------------------------
 
-    async def _healthz(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+    ROUTES = {
+        ("GET", "/healthz"): "_healthz",
+        ("GET", "/metrics"): "_metrics",
+        ("POST", "/solve"): "_solve",
+        ("POST", "/portfolio"): "_portfolio",
+    }
+    ENDPOINTS = frozenset(path for _, path in ROUTES)
+
+    async def _healthz(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         from .. import __version__
 
         payload = json.dumps(
@@ -486,36 +766,25 @@ class SolveServer:
         ).encode("utf-8")
         return 200, {}, payload
 
-    async def _metrics(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The full ``/metrics`` document (also read by the router)."""
         snapshot = self.metrics.snapshot()
         snapshot["queue"] = self.batcher.stats().to_dict()
         snapshot["cache"] = self.cache.stats().to_dict()
+        return snapshot
+
+    async def _metrics(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
+        snapshot = self.metrics_snapshot()
+        if _wants_prometheus(headers):
+            payload = render_prometheus(prometheus_samples(snapshot))
+            return 200, {"Content-Type": PROMETHEUS_CONTENT_TYPE}, payload
         return 200, {}, json.dumps(snapshot, sort_keys=True).encode("utf-8")
 
-    async def _solve(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+    async def _solve(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         data = self._json_body(body)
-        instance = self._parse_instance(data)
-        algorithm = data.get("algorithm")
-        if algorithm is not None and not isinstance(algorithm, str):
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithm' must be a string")
-        params = data.get("params")
-        if params is not None and not isinstance(params, dict):
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
-        from ..engine import default_algorithm, get_spec
+        key, name, params, instance = resolve_solve_request(data)
+        self.metrics.count_algorithm(name)
 
-        try:
-            # Resolve the per-variant default up front so explicit and
-            # defaulted requests for the same solve share one cache entry.
-            # Only an *absent* algorithm means "default": an explicit ""
-            # is a client bug and must fail loudly, not solve silently.
-            name = (
-                get_spec(algorithm).name
-                if algorithm is not None
-                else default_algorithm(instance)
-            )
-            key = result_key(instance, name, params)
-        except ReproError as exc:
-            raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, str(exc))
         async def produce() -> bytes:
             try:
                 future = self.batcher.submit(instance, name, params)
@@ -533,21 +802,9 @@ class SolveServer:
         payload, source = await self._coalesced(key, produce)
         return 200, {"X-Repro-Cache": source}, payload
 
-    async def _portfolio(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+    async def _portfolio(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         data = self._json_body(body)
-        instance = self._parse_instance(data)
-        algorithms = data.get("algorithms")
-        params = data.get("params")
-        if algorithms is not None and (
-            not isinstance(algorithms, list)
-            or not all(isinstance(a, str) for a in algorithms)
-        ):
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithms' must be a list of names")
-        if params is not None and not isinstance(params, dict):
-            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
-        key = result_key(
-            instance, "portfolio", {"algorithms": algorithms, "params": params}
-        )
+        key, instance, algorithms, params = resolve_portfolio_request(data)
 
         async def produce() -> bytes:
             from ..engine import portfolio
@@ -581,23 +838,35 @@ class SolveServer:
 
 
 class InProcessServer:
-    """A :class:`SolveServer` on a daemon thread with its own event loop.
+    """A server on a daemon thread with its own event loop.
 
     The context-manager harness behind ``repro loadtest`` (default
-    target), the ``service_throughput`` bench, and the server tests::
+    target), the ``service_throughput`` / ``service_scaling`` benches, and
+    the server tests.  ``server`` is any object with the
+    :class:`HttpServerBase` lifecycle — a :class:`SolveServer` (default)
+    or a :class:`~repro.service.router.RouterServer`::
 
         with InProcessServer() as srv:
             conn = http.client.HTTPConnection(srv.host, srv.port)
             ...
 
-    Startup errors inside the thread (port in use) re-raise in the
-    entering thread, so failures surface at ``__enter__`` time.
+    Startup errors inside the thread (port in use, a worker that fails to
+    spawn) re-raise in the entering thread, so failures surface at
+    ``__enter__`` time.
     """
 
-    def __init__(self, server: SolveServer | None = None, *, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        server=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        startup_timeout: float = 60.0,
+    ) -> None:
         self.server = server if server is not None else SolveServer()
         self._host_arg = host
         self._port_arg = port
+        self._startup_timeout = startup_timeout
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
@@ -621,11 +890,13 @@ class InProcessServer:
             target=self._run, name="repro-serve", daemon=True
         )
         self._thread.start()
-        self._ready.wait(timeout=10)
+        self._ready.wait(timeout=self._startup_timeout)
         if self._startup_error is not None:
             raise self._startup_error
         if not self._ready.is_set():  # pragma: no cover - defensive
-            raise RuntimeError("in-process server failed to start within 10s")
+            raise RuntimeError(
+                f"in-process server failed to start within {self._startup_timeout}s"
+            )
         return self
 
     def _run(self) -> None:
@@ -648,6 +919,16 @@ class InProcessServer:
         finally:
             bound.close()
             loop.run_until_complete(bound.wait_closed())
+            # Unwind whatever is still running (keep-alive connection
+            # handlers, the router's supervisor) before the loop closes,
+            # so teardown doesn't spray "Task was destroyed" warnings.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
 

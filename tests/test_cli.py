@@ -419,6 +419,8 @@ class TestServeErrors:
         (["serve", "--max-wait-ms", "-1"], "max_wait"),
         (["serve", "--queue-size", "0"], "maxsize"),
         (["serve", "--cache-bytes", "-5"], "max_bytes"),
+        (["serve", "--workers", "0"], "--workers"),
+        (["serve", "--workers", "2", "--backend", "process"], "--backend process"),
     ])
     def test_bad_parameters_exit_2(self, argv, message):
         code, text = run_cli(argv)
@@ -473,6 +475,39 @@ class TestLoadtest:
     def test_unknown_mode_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["loadtest", "--mode", "chaos"])
+
+
+class TestWorkersSweep:
+    """``repro loadtest --workers-sweep N,N``: the scaling-curve CLI."""
+
+    def test_sweep_runs_and_writes_one_document(self, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code, text = run_cli([
+            "loadtest", "--workers-sweep", "1,2", "--requests", "8",
+            "--concurrency", "2", "--distinct", "2", "--rects", "8",
+            "--algorithm", "nfdh", "--output", str(out_path),
+        ])
+        assert code == 0
+        assert "workers sweep [1, 2]" in text
+        assert "speedup" in text and "req/s" in text
+        steps = json.loads(out_path.read_text())["sweep"]
+        assert [step["workers"] for step in steps] == [1, 2]
+        assert steps[0]["speedup"] == pytest.approx(1.0)
+        for step in steps:
+            assert step["errors"] == 0 and step["requests"] == 8
+
+    @pytest.mark.parametrize("argv, message", [
+        (["loadtest", "--workers-sweep", "1,x"], "comma-separated"),
+        (["loadtest", "--workers-sweep", "0,2"], "positive"),
+        (["loadtest", "--workers-sweep", ","], "positive"),
+        (["loadtest", "--workers-sweep", "1",
+          "--url", "http://127.0.0.1:1"], "drop --url"),
+        (["loadtest", "--workers-sweep", "1", "--mode", "open"], "drop --mode open"),
+    ])
+    def test_bad_combinations_exit_2(self, argv, message):
+        code, text = run_cli(argv)
+        assert code == 2
+        assert text.splitlines()[-1].startswith("error:") and message in text
 
 
 class TestParser:

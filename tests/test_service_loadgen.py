@@ -183,3 +183,24 @@ class TestLoadResult:
         result = self._result(latencies=())
         assert result.histogram_lines() == ["(no samples)"]
         assert result.latency_ms(50) == 0.0 and result.throughput_rps == 0.0
+
+
+class TestSweepWorkers:
+    def test_steps_in_input_order_and_error_free(self):
+        from repro.service.loadgen import sweep_workers
+
+        payloads = solve_payloads(2, n_rects=8, seed=3, algorithm="nfdh")
+        stepped = sweep_workers([1, 2], payloads, requests=6, concurrency=2)
+        assert [count for count, _ in stepped] == [1, 2]
+        for _, result in stepped:
+            assert result.mode == "closed"
+            assert result.requests == 6 and result.errors == 0
+
+    def test_bad_arguments(self):
+        from repro.service.loadgen import sweep_workers
+
+        payloads = solve_payloads(1, n_rects=4)
+        with pytest.raises(InvalidInstanceError, match="non-empty"):
+            sweep_workers([], payloads, requests=1)
+        with pytest.raises(InvalidInstanceError, match=">= 1"):
+            sweep_workers([1, 0], payloads, requests=1)

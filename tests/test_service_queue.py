@@ -175,3 +175,50 @@ class TestBackpressureAndLifecycle:
     def test_bad_construction_rejected(self, kwargs):
         with pytest.raises(InvalidInstanceError):
             MicroBatcher(**kwargs)
+
+
+class TestGracefulDrain:
+    def test_drain_answers_everything_accepted(self):
+        """drain() with a live thread: accepted requests all resolve to
+        reports (never BackpressureError), then the batcher is stopped."""
+        batcher = MicroBatcher(max_batch=4, max_wait_s=0.001, maxsize=64)
+        instances = _instances(10, seed=8)
+        batcher.start()
+        futures = [batcher.submit(inst, "nfdh") for inst in instances]
+        batcher.drain(timeout=30)
+        for fut, inst in zip(futures, instances):
+            _same_report(fut.result(timeout=0), run(inst, "nfdh"))
+        stats = batcher.stats()
+        assert stats.completed == stats.submitted == 10 and stats.depth == 0
+
+    def test_drain_refuses_new_submits_with_a_distinct_message(self):
+        batcher = MicroBatcher(maxsize=8).start()
+        (instance,) = _instances(1, seed=9)
+        batcher.drain(timeout=5)
+        with pytest.raises(BackpressureError, match="stopped"):
+            # after drain() returns, the batcher is fully stopped
+            batcher.submit(instance)
+
+    def test_drain_without_thread_flushes_inline(self):
+        """The unit-test path: no drain thread ever started, drain() still
+        answers the queue synchronously."""
+        batcher = MicroBatcher(max_batch=4, maxsize=64)
+        instances = _instances(6, seed=10)
+        futures = [batcher.submit(inst, "ffdh") for inst in instances]
+        batcher.drain(timeout=5)
+        for fut, inst in zip(futures, instances):
+            _same_report(fut.result(timeout=0), run(inst, "ffdh"))
+
+    def test_submit_during_drain_is_rejected_as_draining(self):
+        """The drain flag (set before the queue empties) produces the
+        drain-specific message the server maps to 503."""
+        batcher = MicroBatcher(maxsize=8)
+        (instance,) = _instances(1, seed=11)
+        batcher._draining.set()  # as drain() does first
+        with pytest.raises(BackpressureError, match="draining for shutdown"):
+            batcher.submit(instance)
+
+    def test_drain_is_reentrant_with_stop(self):
+        batcher = MicroBatcher(maxsize=8).start()
+        batcher.drain(timeout=5)
+        batcher.stop()  # no error, no hang
