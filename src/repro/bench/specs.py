@@ -604,6 +604,51 @@ def _scaling_step(mode, workers):
     return run
 
 
+#: The chaos-tax plan for the ``faulty[w2]`` point: a burst of connection
+#: resets (each benches a live worker until the supervisor re-rings it)
+#: plus two stalled solves.  Counter-triggered, so every run replays the
+#: same storm; all of it is survivable, so ``ok`` must stay True.
+_SCALING_FAULT_PLAN = {
+    "seed": 5,
+    "faults": [
+        {"site": "router.send", "kind": "conn_reset", "after": 5, "count": 3},
+        {"site": "worker.pre_solve", "kind": "slow", "after": 2, "count": 2,
+         "delay_s": 0.2},
+    ],
+}
+
+
+def _scaling_faulty_step(workers):
+    """The cached sweep with the fault plan armed: same traffic as
+    ``cached[wN]``, so the rps gap between the two points is the price of
+    riding out the injected storm (retries, failovers, re-ring ticks)."""
+
+    def run(prepared):
+        import os
+
+        from ..service.loadgen import sweep_workers
+
+        ((_, result),) = sweep_workers(
+            [workers], prepared["cached"], requests=prepared["requests"],
+            concurrency=4,
+            router_config={
+                "fault_plan": _SCALING_FAULT_PLAN,
+                "request_timeout": 5.0,
+                "retries": 1,
+            },
+        )
+        return {
+            "rps": result.throughput_rps,
+            "p95_ms": result.latency_ms(95),
+            "ok": result.errors == 0,
+            "workers": workers,
+            "cpus": os.cpu_count() or 1,
+        }
+
+    run.__name__ = f"scaling[faulty w={workers}]"
+    return run
+
+
 register_bench(BenchSpec(
     name="service_scaling",
     title="Sharded solve service: throughput vs worker count (cached vs cold)",
@@ -612,7 +657,7 @@ register_bench(BenchSpec(
         _call(f"{mode}[w{workers}]", _scaling_step(mode, workers))
         for mode in ("cached", "cold")
         for workers in (1, 2, 4)
-    ),
+    ) + (_call("faulty[w2]", _scaling_faulty_step(2)),),
     # Size 60 is shared between full and quick (like service_throughput)
     # so CI can `--quick --compare` the committed artifact.
     sizes=(60, 120),

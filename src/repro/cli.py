@@ -236,6 +236,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=Path, default=None,
         help="spill evicted results to this directory (persistent warm cache)",
     )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="router-to-worker timeout in seconds; a slow worker is retried, "
+             "then the request fails over (default: no timeout; --workers > 1 only)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=2,
+        help="same-worker retries after a timeout before failing over (default 2)",
+    )
+    p_serve.add_argument(
+        "--backoff-ms", type=float, default=50.0,
+        help="base of the seeded exponential retry backoff (default 50 ms)",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay a fault plan against an in-process fleet and verify "
+             "the service invariants (zero lost requests, byte-identical answers)",
+    )
+    p_chaos.add_argument("plan", type=Path, metavar="PLAN.json",
+                         help="FaultPlan file: {\"seed\": N, \"faults\": [...]}")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="fleet size (default 2; 1 = single-process seams only)")
+    p_chaos.add_argument("--requests", type=int, default=40,
+                         help="total requests driven through the fleet (default 40)")
+    p_chaos.add_argument("--distinct", type=int, default=None,
+                         help="distinct payloads cycled (default min(requests, 8))")
+    p_chaos.add_argument("--rects", type=int, default=40,
+                         help="rectangles per generated instance (default 40)")
+    p_chaos.add_argument("--concurrency", type=int, default=4,
+                         help="closed-loop client threads (default 4)")
+    p_chaos.add_argument("--algorithm", default="bottom_left",
+                         help="algorithm solved per request (default bottom_left)")
+    p_chaos.add_argument("--seed", type=int, default=0, help="payload RNG seed")
+    p_chaos.add_argument("--request-timeout", type=float, default=None,
+                         help="router-to-worker timeout in seconds")
+    p_chaos.add_argument("--retries", type=int, default=2,
+                         help="same-worker retries after a timeout (default 2)")
+    p_chaos.add_argument("--backoff-ms", type=float, default=50.0,
+                         help="retry backoff base (default 50 ms)")
+    p_chaos.add_argument("--max-restarts", type=int, default=5,
+                         help="supervisor respawn budget per worker (default 5)")
+    p_chaos.add_argument("--cache-bytes", type=int, default=None,
+                         help="per-worker cache memory budget in bytes")
+    p_chaos.add_argument("--cache-dir", type=Path, default=None,
+                         help="shared L2 spill directory for the fleet")
+    p_chaos.add_argument("--allow-degraded", action="store_true",
+                         help="waive the /healthz-recovers-to-ok check (for plans "
+                              "that deliberately exhaust max_restarts)")
+    p_chaos.add_argument("--health-deadline", type=float, default=30.0,
+                         help="longest wait for /healthz to recover (default 30 s)")
+    p_chaos.add_argument("--output", type=Path, default=None,
+                         help="write the chaos report JSON here")
 
     p_load = sub.add_parser("loadtest", help="drive a solve service with generated traffic")
     p_load.add_argument(
@@ -620,6 +673,17 @@ def _build_server(args):
             "workers already provide process parallelism "
             "(use --backend thread or drop --backend)"
         )
+    retries = getattr(args, "retries", 2)
+    if retries < 0:
+        raise _CliInputError(f"--retries must be >= 0, got {retries}")
+    backoff_ms = getattr(args, "backoff_ms", 50.0)
+    if backoff_ms < 0:
+        raise _CliInputError(f"--backoff-ms must be >= 0, got {backoff_ms:g}")
+    request_timeout = getattr(args, "request_timeout", None)
+    if request_timeout is not None and request_timeout <= 0:
+        raise _CliInputError(
+            f"--request-timeout must be > 0, got {request_timeout:g}"
+        )
     cache_bytes = DEFAULT_CACHE_BYTES if args.cache_bytes is None else args.cache_bytes
     config = dict(
         backend=args.backend,
@@ -635,7 +699,13 @@ def _build_server(args):
             # Validate the per-worker config here (exit 2 at the CLI)
             # rather than inside the first spawned child (exit 1 + noise).
             SolveServer(**config).close()
-            return RouterServer(workers=workers, worker_config=config)
+            return RouterServer(
+                workers=workers,
+                worker_config=config,
+                request_timeout=request_timeout,
+                retries=retries,
+                backoff_ms=backoff_ms,
+            )
         return SolveServer(**config)
     except (InvalidInstanceError, OSError) as exc:
         raise _CliInputError(str(exc)) from exc
@@ -692,6 +762,52 @@ def _cmd_serve(args, out) -> int:
         server.close()
     print("drained, exiting", file=out)
     return 0
+
+
+def _cmd_chaos(args, out) -> int:
+    import json as _json
+
+    from .core.errors import ReproError as _ReproError
+    from .service.chaos import run_chaos
+    from .service.faults import FaultPlan
+
+    if args.requests < 1:
+        raise _CliInputError(f"--requests must be positive, got {args.requests}")
+    if args.concurrency < 1:
+        raise _CliInputError(f"--concurrency must be positive, got {args.concurrency}")
+    if args.rects < 1:
+        raise _CliInputError(f"--rects must be positive, got {args.rects}")
+    try:
+        plan = FaultPlan.load(args.plan)
+    except _ReproError as exc:
+        raise _CliInputError(str(exc)) from exc
+    try:
+        report = run_chaos(
+            plan,
+            workers=args.workers,
+            requests=args.requests,
+            distinct=args.distinct,
+            n_rects=args.rects,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            request_timeout=args.request_timeout,
+            retries=args.retries,
+            backoff_ms=args.backoff_ms,
+            max_restarts=args.max_restarts,
+            cache_bytes=args.cache_bytes,
+            cache_dir=args.cache_dir,
+            expect_final_ok=not args.allow_degraded,
+            health_deadline_s=args.health_deadline,
+        )
+    except (_ReproError, OSError, RuntimeError) as exc:
+        raise _CliInputError(str(exc)) from exc
+    for line in report.summary_lines():
+        print(line, file=out, flush=True)
+    if args.output is not None:
+        args.output.write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.output}", file=out)
+    return 0 if report.passed else 1
 
 
 def _cmd_loadtest(args, out) -> int:
@@ -852,6 +968,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "simulate": lambda: _cmd_simulate(args, out),
         "bench": lambda: _cmd_bench(args, out),
         "serve": lambda: _cmd_serve(args, out),
+        "chaos": lambda: _cmd_chaos(args, out),
         "loadtest": lambda: _cmd_loadtest(args, out),
     }
     handler = commands[args.command]  # argparse enforces the choices

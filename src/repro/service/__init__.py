@@ -1,6 +1,6 @@
 """Serving subsystem: turn the solver library into a long-running service.
 
-Six layers, composed bottom-up (each is independently testable):
+Seven layers, composed bottom-up (each is independently testable):
 
 * :mod:`repro.service.cache`   — content-addressed result cache
   (thread-safe LRU over response bytes, keyed by
@@ -17,7 +17,11 @@ Six layers, composed bottom-up (each is independently testable):
   each request's ``result_key`` over the worker fleet, fails over around
   the ring, respawns dead workers; surfaced as ``repro serve --workers N``;
 * :mod:`repro.service.loadgen` — closed-/open-loop load generator
-  surfaced as ``repro loadtest`` (including ``--workers-sweep``).
+  surfaced as ``repro loadtest`` (including ``--workers-sweep``);
+* :mod:`repro.service.faults` + :mod:`repro.service.chaos` — the
+  correctness harness over all of the above: deterministic
+  :class:`FaultPlan` schedules injected at explicit seams in every
+  layer, replayed and verified by ``repro chaos PLAN.json``.
 
 Heavy modules are imported lazily by their consumers; importing
 ``repro.service`` itself stays cheap so the CLI can always build its
@@ -25,6 +29,8 @@ parser.
 """
 
 from .cache import DEFAULT_CACHE_BYTES, CacheStats, ResultCache
+from .chaos import ChaosReport, run_chaos
+from .faults import FAULT_SITES, FaultInjector, FaultPlan, FaultSpec
 from .queue import BackpressureError, MicroBatcher, QueueStats
 from .router import HashRing, RouterServer
 from .server import InProcessServer, SolveServer, encode_report
@@ -41,4 +47,10 @@ __all__ = [
     "encode_report",
     "HashRing",
     "RouterServer",
+    "FAULT_SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "ChaosReport",
+    "run_chaos",
 ]

@@ -14,9 +14,19 @@ server would send), not to live report objects:
 Eviction is LRU by access order.  With a ``spill_dir``, evicted entries
 are written to disk (one ``<sha256(key)>.json`` file each) and a later
 ``get`` quietly promotes them back into memory — a warm restart directory
-doubles as a second cache tier.  All counters needed by ``GET /metrics``
-(hits, misses, evictions, spills, spill hits) are maintained under the
-same lock that guards the map, so a stats snapshot is always consistent.
+doubles as a second cache tier.  Spill files carry an integrity header
+(``repro-spill/1 <sha256-of-payload>``): a truncated or garbage file —
+torn write, full disk, stray editor — fails verification and is treated
+as a *miss* (recompute + overwrite), never an error.  All counters needed
+by ``GET /metrics`` (hits, misses, evictions, spills, spill hits,
+corruptions) are maintained under the same lock that guards the map, so a
+stats snapshot is always consistent.
+
+The two disk seams (:meth:`ResultCache.get`'s spill read and
+:meth:`ResultCache._spill`) accept a
+:class:`~repro.service.faults.FaultInjector`, so the chaos suite can
+schedule I/O errors, disk-full writes, and corrupted reads
+deterministically.
 """
 
 from __future__ import annotations
@@ -28,11 +38,15 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from ..core.errors import InvalidInstanceError
+from .faults import FaultInjector, as_injector
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_BYTES"]
 
 #: Default in-memory budget: plenty for ~10k typical solve payloads.
 DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Integrity-header magic of the spill file format.
+SPILL_MAGIC = b"repro-spill/1"
 
 
 @dataclass(frozen=True)
@@ -44,6 +58,7 @@ class CacheStats:
     evictions: int
     spills: int
     spill_hits: int
+    corruptions: int
     entries: int
     bytes: int
     max_bytes: int
@@ -75,6 +90,7 @@ class ResultCache:
         max_bytes: int = DEFAULT_CACHE_BYTES,
         *,
         spill_dir: Path | str | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if max_bytes < 0:
             raise InvalidInstanceError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -82,6 +98,7 @@ class ResultCache:
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._faults = as_injector(faults)
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._bytes = 0
@@ -90,6 +107,7 @@ class ResultCache:
         self._evictions = 0
         self._spills = 0
         self._spill_hits = 0
+        self._corruptions = 0
 
     # -- key/value plumbing --------------------------------------------
 
@@ -99,17 +117,40 @@ class ResultCache:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
         return self.spill_dir / f"{digest}.json"
 
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        """Wrap ``payload`` in the integrity header a spill file carries."""
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        return SPILL_MAGIC + b" " + digest + b"\n" + payload
+
+    @staticmethod
+    def _unframe(raw: bytes) -> bytes | None:
+        """The verified payload of a spill file, or ``None`` if the file
+        is truncated, garbage, or from an unframed format."""
+        head, sep, payload = raw.partition(b"\n")
+        if not sep:
+            return None
+        parts = head.split()
+        if len(parts) != 2 or parts[0] != SPILL_MAGIC:
+            return None
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != parts[1]:
+            return None
+        return payload
+
     def _spill(self, key: str, payload: bytes) -> None:
         """Write one evicted/oversized payload to disk (no lock held).
 
-        Spill failures (full disk, permissions) drop the entry silently —
-        the cache is an accelerator, never a source of truth, so losing an
-        entry only costs a future re-solve.  Concurrent writers of the
-        same key write identical content, so last-writer-wins is safe.
+        Spill failures (full disk, permissions — or their injected
+        equivalents) drop the entry silently — the cache is an
+        accelerator, never a source of truth, so losing an entry only
+        costs a future re-solve.  Concurrent writers of the same key
+        write identical content, so last-writer-wins is safe.
         """
         assert self.spill_dir is not None
         try:
-            self._spill_path(key).write_bytes(payload)
+            if self._faults is not None:
+                self._faults.fire_sync("cache.spill_write")
+            self._spill_path(key).write_bytes(self._frame(payload))
         except OSError:
             return
         with self._lock:
@@ -146,21 +187,43 @@ class ResultCache:
                 self._hits += 1
                 return payload
         if self.spill_dir is not None:
-            try:
-                payload = self._spill_path(key).read_bytes()
-            except OSError:
-                payload = None
-            if payload is not None:
-                with self._lock:
-                    self._spill_hits += 1
-                    self._hits += 1
-                if len(payload) <= self.max_bytes:
-                    # Promote into memory; an entry the budget can't hold
-                    # (including the disk-only max_bytes=0 configuration)
-                    # stays on disk — re-spilling identical bytes would
-                    # turn every disk hit into a redundant write.
-                    self.put(key, payload)
-                return payload
+            kinds = (
+                {spec.kind for spec in self._faults.check("cache.spill_read")}
+                if self._faults is not None
+                else set()
+            )
+            raw: bytes | None = None
+            if "io_error" not in kinds:
+                try:
+                    raw = self._spill_path(key).read_bytes()
+                except OSError:
+                    raw = None
+            if raw is not None and "corrupt" in kinds:
+                raw = raw[: len(raw) // 2]
+            if raw is not None:
+                payload = self._unframe(raw)
+                if payload is None:
+                    # Torn write / garbage / stale format: a corrupt spill
+                    # file is a miss, never an error.  Drop it so the
+                    # recomputed result overwrites it cleanly.
+                    with self._lock:
+                        self._corruptions += 1
+                    try:
+                        self._spill_path(key).unlink()
+                    except OSError:
+                        pass
+                else:
+                    with self._lock:
+                        self._spill_hits += 1
+                        self._hits += 1
+                    if len(payload) <= self.max_bytes:
+                        # Promote into memory; an entry the budget can't
+                        # hold (including the disk-only max_bytes=0
+                        # configuration) stays on disk — re-spilling
+                        # identical bytes would turn every disk hit into
+                        # a redundant write.
+                        self.put(key, payload)
+                    return payload
         with self._lock:
             self._misses += 1
         return None
@@ -214,6 +277,7 @@ class ResultCache:
                 evictions=self._evictions,
                 spills=self._spills,
                 spill_hits=self._spill_hits,
+                corruptions=self._corruptions,
                 entries=len(self._entries),
                 bytes=self._bytes,
                 max_bytes=self.max_bytes,

@@ -1,0 +1,321 @@
+"""Chaos scenario runner: replay a fault plan, verify the service invariants.
+
+``repro chaos PLAN.json`` (and the programmatic :func:`run_chaos`) stands
+up an in-process fleet with the plan armed, drives a deterministic
+closed-loop workload through it, and checks the promises the service
+makes about failures:
+
+1. **nothing lost** — every accepted request is answered 200 (failover,
+   retries, and respawn absorb the injected faults; a 5xx or transport
+   error to the client is a violation);
+2. **byte-identical** — each answer equals a fault-free solve of the
+   same payload on every deterministic field (``wall_time``, the one
+   measured-not-derived field, is normalised out);
+3. **recovery** — ``/healthz`` reports ``ok`` again once the injected
+   storm has passed (suppress with ``expect_final_ok=False`` for plans
+   that deliberately exhaust ``max_restarts``).
+
+The baseline comes straight from :func:`repro.engine.run` +
+:func:`~repro.service.server.encode_report` — the exact computation a
+worker performs — so no second fleet is needed and the comparison cannot
+be polluted by the very faults under test.
+
+Determinism: payloads are seeded (:func:`repro.service.loadgen.
+solve_payloads`), fault triggering is traversal-counter-based
+(:mod:`repro.service.faults`), and the router's backoff jitter derives
+from the plan's ``seed`` — replaying one plan replays one scenario.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .faults import FaultPlan
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run; ``passed`` iff no invariant broke."""
+
+    plan: dict
+    workers: int
+    requests: int
+    answered: int
+    lost: int
+    mismatched: int
+    retries: int
+    request_retries: int
+    faults_injected: int
+    final_health: str
+    recovered: bool
+    violations: list[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan,
+            "workers": self.workers,
+            "requests": self.requests,
+            "answered": self.answered,
+            "lost": self.lost,
+            "mismatched": self.mismatched,
+            "retries": self.retries,
+            "request_retries": self.request_retries,
+            "faults_injected": self.faults_injected,
+            "final_health": self.final_health,
+            "recovered": self.recovered,
+            "violations": list(self.violations),
+            "duration_s": self.duration_s,
+            "passed": self.passed,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"chaos: {self.requests} requests over {self.workers} worker(s), "
+            f"{self.faults_injected} fault(s) injected",
+            f"answered={self.answered} lost={self.lost} "
+            f"mismatched={self.mismatched} retries={self.request_retries} "
+            f"failovers={self.retries}",
+            f"final /healthz: {self.final_health}",
+        ]
+        if self.passed:
+            lines.append("PASS: zero lost requests, byte-identical payloads")
+        else:
+            lines.append("FAIL:")
+            lines.extend(f"  - {violation}" for violation in self.violations)
+        return lines
+
+
+def _normalize(raw: bytes):
+    """A response payload as comparable structure: ``wall_time`` zeroed."""
+    doc = json.loads(raw)
+    if isinstance(doc, dict) and isinstance(doc.get("report"), dict):
+        doc["report"]["wall_time"] = 0.0
+    return doc
+
+
+def _baseline(payloads: list[bytes]) -> list[Any]:
+    """Fault-free reference answers, computed exactly as a worker would."""
+    from ..engine import run as engine_run
+    from .server import encode_report, parse_json_body, resolve_solve_request
+
+    out = []
+    for body in payloads:
+        _key, name, params, instance = resolve_solve_request(parse_json_body(body))
+        report = engine_run(instance, name, params=params)
+        out.append(_normalize(encode_report(report)))
+    return out
+
+
+def _drive(
+    port: int, payloads: list[bytes], requests: int, concurrency: int
+) -> list[tuple[int, bytes | None]]:
+    """Closed-loop drive recording ``(status, body)`` per request.
+
+    Transport-level failures (the server never answered) record status
+    599 — from the invariant's point of view they are lost requests just
+    like a 5xx.
+    """
+    outcomes: list[tuple[int, bytes | None]] = [(599, None)] * requests
+    counter = itertools.count()
+
+    def worker() -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            while True:
+                i = next(counter)
+                if i >= requests:
+                    break
+                body = payloads[i % len(payloads)]
+                try:
+                    conn.request(
+                        "POST",
+                        "/solve",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    outcomes[i] = (response.status, response.read())
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"chaos-client-{i}", daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+def _get_json(port: int, path: str) -> dict | None:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        if response.status != 200:
+            return None
+        return json.loads(response.read())
+    except (OSError, http.client.HTTPException, json.JSONDecodeError):
+        return None
+    finally:
+        conn.close()
+
+
+def run_chaos(
+    plan: FaultPlan | Mapping[str, Any] | str | Path,
+    *,
+    workers: int = 2,
+    requests: int = 40,
+    distinct: int | None = None,
+    n_rects: int = 40,
+    concurrency: int = 4,
+    seed: int = 0,
+    algorithm: str = "bottom_left",
+    request_timeout: float | None = None,
+    retries: int = 2,
+    backoff_ms: float = 50.0,
+    max_restarts: int = 5,
+    cache_bytes: int | None = None,
+    cache_dir: Path | str | None = None,
+    expect_final_ok: bool = True,
+    health_deadline_s: float = 30.0,
+) -> ChaosReport:
+    """Replay ``plan`` against an in-process fleet and verify invariants.
+
+    ``workers >= 2`` runs the full sharded stack (router + spawned worker
+    processes) with the plan threaded through both sides of the wire;
+    ``workers == 1`` arms the in-process seams on a single
+    :class:`~repro.service.server.SolveServer` (router-side sites are
+    inert there).  ``expect_final_ok=False`` waives the recovery check
+    for plans that intentionally exhaust ``max_restarts`` — lost-request
+    and byte-identity checks still apply.
+    """
+    from ..core.errors import InvalidInstanceError
+    from .loadgen import solve_payloads
+    from .router import RouterServer
+    from .server import InProcessServer, SolveServer
+
+    if isinstance(plan, (str, Path)):
+        plan = FaultPlan.load(plan)
+    else:
+        plan = FaultPlan.from_dict(plan)
+    if workers < 1:
+        raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
+    if requests < 1:
+        raise InvalidInstanceError(f"requests must be >= 1, got {requests}")
+
+    distinct = min(requests, 8) if distinct is None else min(distinct, requests)
+    payloads = solve_payloads(distinct, n_rects=n_rects, seed=seed, algorithm=algorithm)
+    baseline = _baseline(payloads)
+
+    started = time.monotonic()
+    if workers == 1:
+        config: dict[str, Any] = {"faults": plan.to_dict()}
+        if cache_bytes is not None:
+            config["cache_bytes"] = cache_bytes
+        if cache_dir is not None:
+            config["cache_dir"] = cache_dir
+        server: Any = SolveServer(**config)
+    else:
+        worker_config: dict[str, Any] = {}
+        if cache_bytes is not None:
+            worker_config["cache_bytes"] = cache_bytes
+        if cache_dir is not None:
+            worker_config["cache_dir"] = cache_dir
+        server = RouterServer(
+            workers=workers,
+            worker_config=worker_config,
+            max_restarts=max_restarts,
+            request_timeout=request_timeout,
+            retries=retries,
+            backoff_ms=backoff_ms,
+            fault_plan=plan,
+        )
+
+    with InProcessServer(server) as srv:
+        port = srv.port
+        outcomes = _drive(port, payloads, requests, concurrency)
+
+        # Give the supervisor room to finish any in-flight respawn, then
+        # read the fleet's verdict on itself.
+        final_health = "unreachable"
+        recovered = False
+        deadline = time.monotonic() + health_deadline_s
+        while time.monotonic() < deadline:
+            health = _get_json(port, "/healthz")
+            if health is not None:
+                final_health = health.get("status", "unreachable")
+                if final_health == "ok":
+                    recovered = True
+                    break
+            if not expect_final_ok:
+                # No point burning the deadline when degraded is expected.
+                break
+            time.sleep(0.2)
+
+        metrics = _get_json(port, "/metrics") or {}
+
+    router_stats = metrics.get("router", {})
+    faults_injected = router_stats.get(
+        "faults_injected", metrics.get("faults", {}).get("injected", 0)
+    )
+
+    lost = sum(1 for status, _ in outcomes if status != 200)
+    mismatched = 0
+    for i, (status, raw) in enumerate(outcomes):
+        if status == 200 and raw is not None:
+            if _normalize(raw) != baseline[i % len(payloads)]:
+                mismatched += 1
+
+    violations: list[str] = []
+    if lost:
+        statuses = sorted({status for status, _ in outcomes if status != 200})
+        violations.append(
+            f"{lost} of {requests} accepted requests were not answered 200 "
+            f"(saw statuses {statuses})"
+        )
+    if mismatched:
+        violations.append(
+            f"{mismatched} answered requests differ from the fault-free "
+            "baseline (beyond wall_time)"
+        )
+    if expect_final_ok and not recovered:
+        violations.append(
+            f"/healthz did not recover to ok within {health_deadline_s:g}s "
+            f"(last status: {final_health})"
+        )
+
+    return ChaosReport(
+        plan=plan.to_dict(),
+        workers=workers,
+        requests=requests,
+        answered=requests - lost,
+        lost=lost,
+        mismatched=mismatched,
+        retries=int(router_stats.get("retries", 0)),
+        request_retries=int(router_stats.get("request_retries", 0)),
+        faults_injected=int(faults_injected),
+        final_health=final_health,
+        recovered=recovered,
+        violations=violations,
+        duration_s=time.monotonic() - started,
+    )

@@ -391,6 +391,7 @@ def sweep_workers(
     requests: int,
     concurrency: int = 4,
     worker_config: dict | None = None,
+    router_config: dict | None = None,
 ) -> list[tuple[int, LoadResult]]:
     """Closed-loop load against a fresh in-process fleet per worker count.
 
@@ -402,6 +403,11 @@ def sweep_workers(
     *same* payload cycle, and torn down, so the only variable across
     steps is the worker count.  Returns ``(count, result)`` pairs in
     input order.
+
+    ``router_config`` holds fleet-only :class:`RouterServer` kwargs
+    (``fault_plan``, ``request_timeout``, ``retries``, ``backoff_ms``,
+    ``max_restarts``); it is ignored on the ``count == 1`` single-process
+    path, which has no router.
     """
     from .router import RouterServer
     from .server import InProcessServer, SolveServer
@@ -411,12 +417,13 @@ def sweep_workers(
     if any(count < 1 for count in counts):
         raise InvalidInstanceError(f"worker counts must be >= 1, got {list(counts)}")
     config = dict(worker_config or {})
+    fleet_kwargs = dict(router_config or {})
     results: list[tuple[int, LoadResult]] = []
     for count in counts:
         server = (
             SolveServer(**config)
             if count == 1
-            else RouterServer(workers=count, worker_config=config)
+            else RouterServer(workers=count, worker_config=config, **fleet_kwargs)
         )
         with InProcessServer(server) as srv:
             result = run_closed_loop(

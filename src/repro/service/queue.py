@@ -38,6 +38,7 @@ from typing import Any, Mapping
 
 from ..core.errors import InvalidInstanceError, ReproError
 from ..core.instance import StripPackingInstance
+from .faults import FaultInjector
 
 __all__ = ["BackpressureError", "QueueStats", "SolveRequest", "MicroBatcher"]
 
@@ -110,6 +111,7 @@ class MicroBatcher:
         max_batch: int = 16,
         max_wait_s: float = 0.002,
         maxsize: int = 512,
+        faults: FaultInjector | None = None,
     ) -> None:
         if max_batch < 1:
             raise InvalidInstanceError(f"max_batch must be >= 1, got {max_batch}")
@@ -128,6 +130,7 @@ class MicroBatcher:
         from ..engine import resolve_executor
 
         self._executor = resolve_executor(backend, jobs)
+        self._faults = faults
         self.backend = backend
         self.jobs = jobs
         self.max_batch = int(max_batch)
@@ -329,6 +332,11 @@ class MicroBatcher:
         """
         from ..engine import solve_many
 
+        if self._faults is not None:
+            # The drain-tick seam: a scheduled `stall` holds the batch on
+            # the batcher thread — queued work ages exactly as it would
+            # behind a wedged executor — without touching the futures.
+            self._faults.fire_sync("queue.drain")
         with self._lock:
             self._batches += 1
             self._max_batch_seen = max(self._max_batch_seen, len(batch))

@@ -11,13 +11,28 @@ effective L1 cache and its in-flight coalescing still collapses
 concurrent identical misses, even though the fleet shares nothing but a
 disk-spill directory (the L2 tier).
 
-Failure handling is ring-shaped.  A connection error marks the worker
-dead, removes it from the ring, and retries the request on the key's ring
-successor — an accepted request is never dropped just because its shard
-died mid-solve.  A supervisor task respawns dead workers (bounded by
-``max_restarts``) and splices them back into the ring; ``/healthz``
-reports ``degraded`` while the fleet is short-handed and ``ok`` again
-after recovery, with the restart count alongside.
+Failure handling is ring-shaped, and it distinguishes *dead* from
+*slow*.  A connection-level failure (refused, reset, truncated response)
+marks the worker dead, removes it from the ring, and retries the request
+on the key's ring successor — an accepted request is never dropped just
+because its shard died mid-solve.  A per-request timeout
+(``request_timeout``, off by default) instead means the worker is merely
+slow: the router retries the *same* worker with seeded exponential
+backoff + jitter up to ``retries`` times, and only then walks to the
+successor — without de-ringing a worker that is still computing.  Every
+failover logs one structured line (``repro.service.router`` logger) with
+the worker id and the classified reason.  A supervisor task respawns
+dead workers (bounded by ``max_restarts``), splices them back into the
+ring, and re-rings live workers that transient connection faults
+wrongly benched; ``/healthz`` reports ``degraded`` while the fleet is
+short-handed and ``ok`` again after recovery, with the restart count
+alongside.
+
+For chaos testing, a :class:`~repro.service.faults.FaultPlan` passed as
+``fault_plan`` arms deterministic injection seams on both sides of the
+wire: the router's client send/recv and worker spawn (this module), and
+the worker's pre/post-solve, cache-spill, and queue-drain seams (the
+plan is forwarded inside ``worker_config``).
 
 The router adds a second coalescing layer above the workers: concurrent
 identical misses collapse at the front door too, so a worker respawn
@@ -35,11 +50,15 @@ import asyncio
 import bisect
 import hashlib
 import json
+import logging
 import multiprocessing
+import random
 import time
 from http import HTTPStatus
 from typing import Any, Iterable, Mapping
 
+from ..core.errors import InvalidInstanceError
+from .faults import FaultInjector, FaultPlan
 from .server import (
     HttpServerBase,
     PROMETHEUS_CONTENT_TYPE,
@@ -54,6 +73,9 @@ from .server import (
 from .worker import worker_main
 
 __all__ = ["HashRing", "WorkerHandle", "RouterServer"]
+
+#: One structured line per failover / rejoin decision.
+log = logging.getLogger("repro.service.router")
 
 #: Virtual nodes per worker: enough to spread the key space within a few
 #: percent of even at N <= 16 workers while keeping ring edits cheap.
@@ -150,17 +172,28 @@ class WorkerHandle:
     daemonic, so a crashed router can never leak solver processes.
     """
 
-    def __init__(self, worker_id: int, config: Mapping[str, Any]) -> None:
+    def __init__(
+        self,
+        worker_id: int,
+        config: Mapping[str, Any],
+        faults: FaultInjector | None = None,
+    ) -> None:
         self.worker_id = worker_id
         self.config = dict(config)
         self.port: int | None = None
         self.process = None
         self.restarts = 0
+        self._faults = faults
+        self._closed = False
         self._ctx = multiprocessing.get_context("spawn")
 
     def spawn(self, timeout: float = 60.0) -> "WorkerHandle":
         """Start the process and wait for its bind handshake (blocking —
         callers run this in an executor to keep the event loop free)."""
+        if self._faults is not None:
+            # The worker.spawn seam: an injected `error` makes this
+            # attempt fail exactly like a child that died during startup.
+            self._faults.fire_sync("worker.spawn", worker=self.worker_id)
         recv, send = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_main,
@@ -192,6 +225,11 @@ class WorkerHandle:
             raise RuntimeError(f"worker {self.worker_id} failed to start: {message['error']}")
         self.port = message["port"]
         self.process = process
+        if self._closed:
+            # shutdown() raced this spawn (SIGTERM mid-respawn): reap the
+            # fresh child instead of leaking it past the fleet teardown.
+            self.shutdown(timeout=5)
+            raise RuntimeError(f"worker {self.worker_id} was shut down during spawn")
         return self
 
     def alive(self) -> bool:
@@ -200,6 +238,7 @@ class WorkerHandle:
     def shutdown(self, timeout: float = 10.0) -> None:
         """Terminate (SIGTERM → the worker's graceful drain) and reap;
         escalate to SIGKILL only past ``timeout``."""
+        self._closed = True
         process = self.process
         if process is None:
             return
@@ -223,18 +262,41 @@ class _WorkerClient:
 
     MAX_IDLE = 32
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        worker_id: int | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
         self._host = host
         self._port = port
+        self._worker_id = worker_id
+        self._faults = faults
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     async def request(
         self, method: str, path: str, body: bytes = b""
     ) -> tuple[int, dict[str, str], bytes]:
+        if self._faults is not None:
+            for spec in self._faults.check("router.send", worker=self._worker_id):
+                if spec.kind == "slow":
+                    await asyncio.sleep(spec.delay_s)
+                elif spec.kind == "conn_reset":
+                    raise ConnectionResetError(
+                        f"injected connection reset at router.send"
+                        f" (worker {self._worker_id})"
+                    )
         while self._idle:
             conn = self._idle.pop()
             try:
                 return await self._round_trip(conn, method, path, body)
+            except asyncio.CancelledError:
+                # A wait_for timeout cancels us mid-round-trip; the popped
+                # connection is half-used and must not return to the pool.
+                self._discard(conn)
+                raise
             except (ConnectionError, asyncio.IncompleteReadError, OSError):
                 self._discard(conn)
         conn = await asyncio.open_connection(self._host, self._port)
@@ -267,6 +329,22 @@ class _WorkerClient:
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         payload = await reader.readexactly(int(headers.get("content-length", "0")))
+        if self._faults is not None:
+            for spec in self._faults.check("router.recv", worker=self._worker_id):
+                if spec.kind == "slow":
+                    await asyncio.sleep(spec.delay_s)
+                elif spec.kind == "conn_reset":
+                    self._discard(conn)
+                    raise ConnectionResetError(
+                        f"injected connection reset at router.recv"
+                        f" (worker {self._worker_id})"
+                    )
+                elif spec.kind == "truncate":
+                    # The bytes a half-written response would have left us.
+                    self._discard(conn)
+                    raise asyncio.IncompleteReadError(
+                        payload[: len(payload) // 2], len(payload)
+                    )
         if headers.get("connection", "keep-alive").lower() == "close":
             self._discard(conn)
         elif len(self._idle) < self.MAX_IDLE:
@@ -314,21 +392,45 @@ class RouterServer(HttpServerBase):
         replicas: int = DEFAULT_REPLICAS,
         max_restarts: int = 5,
         spawn_timeout: float = 60.0,
+        request_timeout: float | None = None,
+        retries: int = 2,
+        backoff_ms: float = 50.0,
+        fault_plan: "FaultPlan | Mapping[str, Any] | None" = None,
     ) -> None:
         super().__init__()
         if workers < 1:
-            from ..core.errors import InvalidInstanceError
-
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise InvalidInstanceError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
+        if retries < 0:
+            raise InvalidInstanceError(f"retries must be >= 0, got {retries}")
+        if backoff_ms < 0:
+            raise InvalidInstanceError(f"backoff_ms must be >= 0, got {backoff_ms}")
         self.n_workers = int(workers)
         self.worker_config = dict(worker_config or {})
         self.max_restarts = int(max_restarts)
+        self.request_timeout = None if request_timeout is None else float(request_timeout)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_ms) / 1e3
+        plan = FaultPlan.from_dict(fault_plan) if fault_plan is not None else None
+        # The router keeps one injector for its own seams (client send/
+        # recv, worker spawn) and forwards the plan dict to every worker,
+        # where a second, worker-scoped injector drives the in-process
+        # seams.  The plan's seed also fixes the retry jitter, so a chaos
+        # run's backoff schedule replays exactly.
+        self.faults = FaultInjector(plan) if plan is not None else None
+        if plan is not None:
+            self.worker_config.setdefault("fault_plan", plan.to_dict())
+        self._retry_rng = random.Random(plan.seed if plan is not None else 0)
         self._spawn_timeout = float(spawn_timeout)
         self._handles: dict[int, WorkerHandle] = {}
         self._clients: dict[int, _WorkerClient] = {}
         self._ring = HashRing(replicas=replicas)
         self._inflight: dict[str, asyncio.Future] = {}
         self._retries = 0
+        self._request_retries = 0
         self._respawns_inflight: set[int] = set()
         self._supervisor: asyncio.Task | None = None
         self._closed = False
@@ -338,7 +440,10 @@ class RouterServer(HttpServerBase):
     async def _before_bind(self) -> None:
         """Spawn the whole fleet (in parallel) before accepting traffic."""
         loop = asyncio.get_running_loop()
-        handles = [WorkerHandle(i, self.worker_config) for i in range(self.n_workers)]
+        handles = [
+            WorkerHandle(i, self.worker_config, faults=self.faults)
+            for i in range(self.n_workers)
+        ]
         try:
             await asyncio.gather(
                 *(
@@ -352,9 +457,14 @@ class RouterServer(HttpServerBase):
             raise
         for handle in handles:
             self._handles[handle.worker_id] = handle
-            self._clients[handle.worker_id] = _WorkerClient("127.0.0.1", handle.port)
+            self._clients[handle.worker_id] = self._make_client(handle)
             self._ring.add(handle.worker_id)
         self._supervisor = loop.create_task(self._supervise())
+
+    def _make_client(self, handle: WorkerHandle) -> _WorkerClient:
+        return _WorkerClient(
+            "127.0.0.1", handle.port, worker_id=handle.worker_id, faults=self.faults
+        )
 
     async def _supervise(self) -> None:
         """Detect dead workers, respawn them, splice them back in."""
@@ -362,7 +472,15 @@ class RouterServer(HttpServerBase):
         while True:
             await asyncio.sleep(self.SUPERVISE_INTERVAL_S)
             for worker_id, handle in self._handles.items():
-                if handle.alive() or worker_id in self._respawns_inflight:
+                if worker_id in self._respawns_inflight:
+                    continue
+                if handle.alive():
+                    if worker_id not in self._ring:
+                        # A transient connection fault (e.g. an injected
+                        # reset) benched a worker whose process is fine —
+                        # the liveness probe puts it back in rotation.
+                        self._ring.add(worker_id)
+                        log.info("rejoin worker=%s reason=alive", worker_id)
                     continue
                 self._mark_dead(worker_id)
                 if handle.restarts >= self.max_restarts:
@@ -371,13 +489,21 @@ class RouterServer(HttpServerBase):
                 self._respawns_inflight.add(worker_id)
                 try:
                     await loop.run_in_executor(None, handle.spawn, self._spawn_timeout)
-                except Exception:
+                except Exception as exc:
                     # Spawn failed; the next tick retries (up to the cap).
+                    log.warning(
+                        "respawn-failed worker=%s attempt=%d error=%s",
+                        worker_id, handle.restarts, exc,
+                    )
                     continue
                 finally:
                     self._respawns_inflight.discard(worker_id)
-                self._clients[worker_id] = _WorkerClient("127.0.0.1", handle.port)
+                self._clients[worker_id] = self._make_client(handle)
                 self._ring.add(worker_id)
+                log.info(
+                    "respawned worker=%s restarts=%d port=%s",
+                    worker_id, handle.restarts, handle.port,
+                )
 
     def _mark_dead(self, worker_id: int) -> None:
         """Take a worker out of rotation (idempotent, loop-thread only)."""
@@ -429,15 +555,38 @@ class RouterServer(HttpServerBase):
 
     # -- routing ----------------------------------------------------------
 
+    @staticmethod
+    def _failure_reason(exc: BaseException) -> str:
+        """Classify one transport failure for the structured failover log."""
+        if isinstance(exc, ConnectionRefusedError):
+            return "connection-refused"
+        if isinstance(exc, ConnectionResetError):
+            return "connection-reset"
+        if isinstance(exc, asyncio.IncompleteReadError):
+            return "truncated-response"
+        return type(exc).__name__
+
     async def _forward(self, key: str, path: str, body: bytes):
         """Send one request to ``key``'s shard, failing over around the ring.
 
         Returns ``(status, headers, payload)`` from the first worker that
-        answers.  Connection-level failures mark the worker dead and walk
-        to the ring successor; only an empty ring past the failover
+        answers.  Failures are classified, not pooled:
+
+        * a **connection-level** failure (refused, reset, truncated
+          response — the worker process is gone or its socket is broken)
+          marks the worker dead, logs the reason, and walks to the ring
+          successor immediately;
+        * a **timeout** (``request_timeout`` elapsed — the worker is
+          alive but slow, possibly mid-solve) retries the *same* worker
+          up to ``retries`` times with seeded exponential backoff +
+          jitter, then steps to the successor for this request only —
+          the slow worker stays in the ring.
+
+        Only an empty ring (or unbroken timeouts) past the failover
         deadline surfaces as 503.
         """
         deadline = time.monotonic() + self.FAILOVER_TIMEOUT_S
+        timed_out: set[int] = set()
         while True:
             order = self._ring.preference(key)
             if not order:
@@ -448,18 +597,56 @@ class RouterServer(HttpServerBase):
                 # The supervisor may be mid-respawn; give it a beat.
                 await asyncio.sleep(0.05)
                 continue
-            worker_id = order[0]
+            candidates = [w for w in order if w not in timed_out]
+            if not candidates:
+                # Every live worker exhausted its timeout budget for this
+                # request; start a fresh pass rather than 503 a fleet
+                # that is merely slow.
+                timed_out.clear()
+                candidates = order
+            worker_id = candidates[0]
             client = self._clients[worker_id]
-            try:
-                return await client.request("POST", path, body)
-            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
-                self._retries += 1
-                self._mark_dead(worker_id)
-                if time.monotonic() >= deadline:
-                    raise _BadRequest(
-                        HTTPStatus.SERVICE_UNAVAILABLE,
-                        f"worker {worker_id} unavailable: {exc}",
+            attempt = 0
+            while True:
+                try:
+                    if self.request_timeout is not None:
+                        return await asyncio.wait_for(
+                            client.request("POST", path, body), self.request_timeout
+                        )
+                    return await client.request("POST", path, body)
+                except asyncio.TimeoutError:
+                    # NB: must precede the OSError family — TimeoutError
+                    # is an OSError subclass on 3.11+.
+                    self._request_retries += 1
+                    if time.monotonic() >= deadline:
+                        raise _BadRequest(
+                            HTTPStatus.SERVICE_UNAVAILABLE,
+                            f"worker {worker_id} timed out past the failover deadline",
+                        )
+                    if attempt >= self.retries:
+                        self._retries += 1
+                        timed_out.add(worker_id)
+                        log.warning(
+                            "failover worker=%s reason=timeout attempts=%d path=%s",
+                            worker_id, attempt + 1, path,
+                        )
+                        break
+                    delay = self.backoff_s * (2**attempt) * (0.5 + self._retry_rng.random())
+                    attempt += 1
+                    await asyncio.sleep(delay)
+                except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                    self._retries += 1
+                    self._mark_dead(worker_id)
+                    log.warning(
+                        "failover worker=%s reason=%s path=%s error=%s",
+                        worker_id, self._failure_reason(exc), path, exc,
                     )
+                    if time.monotonic() >= deadline:
+                        raise _BadRequest(
+                            HTTPStatus.SERVICE_UNAVAILABLE,
+                            f"worker {worker_id} unavailable: {exc}",
+                        )
+                    break
 
     async def _routed(self, key: str, path: str, body: bytes):
         """Route with front-door coalescing: concurrent identical keys
@@ -572,7 +759,7 @@ class RouterServer(HttpServerBase):
         }
         cache: dict[str, float] = {
             "hits": 0, "misses": 0, "evictions": 0, "spills": 0,
-            "spill_hits": 0, "entries": 0, "bytes": 0,
+            "spill_hits": 0, "corruptions": 0, "entries": 0, "bytes": 0,
         }
         for snap in workers.values():
             wq, wc = snap.get("queue", {}), snap.get("cache", {})
@@ -592,7 +779,15 @@ class RouterServer(HttpServerBase):
         snapshot = self.metrics.snapshot()
         snapshot["queue"] = queue
         snapshot["cache"] = cache
-        snapshot["router"] = {"workers": self._fleet_counts(), "retries": self._retries}
+        snapshot["router"] = {
+            "workers": self._fleet_counts(),
+            "retries": self._retries,
+            "request_retries": self._request_retries,
+        }
+        if self.faults is not None:
+            snapshot["router"]["faults_injected"] = self.faults.fired + sum(
+                snap.get("faults", {}).get("injected", 0) for snap in workers.values()
+            )
         snapshot["workers"] = workers
         if _wants_prometheus(headers):
             samples = prometheus_samples(snapshot)
@@ -601,6 +796,13 @@ class RouterServer(HttpServerBase):
             samples.append(("repro_workers_alive", {}, float(counts["alive"])))
             samples.append(("repro_worker_restarts_total", {}, float(counts["restarts"])))
             samples.append(("repro_router_retries_total", {}, float(self._retries)))
+            samples.append(("repro_retries_total", {}, float(self._request_retries)))
+            if self.faults is not None:
+                samples.append((
+                    "repro_faults_injected_total",
+                    {"scope": "fleet"},
+                    float(snapshot["router"]["faults_injected"]),
+                ))
             for worker_id, snap in workers.items():
                 samples.extend(prometheus_samples(snap, labels={"worker": worker_id}))
             # Stable output: group samples by metric name so each # TYPE

@@ -60,6 +60,7 @@ from typing import Any, Mapping
 from ..core.errors import InvalidInstanceError, ReproError
 from ..core.serialize import instance_from_dict, placement_to_dict, result_key
 from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from .faults import FaultInjector, FaultPlan, as_injector
 from .queue import BackpressureError, MicroBatcher
 
 __all__ = [
@@ -207,12 +208,15 @@ _PROM_TYPES = {
     "repro_cache_evictions_total": "counter",
     "repro_cache_spills_total": "counter",
     "repro_cache_spill_hits_total": "counter",
+    "repro_cache_corruptions_total": "counter",
     "repro_cache_entries": "gauge",
     "repro_cache_bytes": "gauge",
     "repro_workers_total": "gauge",
     "repro_workers_alive": "gauge",
     "repro_worker_restarts_total": "counter",
     "repro_router_retries_total": "counter",
+    "repro_retries_total": "counter",
+    "repro_faults_injected_total": "counter",
 }
 
 #: One metrics sample: (metric name, labels, value).
@@ -255,10 +259,11 @@ def prometheus_samples(
     for field in ("submitted", "completed", "rejected", "batches"):
         add(f"repro_queue_{field}_total", queue.get(field))
     cache = snapshot.get("cache", {})
-    for field in ("hits", "misses", "evictions", "spills", "spill_hits"):
+    for field in ("hits", "misses", "evictions", "spills", "spill_hits", "corruptions"):
         add(f"repro_cache_{field}_total", cache.get(field))
     add("repro_cache_entries", cache.get("entries"))
     add("repro_cache_bytes", cache.get("bytes"))
+    add("repro_faults_injected_total", snapshot.get("faults", {}).get("injected"))
     return out
 
 
@@ -637,15 +642,20 @@ class SolveServer(HttpServerBase):
         queue_size: int = 512,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         cache_dir: Path | str | None = None,
+        faults: "FaultInjector | FaultPlan | Mapping[str, Any] | None" = None,
     ) -> None:
         super().__init__()
-        self.cache = ResultCache(cache_bytes, spill_dir=cache_dir)
+        # One injector is shared with the cache and the batcher, so a
+        # plan's per-site counters see every seam of this process.
+        self.faults = as_injector(faults)
+        self.cache = ResultCache(cache_bytes, spill_dir=cache_dir, faults=self.faults)
         self.batcher = MicroBatcher(
             backend=backend,
             jobs=jobs,
             max_batch=max_batch,
             max_wait_s=max_wait_s,
             maxsize=queue_size,
+            faults=self.faults,
         )
         # Portfolio races block a worker thread (they fan out internally
         # through their own executor); two workers keep /portfolio off the
@@ -771,6 +781,11 @@ class SolveServer(HttpServerBase):
         snapshot = self.metrics.snapshot()
         snapshot["queue"] = self.batcher.stats().to_dict()
         snapshot["cache"] = self.cache.stats().to_dict()
+        if self.faults is not None:
+            snapshot["faults"] = {
+                "injected": self.faults.fired,
+                "sites": self.faults.stats(),
+            }
         return snapshot
 
     async def _metrics(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
@@ -786,6 +801,13 @@ class SolveServer(HttpServerBase):
         self.metrics.count_algorithm(name)
 
         async def produce() -> bytes:
+            # The pre/post-solve seams run on the executor so an injected
+            # `slow`/`hang` stalls this request without blocking the loop
+            # (a `crash` hard-kills the process from any thread anyway).
+            if self.faults is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.faults.fire_sync, "worker.pre_solve"
+                )
             try:
                 future = self.batcher.submit(instance, name, params)
                 # The queue can also shed this request *after* accepting
@@ -796,6 +818,10 @@ class SolveServer(HttpServerBase):
             if report.placement is None:
                 raise _BadRequest(
                     HTTPStatus.UNPROCESSABLE_ENTITY, report.error or "solve failed"
+                )
+            if self.faults is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.faults.fire_sync, "worker.post_solve"
                 )
             return encode_report(report)
 

@@ -37,9 +37,16 @@ __all__ = ["worker_main"]
 
 
 async def _serve(worker_id: int, conn, config: Mapping[str, Any]) -> None:
+    from .faults import FaultInjector
     from .server import SolveServer
 
-    server = SolveServer(**config)
+    config = dict(config)
+    # A chaos plan rides inside the (picklable) worker config as a plain
+    # dict; each worker builds its own injector scoped to its id, so a
+    # spec with "worker": K fires only in worker K.
+    plan = config.pop("fault_plan", None)
+    faults = FaultInjector(plan, worker=worker_id) if plan is not None else None
+    server = SolveServer(faults=faults, **config)
     try:
         bound = await server.start("127.0.0.1", 0)
     except BaseException as exc:

@@ -163,6 +163,64 @@ class TestDiskSpill:
         assert second.get("a") == b"aaaa"
 
 
+class TestSpillCorruption:
+    """A damaged L2 file is a miss plus a counter — never an error, and
+    never stale bytes served as valid."""
+
+    def _spill_path(self, cache, key):
+        cache.put(key, b"x" * 100)  # oversized -> straight to disk
+        (path,) = list(cache.spill_dir.iterdir())
+        return path
+
+    def test_truncated_spill_file_reads_as_miss(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        path = self._spill_path(cache, "k")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.corruptions == 1 and stats.misses == 1
+        assert not path.exists()  # quarantined: deleted, not retried forever
+
+    def test_garbage_spill_file_reads_as_miss(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        path = self._spill_path(cache, "k")
+        path.write_bytes(b"\x00\xffnot a spill frame at all")
+        assert cache.get("k") is None
+        assert cache.stats().corruptions == 1
+
+    def test_flipped_payload_byte_fails_the_checksum(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        path = self._spill_path(cache, "k")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # damage the payload, keep the frame header intact
+        path.write_bytes(bytes(raw))
+        assert cache.get("k") is None
+        assert cache.stats().corruptions == 1
+
+    def test_recompute_overwrites_the_corrupt_file(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        path = self._spill_path(cache, "k")
+        path.write_bytes(b"garbage")
+        assert cache.get("k") is None  # corruption detected, file quarantined
+        cache.put("k", b"x" * 100)  # the recompute path re-spills
+        assert cache.get("k") == b"x" * 100
+        stats = cache.stats()
+        assert stats.corruptions == 1 and stats.spill_hits == 1
+
+    def test_pre_framing_spill_file_is_treated_as_corrupt(self, tmp_path):
+        """Files written before the checksum frame existed have no header:
+        they must read as a miss, not as payload."""
+        cache = ResultCache(4, spill_dir=tmp_path)
+        path = self._spill_path(cache, "k")
+        path.write_bytes(b'{"report": {"height": 12}}')  # old-format: raw payload
+        assert cache.get("k") is None
+        assert cache.stats().corruptions == 1
+
+    def test_corruptions_in_stats_dict(self, tmp_path):
+        cache = ResultCache(4, spill_dir=tmp_path)
+        assert cache.stats().to_dict()["corruptions"] == 0
+
+
 class TestThreadSafety:
     def test_concurrent_mixed_workload_stays_consistent(self):
         cache = ResultCache(256)

@@ -222,3 +222,24 @@ class TestGracefulDrain:
         batcher = MicroBatcher(maxsize=8).start()
         batcher.drain(timeout=5)
         batcher.stop()  # no error, no hang
+
+    def test_drain_with_nonempty_queue_and_injected_stall(self):
+        """A queue.drain stall fault slows every batch tick, but drain()
+        still answers everything that was accepted before it started."""
+        from repro.service.faults import FaultInjector
+
+        injector = FaultInjector(
+            {"faults": [{"site": "queue.drain", "kind": "stall",
+                         "count": 0, "delay_s": 0.05}]}
+        )
+        batcher = MicroBatcher(
+            max_batch=2, max_wait_s=0.001, maxsize=64, faults=injector
+        )
+        instances = _instances(8, seed=12)
+        futures = [batcher.submit(inst, "nfdh") for inst in instances]
+        batcher.drain(timeout=30)  # queue is non-empty when drain begins
+        for fut, inst in zip(futures, instances):
+            _same_report(fut.result(timeout=0), run(inst, "nfdh"))
+        assert injector.fired >= 4  # 8 requests / max_batch 2 → ≥4 stalled ticks
+        stats = batcher.stats()
+        assert stats.completed == stats.submitted == 8 and stats.depth == 0

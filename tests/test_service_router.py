@@ -21,7 +21,7 @@ import pytest
 
 from repro.core.serialize import instance_to_dict
 from repro.service import InProcessServer, RouterServer, SolveServer
-from repro.service.router import HashRing
+from repro.service.router import HashRing, WorkerHandle
 from repro.service.server import parse_json_body, resolve_solve_request
 
 
@@ -395,3 +395,93 @@ class TestSharedSpillTier:
             finally:
                 c.close()
             assert h3["X-Repro-Cache"] == "hit" and raw3 == raw1
+
+
+# ----------------------------------------------------------------------
+# graceful drain edge cases
+# ----------------------------------------------------------------------
+
+class TestFleetDrain:
+    def test_drain_with_inflight_requests_answers_them(self):
+        """router.drain() with the workers' micro-batcher queues non-empty:
+        stop accepting, answer everything already accepted, SIGTERM the
+        fleet — no client sees anything but a 200."""
+        import asyncio
+        import threading
+
+        router = RouterServer(workers=2)
+        statuses: list[int] = []
+
+        async def scenario():
+            bound = await router.start("127.0.0.1", 0)
+            port = router.port
+
+            def client(seed):
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+                try:
+                    status, _, _ = _request(
+                        conn, "POST", "/solve",
+                        _solve_body(n=150, seed=seed, algorithm="bottom_left"),
+                    )
+                except (OSError, http.client.HTTPException):
+                    status = 599  # transport failure == lost request
+                finally:
+                    conn.close()
+                statuses.append(status)
+
+            threads = [
+                threading.Thread(target=client, args=(40 + i,)) for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            await asyncio.sleep(0.1)  # let requests reach the workers' queues
+            await router.drain(bound, timeout=60)
+            return threads
+
+        threads = asyncio.run(scenario())
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(statuses) == 6 and all(s == 200 for s in statuses)
+        # drain reaped the whole fleet
+        assert all(h.process is None for h in router._handles.values())
+
+    def test_sigterm_mid_respawn_reaps_the_fresh_child(self):
+        """Tear the fleet down while the supervisor's respawn of a killed
+        worker is still in flight: the freshly spawned child must be
+        reaped by the closed-handle check, never leaked."""
+        import multiprocessing
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        router = RouterServer(workers=2)
+        observed_inflight = False
+        with InProcessServer(router):
+            router._handles[0].process.kill()
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if router._respawns_inflight:
+                    observed_inflight = True
+                    break
+                time.sleep(0.02)
+        assert observed_inflight  # teardown raced an in-flight spawn
+        # close() marked every handle closed; when the in-flight spawn's
+        # handshake lands it must self-reap instead of orphaning the child.
+        extra: list = []
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            extra = [
+                p for p in multiprocessing.active_children() if p.pid not in before
+            ]
+            if not extra:
+                break
+            time.sleep(0.05)
+        assert not extra, f"leaked worker processes: {extra}"
+
+    def test_spawn_after_shutdown_raises_and_reaps(self):
+        """The race seam itself, deterministically: a handle that was shut
+        down before (or during) spawn refuses to hand back a live child."""
+        handle = WorkerHandle(0, {})
+        handle.shutdown()  # no process yet: just marks the handle closed
+        with pytest.raises(RuntimeError, match="shut down during spawn"):
+            handle.spawn(timeout=60)
+        assert handle.process is None
