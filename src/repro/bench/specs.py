@@ -669,6 +669,104 @@ register_bench(BenchSpec(
            "(repro serve --workers / loadtest --workers-sweep)",
 ))
 
+def _sessions_workload(n, rng):
+    """Traffic for the warm-start triad at ``n`` rects per instance.
+
+    ``cached`` repeats one instance (verbatim payload reuse), ``warm``
+    posts distinct 2-rect deltas of a primed base (each request is a
+    cache miss whose answer is a neighbor repair), ``cold`` posts fully
+    distinct instances.  All three solve ``bottom_left`` so the cold
+    point costs real solver CPU and the repair's edge is visible.  The
+    rng argument is unused: payloads are seeded so every entry and
+    repetition replays identical traffic.
+    """
+    import json as _json
+
+    import numpy as np
+
+    from ..core.instance import StripPackingInstance
+    from ..core.serialize import instance_to_dict
+    from ..service.loadgen import solve_payloads
+    from ..workloads.random_rects import powerlaw_rects
+
+    requests = 20
+
+    def body(rects):
+        doc = {
+            "instance": instance_to_dict(StripPackingInstance(rects)),
+            "algorithm": "bottom_left",
+        }
+        return _json.dumps(doc).encode("utf-8")
+
+    # One rect pool so base and extras have distinct ids: each warm body
+    # is the base plus its own pair of unseen rects — a pure "added" delta.
+    pool = list(powerlaw_rects(n + 2 * requests, np.random.default_rng(0)))
+    base_rects = pool[:n]
+    base = body(base_rects)
+    warm_bodies = [
+        body(base_rects + pool[n + 2 * i : n + 2 * (i + 1)]) for i in range(requests)
+    ]
+    return {
+        "requests": requests,
+        "base": base,
+        "cached": [base],
+        "warm": warm_bodies,
+        "cold": solve_payloads(requests, n_rects=n, seed=1, algorithm="bottom_left"),
+    }
+
+
+def _sessions_step(mode):
+    """One triad point: a fresh server per mode, warm-start armed only
+    where the mode needs it (``cold`` must never find a neighbor)."""
+
+    def run(prepared):
+        from ..service.loadgen import run_closed_loop
+        from ..service.server import InProcessServer, SolveServer
+
+        server = (
+            SolveServer(warm_delta=0.75) if mode in ("warm", "cached") else SolveServer()
+        )
+        with InProcessServer(server) as srv:
+            if mode in ("warm", "cached"):
+                # Prime (uncounted): the base solve seeds the neighbor
+                # index / result cache every measured request leans on.
+                run_closed_loop(srv.url, [prepared["base"]], requests=1, concurrency=1)
+            result = run_closed_loop(
+                srv.url, prepared[mode], requests=prepared["requests"], concurrency=1
+            )
+        return {
+            "rps": result.throughput_rps,
+            "p50_ms": result.latency_ms(50),
+            "p95_ms": result.latency_ms(95),
+            "ok": result.errors == 0,
+            "hit_rate": result.cache_hits / result.requests,
+            "warm_rate": result.warm_hits / result.requests,
+        }
+
+    run.__name__ = f"sessions[{mode}]"
+    return run
+
+
+register_bench(BenchSpec(
+    name="service_sessions",
+    title="Warm-start delta solving: cached vs warm repair vs cold solve",
+    workload=_sessions_workload,
+    entries=(
+        _call("cached", _sessions_step("cached")),
+        _call("warm", _sessions_step("warm")),
+        _call("cold", _sessions_step("cold")),
+    ),
+    # Size 200 is shared between full and quick (like service_throughput)
+    # so CI can `--quick --compare` the committed artifact.
+    sizes=(200, 300),
+    quick_sizes=(120, 200),
+    size_name="rects",
+    repetitions=1,
+    warmup=0,
+    source="engine/warmstart.py + service/server.py "
+           "(repro serve --warm-delta / loadtest --mode session)",
+))
+
 # ----------------------------------------------------------------------
 # lower-bound / fractional-optimum probe (shared by E2/E4/A4 tables)
 # ----------------------------------------------------------------------

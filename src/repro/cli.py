@@ -237,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="spill evicted results to this directory (persistent warm cache)",
     )
     p_serve.add_argument(
+        "--warm-delta", type=float, default=None,
+        help="enable warm-start delta solving: repair the nearest cached "
+             "neighbor's placement when the repair height stays within "
+             "(1 + WARM_DELTA) of the lower bound (default: off)",
+    )
+    p_serve.add_argument(
         "--request-timeout", type=float, default=None,
         help="router-to-worker timeout in seconds; a slow worker is retried, "
              "then the request fails over (default: no timeout; --workers > 1 only)",
@@ -267,6 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rectangles per generated instance (default 40)")
     p_chaos.add_argument("--concurrency", type=int, default=4,
                          help="closed-loop client threads (default 4)")
+    p_chaos.add_argument("--sessions", type=int, default=None,
+                         help="run the session scenario instead: this many "
+                              "concurrent sessions replay growing-prefix "
+                              "streams while the plan fires")
+    p_chaos.add_argument("--steps", type=int, default=6,
+                         help="steps per session in the session scenario "
+                              "(default 6; only with --sessions)")
     p_chaos.add_argument("--algorithm", default="bottom_left",
                          help="algorithm solved per request (default bottom_left)")
     p_chaos.add_argument("--seed", type=int, default=0, help="payload RNG seed")
@@ -296,8 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="target service (default: start an in-process server)",
     )
     p_load.add_argument(
-        "--mode", choices=("closed", "open"), default="closed",
-        help="closed loop (saturation) or open loop (fixed offered rate)",
+        "--mode", choices=("closed", "open", "session"), default="closed",
+        help="closed loop (saturation), open loop (fixed offered rate), or "
+             "session (long-lived sessions replaying growing-prefix streams)",
     )
     p_load.add_argument("--requests", type=int, default=None, help="total requests (default 1000)")
     p_load.add_argument("--concurrency", type=int, default=None,
@@ -310,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rectangles per generated instance (default 12)")
     p_load.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
     p_load.add_argument("--seed", type=int, default=0, help="payload/arrival RNG seed")
+    p_load.add_argument("--sessions", type=int, default=None,
+                        help="session mode: concurrent sessions (default 4)")
+    p_load.add_argument("--steps", type=int, default=None,
+                        help="session mode: steps per session (default 8)")
+    p_load.add_argument("--warm-delta", type=float, default=None,
+                        help="enable warm-start repair on the in-process "
+                             "server (ignored with --url)")
     p_load.add_argument("--quick", action="store_true",
                         help="CI smoke preset: 200 requests, 4 workers, 2 distinct instances")
     p_load.add_argument("--workers-sweep", default=None, metavar="N,N,...",
@@ -693,6 +714,7 @@ def _build_server(args):
         queue_size=args.queue_size,
         cache_bytes=cache_bytes,
         cache_dir=args.cache_dir,
+        warm_delta=getattr(args, "warm_delta", None),
     )
     try:
         if workers > 1:
@@ -768,7 +790,7 @@ def _cmd_chaos(args, out) -> int:
     import json as _json
 
     from .core.errors import ReproError as _ReproError
-    from .service.chaos import run_chaos
+    from .service.chaos import run_chaos, run_session_chaos
     from .service.faults import FaultPlan
 
     if args.requests < 1:
@@ -777,29 +799,49 @@ def _cmd_chaos(args, out) -> int:
         raise _CliInputError(f"--concurrency must be positive, got {args.concurrency}")
     if args.rects < 1:
         raise _CliInputError(f"--rects must be positive, got {args.rects}")
+    if args.sessions is not None and args.sessions < 1:
+        raise _CliInputError(f"--sessions must be positive, got {args.sessions}")
+    if args.steps < 1:
+        raise _CliInputError(f"--steps must be positive, got {args.steps}")
     try:
         plan = FaultPlan.load(args.plan)
     except _ReproError as exc:
         raise _CliInputError(str(exc)) from exc
     try:
-        report = run_chaos(
-            plan,
-            workers=args.workers,
-            requests=args.requests,
-            distinct=args.distinct,
-            n_rects=args.rects,
-            concurrency=args.concurrency,
-            seed=args.seed,
-            algorithm=args.algorithm,
-            request_timeout=args.request_timeout,
-            retries=args.retries,
-            backoff_ms=args.backoff_ms,
-            max_restarts=args.max_restarts,
-            cache_bytes=args.cache_bytes,
-            cache_dir=args.cache_dir,
-            expect_final_ok=not args.allow_degraded,
-            health_deadline_s=args.health_deadline,
-        )
+        if args.sessions is not None:
+            report = run_session_chaos(
+                plan,
+                workers=args.workers,
+                sessions=args.sessions,
+                steps=args.steps,
+                seed=args.seed,
+                algorithm=args.algorithm,
+                request_timeout=args.request_timeout,
+                retries=args.retries,
+                backoff_ms=args.backoff_ms,
+                max_restarts=args.max_restarts,
+                expect_final_ok=not args.allow_degraded,
+                health_deadline_s=args.health_deadline,
+            )
+        else:
+            report = run_chaos(
+                plan,
+                workers=args.workers,
+                requests=args.requests,
+                distinct=args.distinct,
+                n_rects=args.rects,
+                concurrency=args.concurrency,
+                seed=args.seed,
+                algorithm=args.algorithm,
+                request_timeout=args.request_timeout,
+                retries=args.retries,
+                backoff_ms=args.backoff_ms,
+                max_restarts=args.max_restarts,
+                cache_bytes=args.cache_bytes,
+                cache_dir=args.cache_dir,
+                expect_final_ok=not args.allow_degraded,
+                health_deadline_s=args.health_deadline,
+            )
     except (_ReproError, OSError, RuntimeError) as exc:
         raise _CliInputError(str(exc)) from exc
     for line in report.summary_lines():
@@ -814,18 +856,31 @@ def _cmd_loadtest(args, out) -> int:
     import json as _json
 
     from .core.errors import ReproError as _ReproError
-    from .service.loadgen import run_closed_loop, run_open_loop, solve_payloads
+    from .service.loadgen import (
+        run_closed_loop,
+        run_open_loop,
+        run_session_loop,
+        solve_payloads,
+    )
 
     # --quick is the CI smoke preset; explicit flags still win.
     requests = args.requests if args.requests is not None else (200 if args.quick else 1000)
     concurrency = args.concurrency if args.concurrency is not None else (4 if args.quick else 8)
     distinct = args.distinct if args.distinct is not None else (2 if args.quick else 8)
+    sessions = args.sessions if args.sessions is not None else (2 if args.quick else 4)
+    steps = args.steps if args.steps is not None else (3 if args.quick else 8)
     if requests < 1:
         raise _CliInputError(f"--requests must be positive, got {requests}")
     if concurrency < 1:
         raise _CliInputError(f"--concurrency must be positive, got {concurrency}")
     if args.mode == "open" and args.rate <= 0:
         raise _CliInputError(f"--rate must be positive, got {args.rate:g}")
+    if sessions < 1:
+        raise _CliInputError(f"--sessions must be positive, got {sessions}")
+    if steps < 1:
+        raise _CliInputError(f"--steps must be positive, got {steps}")
+    if args.warm_delta is not None and args.warm_delta < 0:
+        raise _CliInputError(f"--warm-delta must be >= 0, got {args.warm_delta:g}")
     if args.algorithm is not None:
         from .engine import get_spec
 
@@ -844,6 +899,11 @@ def _cmd_loadtest(args, out) -> int:
         return _run_workers_sweep(args, out, payloads, requests, concurrency, distinct)
 
     def drive(url: str):
+        if args.mode == "session":
+            return run_session_loop(
+                url, sessions=sessions, steps=steps, seed=args.seed,
+                algorithm=args.algorithm,
+            )
         if args.mode == "open":
             return run_open_loop(
                 url, payloads, requests=requests, rate=args.rate, seed=args.seed
@@ -870,9 +930,14 @@ def _cmd_loadtest(args, out) -> int:
 
     try:
         if args.url is None:
-            from .service import InProcessServer
+            from .service import InProcessServer, SolveServer
 
-            with InProcessServer() as srv:
+            server = (
+                SolveServer(warm_delta=args.warm_delta)
+                if args.warm_delta is not None
+                else None
+            )
+            with InProcessServer(server) as srv:
                 print(f"in-process server on {srv.url}", file=out)
                 result = drive(srv.url)
         else:
@@ -881,8 +946,12 @@ def _cmd_loadtest(args, out) -> int:
     except (_ReproError, OSError) as exc:
         raise _CliInputError(str(exc)) from exc
 
-    print(f"target = {args.url or 'in-process'}, requests = {requests}, "
-          f"distinct instances = {distinct}, seed = {args.seed}", file=out)
+    if args.mode == "session":
+        print(f"target = {args.url or 'in-process'}, sessions = {sessions}, "
+              f"steps = {steps}, seed = {args.seed}", file=out)
+    else:
+        print(f"target = {args.url or 'in-process'}, requests = {requests}, "
+              f"distinct instances = {distinct}, seed = {args.seed}", file=out)
     for line in result.summary_lines():
         print(line, file=out)
     print("\nlatency histogram:", file=out)
@@ -906,8 +975,10 @@ def _run_workers_sweep(args, out, payloads, requests, concurrency, distinct) -> 
         raise _CliInputError(
             "--workers-sweep builds its own in-process servers; drop --url"
         )
-    if args.mode == "open":
-        raise _CliInputError("--workers-sweep is closed-loop only; drop --mode open")
+    if args.mode != "closed":
+        raise _CliInputError(
+            f"--workers-sweep is closed-loop only; drop --mode {args.mode}"
+        )
     try:
         counts = [int(part) for part in args.workers_sweep.split(",") if part.strip()]
     except ValueError:

@@ -49,6 +49,10 @@ __all__ = [
     "canonical_hash",
     "canonical_params",
     "result_key",
+    "instance_sketch",
+    "instance_delta",
+    "SKETCH_HASHES",
+    "SKETCH_BANDS",
 ]
 
 
@@ -168,7 +172,16 @@ def canonical_instance_dict(
     Ids are preserved verbatim (placements and precedence edges refer to
     them), which makes the fingerprint intentionally *not* invariant under
     id renaming.
+
+    At the default ``atol`` the result is cached on the (frozen) instance
+    — the serving hot path canonicalises once per request even though both
+    the cache key and the neighbor sketch need the form.  Callers must
+    treat the returned dict as immutable.
     """
+    if atol == ATOL:
+        cached = instance.__dict__.get("_canonical_dict")
+        if cached is not None:
+            return cached
     rects = sorted(
         (
             {
@@ -190,6 +203,8 @@ def canonical_instance_dict(
         data["edges"] = sorted(
             ([u, v] for u, v in instance.dag.edges()), key=_canonical_json
         )
+    if atol == ATOL:
+        object.__setattr__(instance, "_canonical_dict", data)
     return data
 
 
@@ -258,6 +273,142 @@ def result_key(
     return "|".join(
         (canonical_hash(instance, atol=atol), spec_name, canonical_params(params, atol=atol))
     )
+
+
+# ----------------------------------------------------------------------
+# locality-sensitive sketching (the serving layer's neighbor index)
+# ----------------------------------------------------------------------
+
+#: MinHash signature length; grouped into bands of ``SKETCH_HASHES //
+#: SKETCH_BANDS`` rows each for LSH banding.
+SKETCH_HASHES = 16
+SKETCH_BANDS = 4
+
+# 2^64 - 1: the identity of ``min`` over 8-byte hash values.
+_SKETCH_MAX = (1 << 64) - 1
+
+# One odd multiplier + offset per MinHash row (derived once from SHA-256 of
+# the row index).  Each token is SHA-256-hashed a single time; row ``i``'s
+# hash is the affine mix ``(a_i * h + b_i) mod 2^64`` of that digest — the
+# standard universal-hashing trick that keeps the sketch O(tokens) instead
+# of O(rows * tokens) sha256 calls.
+def _row_mixers(rows: int) -> tuple[tuple[int, int], ...]:
+    out = []
+    for row in range(rows):
+        digest = hashlib.sha256(f"sketch-row|{row}".encode("ascii")).digest()
+        a = int.from_bytes(digest[:8], "big") | 1  # odd => bijective mod 2^64
+        b = int.from_bytes(digest[8:16], "big")
+        out.append((a, b))
+    return tuple(out)
+
+
+_SKETCH_MIXERS = _row_mixers(SKETCH_HASHES)
+
+
+def instance_sketch(
+    instance: StripPackingInstance, *, atol: float = ATOL
+) -> tuple[str, ...]:
+    """Locality-sensitive sketch of ``instance``: a tuple of LSH band keys.
+
+    The sketch is a banded MinHash over the canonical rect entries of
+    :func:`canonical_instance_dict` (id + quantised dims, so the token set
+    changes by exactly the rects a delta touches).  Two instances that
+    share *any* band key are near-duplicate candidates: with
+    ``SKETCH_HASHES=16`` hashes in ``SKETCH_BANDS=4`` bands of 4 rows, a
+    pair at Jaccard similarity ``s`` collides on at least one band with
+    probability ``1-(1-s^4)^4`` — ~97% at ``s=0.9`` (a small delta on a
+    mid-size instance), ~4% at ``s=0.4`` (mostly different rect sets).
+
+    Band keys embed the instance type (and ``K`` for release variants), so
+    instances of different variants never collide by construction.  The
+    sketch is a pure function of the canonical dict — order-insensitive
+    and tolerance-aware exactly like :func:`canonical_hash`.
+    """
+    import numpy as np
+
+    canon = canonical_instance_dict(instance, atol=atol)
+    # Tokens are the canonical entries flattened to plain strings (the
+    # entries are {"id", "w", "h", "r"} with integer ticks, so formatting
+    # is lossless) — hashed once each; rows come from the affine mixers.
+    hashes = np.fromiter(
+        (
+            int.from_bytes(
+                hashlib.blake2b(
+                    f"{entry['id']!r}|{entry['w']}|{entry['h']}|{entry['r']}".encode(
+                        "utf-8"
+                    ),
+                    digest_size=8,
+                ).digest(),
+                "big",
+            )
+            for entry in canon["rects"]
+        ),
+        dtype=np.uint64,
+        count=len(canon["rects"]),
+    )
+    if hashes.size:
+        signature = [
+            int((hashes * np.uint64(a) + np.uint64(b)).min()) for a, b in _SKETCH_MIXERS
+        ]
+    else:
+        signature = [_SKETCH_MAX] * SKETCH_HASHES
+    variant = canon["type"] if canon["type"] != "release" else f"release/{canon['K']}"
+    rows = SKETCH_HASHES // SKETCH_BANDS
+    bands = []
+    for band in range(SKETCH_BANDS):
+        chunk = ",".join(str(v) for v in signature[band * rows : (band + 1) * rows])
+        digest = hashlib.sha256(chunk.encode("ascii")).hexdigest()[:16]
+        bands.append(f"{variant}|{band}:{digest}")
+    return tuple(bands)
+
+
+def instance_delta(
+    old: StripPackingInstance,
+    new: StripPackingInstance,
+    *,
+    atol: float = ATOL,
+) -> dict[str, Any]:
+    """Rect-level diff between two instances, keyed by rect id.
+
+    Returns ``{"compatible", "added", "removed", "resized", "unchanged"}``
+    where the id lists are sorted (by string form) and disjoint:
+
+    * ``added``     — ids present only in ``new``;
+    * ``removed``   — ids present only in ``old``;
+    * ``resized``   — ids in both whose quantised ``width``/``height``/
+      ``release`` ticks differ (sub-tolerance float noise is *not* a
+      resize, matching the cache's equality notion);
+    * ``unchanged`` — ids in both with identical ticks.
+
+    ``compatible`` is ``False`` when the variants differ (or two release
+    instances disagree on ``K``) — a warm-start repair across variants is
+    meaningless, but the rect lists are still reported for diagnostics.
+    """
+
+    def entries(instance: StripPackingInstance) -> dict[Any, tuple[int, int, int]]:
+        return {
+            r.rid: (_ticks(r.width, atol), _ticks(r.height, atol), _ticks(r.release, atol))
+            for r in instance.rects
+        }
+
+    old_entries, new_entries = entries(old), entries(new)
+    added = sorted(set(new_entries) - set(old_entries), key=str)
+    removed = sorted(set(old_entries) - set(new_entries), key=str)
+    shared = set(old_entries) & set(new_entries)
+    resized = sorted((rid for rid in shared if old_entries[rid] != new_entries[rid]), key=str)
+    unchanged = sorted((rid for rid in shared if old_entries[rid] == new_entries[rid]), key=str)
+    compatible = type(old) is type(new) and not (
+        isinstance(old, ReleaseInstance)
+        and isinstance(new, ReleaseInstance)
+        and old.K != new.K
+    )
+    return {
+        "compatible": compatible,
+        "added": added,
+        "removed": removed,
+        "resized": resized,
+        "unchanged": unchanged,
+    }
 
 
 def placement_from_dict(

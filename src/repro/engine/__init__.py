@@ -23,6 +23,7 @@ from .batch import (
 )
 from .report import SolveReport
 from .runner import bound_components, run
+from .warmstart import DEFAULT_DELTA, repair_placement, try_warm, warm_run
 from .spec import (
     VARIANTS,
     AlgorithmSpec,
@@ -46,6 +47,10 @@ __all__ = [
     "resolve_executor",
     "VARIANTS",
     "run",
+    "warm_run",
+    "try_warm",
+    "repair_placement",
+    "DEFAULT_DELTA",
     "solve_many",
     "portfolio",
     "bound_components",

@@ -41,6 +41,11 @@ class SolveReport:
     valid: bool | None = None
     error: str | None = None
     label: str = ""
+    #: How the placement was obtained: ``"cold"`` (full solve), ``"warm"``
+    #: (delta repair of a cached neighbor placement, see
+    #: :mod:`repro.engine.warmstart`), or ``"cached"`` (verbatim reuse of a
+    #: cached placement for an identical instance).
+    provenance: str = "cold"
 
     @property
     def ok(self) -> bool:
@@ -70,6 +75,7 @@ class SolveReport:
             "valid": self.valid,
             "error": self.error,
             "label": self.label,
+            "provenance": self.provenance,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

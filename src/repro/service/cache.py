@@ -40,7 +40,13 @@ from pathlib import Path
 from ..core.errors import InvalidInstanceError
 from .faults import FaultInjector, as_injector
 
-__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_BYTES"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "NeighborIndex",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_NEIGHBOR_ENTRIES",
+]
 
 #: Default in-memory budget: plenty for ~10k typical solve payloads.
 DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
@@ -297,3 +303,100 @@ class ResultCache:
         """Membership in the *memory* tier, without touching counters."""
         with self._lock:
             return key in self._entries
+
+
+#: Default bound on the neighbor index: each entry stores one instance
+#: dict (a few KB for typical request sizes), so 1024 entries stay well
+#: under the result cache's own budget.
+DEFAULT_NEIGHBOR_ENTRIES = 1024
+
+
+class NeighborIndex:
+    """Locality-sensitive index from LSH band keys to cached solves.
+
+    The index answers the warm-start question — "which cached instance is
+    nearest to this request?" — in O(1): an entry is registered under each
+    band key of its :func:`repro.core.serialize.instance_sketch`, scoped
+    by a *bucket* string (the ``spec_name|canonical_params`` suffix of the
+    result key, so a neighbor is only ever reported for the same solver
+    configuration).  A lookup unions the band posting sets and returns the
+    candidate sharing the most bands, most-recently-added winning ties —
+    both the posting sets and the tie-break are deterministic, which keeps
+    warm-start provenance reproducible across identical request orders.
+
+    Entries hold the *instance dict* (not the payload): the payload lives
+    in the :class:`ResultCache` under the entry's result key and is
+    re-fetched at repair time, so an evicted payload simply downgrades a
+    warm start to a cold solve.  Bounded LRU by insertion refresh;
+    thread-safe.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_NEIGHBOR_ENTRIES) -> None:
+        if max_entries < 0:
+            raise InvalidInstanceError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        # key -> (bucket, sketch, instance dict); insertion order = recency.
+        self._entries: OrderedDict[str, tuple[str, tuple[str, ...], dict]] = OrderedDict()
+        # (bucket, band) -> keys registered under that band.
+        self._bands: dict[tuple[str, str], set[str]] = {}
+
+    def _drop_locked(self, key: str) -> None:
+        bucket, sketch, _ = self._entries.pop(key)
+        for band in sketch:
+            posting = self._bands.get((bucket, band))
+            if posting is not None:
+                posting.discard(key)
+                if not posting:
+                    del self._bands[(bucket, band)]
+
+    def add(
+        self,
+        key: str,
+        *,
+        bucket: str,
+        sketch: tuple[str, ...],
+        instance: dict,
+    ) -> None:
+        """Register ``key`` (a result key) under its sketch bands."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._drop_locked(key)
+            self._entries[key] = (bucket, tuple(sketch), instance)
+            for band in sketch:
+                self._bands.setdefault((bucket, band), set()).add(key)
+            while len(self._entries) > self.max_entries:
+                self._drop_locked(next(iter(self._entries)))
+
+    def nearest(
+        self,
+        *,
+        bucket: str,
+        sketch: tuple[str, ...],
+        exclude: str | None = None,
+    ) -> tuple[str, dict] | None:
+        """Best ``(result_key, instance_dict)`` sharing a band, or ``None``.
+
+        ``exclude`` skips the requester's own key so a re-submitted
+        instance never reports itself as its neighbor.
+        """
+        with self._lock:
+            overlap: dict[str, int] = {}
+            for band in sketch:
+                for key in self._bands.get((bucket, band), ()):
+                    if key != exclude:
+                        overlap[key] = overlap.get(key, 0) + 1
+            if not overlap:
+                return None
+            recency = {key: i for i, key in enumerate(self._entries)}
+            best = max(overlap, key=lambda key: (overlap[key], recency[key]))
+            _, _, instance = self._entries[best]
+            return best, instance
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

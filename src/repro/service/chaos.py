@@ -24,6 +24,15 @@ Determinism: payloads are seeded (:func:`repro.service.loadgen.
 solve_payloads`), fault triggering is traversal-counter-based
 (:mod:`repro.service.faults`), and the router's backoff jitter derives
 from the plan's ``seed`` — replaying one plan replays one scenario.
+
+:func:`run_session_chaos` applies the same discipline to the long-lived
+session API: each session replays a deterministic growing-prefix stream
+(:func:`repro.service.loadgen.session_step_bodies`) through ``POST
+/session/{id}/step`` while the plan kills workers mid-session, and the
+invariants become *zero lost steps* (the router's soft session registry
+re-creates the session on the failover worker) plus the same
+byte-identity and recovery checks.  Workers run with warm-starting off —
+its default — so every step's answer must equal the cold baseline.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from typing import Any, Mapping
 
 from .faults import FaultPlan
 
-__all__ = ["ChaosReport", "run_chaos"]
+__all__ = ["ChaosReport", "run_chaos", "run_session_chaos"]
 
 
 @dataclass
@@ -296,6 +305,211 @@ def run_chaos(
     if mismatched:
         violations.append(
             f"{mismatched} answered requests differ from the fault-free "
+            "baseline (beyond wall_time)"
+        )
+    if expect_final_ok and not recovered:
+        violations.append(
+            f"/healthz did not recover to ok within {health_deadline_s:g}s "
+            f"(last status: {final_health})"
+        )
+
+    return ChaosReport(
+        plan=plan.to_dict(),
+        workers=workers,
+        requests=requests,
+        answered=requests - lost,
+        lost=lost,
+        mismatched=mismatched,
+        retries=int(router_stats.get("retries", 0)),
+        request_retries=int(router_stats.get("request_retries", 0)),
+        faults_injected=int(faults_injected),
+        final_health=final_health,
+        recovered=recovered,
+        violations=violations,
+        duration_s=time.monotonic() - started,
+    )
+
+
+def _drive_sessions(
+    port: int, per_session: list[list[bytes]], algorithm: str
+) -> list[list[tuple[int, bytes | None]]]:
+    """One thread per session: create, step through every body, delete.
+
+    A session whose create never succeeds (after a few attempts) marks
+    every step 599 — from the invariant's point of view the whole session
+    was lost.  A step whose connection dies reconnects and records 599
+    for that step only.
+    """
+    outcomes: list[list[tuple[int, bytes | None]]] = [
+        [(599, None)] * len(bodies) for bodies in per_session
+    ]
+    create_body = json.dumps({"algorithm": algorithm}).encode()
+    headers = {"Content-Type": "application/json"}
+
+    def worker(s: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            sid = None
+            for _ in range(3):
+                try:
+                    conn.request("POST", "/session", body=create_body, headers=headers)
+                    response = conn.getresponse()
+                    raw = response.read()
+                    if response.status == 200:
+                        sid = json.loads(raw)["session"]["id"]
+                        break
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            if sid is None:
+                return
+            path = f"/session/{sid}/step"
+            for j, body in enumerate(per_session[s]):
+                try:
+                    conn.request("POST", path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    outcomes[s][j] = (response.status, response.read())
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            try:
+                conn.request("DELETE", f"/session/{sid}", headers=headers)
+                conn.getresponse().read()
+            except (OSError, http.client.HTTPException):
+                pass
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(s,), name=f"chaos-session-{s}", daemon=True)
+        for s in range(len(per_session))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes
+
+
+def run_session_chaos(
+    plan: FaultPlan | Mapping[str, Any] | str | Path,
+    *,
+    workers: int = 2,
+    sessions: int = 3,
+    steps: int = 6,
+    base_rects: int = 12,
+    step_rects: int = 2,
+    seed: int = 0,
+    algorithm: str = "bottom_left",
+    request_timeout: float | None = None,
+    retries: int = 2,
+    backoff_ms: float = 50.0,
+    max_restarts: int = 5,
+    expect_final_ok: bool = True,
+    health_deadline_s: float = 30.0,
+) -> ChaosReport:
+    """Replay ``plan`` against live sessions and verify zero lost steps.
+
+    Each of ``sessions`` concurrent clients opens a session and replays a
+    deterministic growing-prefix stream through it while the plan fires
+    (``session.step`` crash = a worker dying mid-session).  Invariants:
+    every step answered 200 (ring failover plus the router's session
+    enrichment must migrate the session with no losses), every answer
+    byte-identical to the cold baseline, and ``/healthz`` recovering to
+    ``ok``.  ``workers == 1`` arms the seams on a single
+    :class:`~repro.service.server.SolveServer` (no failover — only
+    survivable kinds make sense there).
+    """
+    from ..core.errors import InvalidInstanceError
+    from ..engine import run as engine_run
+    from .loadgen import session_step_bodies
+    from .router import RouterServer
+    from .server import (
+        InProcessServer,
+        SolveServer,
+        encode_report,
+        parse_json_body,
+        resolve_solve_request,
+    )
+
+    if isinstance(plan, (str, Path)):
+        plan = FaultPlan.load(plan)
+    else:
+        plan = FaultPlan.from_dict(plan)
+    if workers < 1:
+        raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
+
+    per_session = session_step_bodies(
+        sessions, steps, base_rects=base_rects, step_rects=step_rects, seed=seed
+    )
+    baseline: list[list[Any]] = []
+    for bodies in per_session:
+        refs = []
+        for body in bodies:
+            merged = dict(parse_json_body(body))
+            merged["algorithm"] = algorithm  # the session default a step inherits
+            _key, name, params, instance = resolve_solve_request(merged)
+            refs.append(_normalize(encode_report(engine_run(instance, name, params=params))))
+        baseline.append(refs)
+
+    started = time.monotonic()
+    if workers == 1:
+        server: Any = SolveServer(faults=plan.to_dict())
+    else:
+        server = RouterServer(
+            workers=workers,
+            max_restarts=max_restarts,
+            request_timeout=request_timeout,
+            retries=retries,
+            backoff_ms=backoff_ms,
+            fault_plan=plan,
+        )
+
+    with InProcessServer(server) as srv:
+        port = srv.port
+        outcomes = _drive_sessions(port, per_session, algorithm)
+
+        final_health = "unreachable"
+        recovered = False
+        deadline = time.monotonic() + health_deadline_s
+        while time.monotonic() < deadline:
+            health = _get_json(port, "/healthz")
+            if health is not None:
+                final_health = health.get("status", "unreachable")
+                if final_health == "ok":
+                    recovered = True
+                    break
+            if not expect_final_ok:
+                break
+            time.sleep(0.2)
+
+        metrics = _get_json(port, "/metrics") or {}
+
+    router_stats = metrics.get("router", {})
+    faults_injected = router_stats.get(
+        "faults_injected", metrics.get("faults", {}).get("injected", 0)
+    )
+
+    requests = sessions * steps
+    flat = [(s, j) for s in range(sessions) for j in range(steps)]
+    lost = sum(1 for s, j in flat if outcomes[s][j][0] != 200)
+    mismatched = 0
+    for s, j in flat:
+        status, raw = outcomes[s][j]
+        if status == 200 and raw is not None:
+            if _normalize(raw) != baseline[s][j]:
+                mismatched += 1
+
+    violations: list[str] = []
+    if lost:
+        statuses = sorted({outcomes[s][j][0] for s, j in flat if outcomes[s][j][0] != 200})
+        violations.append(
+            f"{lost} of {requests} session steps were not answered 200 "
+            f"(saw statuses {statuses})"
+        )
+    if mismatched:
+        violations.append(
+            f"{mismatched} answered steps differ from the fault-free "
             "baseline (beyond wall_time)"
         )
     if expect_final_ok and not recovered:

@@ -26,6 +26,8 @@ site                 kinds                               seam
 ``cache.spill_read`` ``io_error``, ``corrupt``           ``ResultCache.get``
 ``cache.spill_write`` ``io_error``, ``disk_full``        ``ResultCache._spill``
 ``queue.drain``      ``stall``                           ``MicroBatcher._run_batch``
+``session.create``   ``error``, ``slow``                 ``SolveServer._session_create``
+``session.step``     ``crash``, ``error``, ``slow``      ``SolveServer._session_step``
 ===================  ==================================  =======================
 
 A plan travels as a plain dict so it pickles through the ``spawn`` start
@@ -62,6 +64,11 @@ FAULT_SITES: dict[str, frozenset[str]] = {
     "cache.spill_read": frozenset({"io_error", "corrupt"}),
     "cache.spill_write": frozenset({"io_error", "disk_full"}),
     "queue.drain": frozenset({"stall"}),
+    # Session-level seams: a `crash` at session.step is the canonical
+    # "worker dies mid-session" scenario — the session must migrate to a
+    # ring successor with zero lost steps.
+    "session.create": frozenset({"error", "slow"}),
+    "session.step": frozenset({"crash", "error", "slow"}),
 }
 
 #: ``hang`` sleeps this long — far past any request timeout, well short

@@ -1,6 +1,6 @@
 """Load generator for the solve service: closed- and open-loop clients.
 
-Two arrival modes, the standard pair from serving-systems practice:
+Three traffic modes:
 
 * **closed loop** — ``concurrency`` workers each issue their next request
   the moment the previous response lands.  Measures saturation
@@ -12,8 +12,15 @@ Two arrival modes, the standard pair from serving-systems practice:
   regardless of whether earlier responses returned.  Measures behaviour
   under a fixed offered rate: latency inflates and lateness accumulates
   when the service falls behind — exactly what closed loops hide.
+* **session** — each of ``sessions`` threads opens a long-lived ``POST
+  /session`` and replays a seeded :func:`~repro.sim.stream.poisson_stream`
+  through it as a sequence of growing-prefix instances (every step = the
+  previous instance plus the newly arrived tasks), stepping as fast as
+  responses land.  This is the online-workload mode: against a
+  ``warm_delta``-enabled server most steps should come back ``X-Repro-
+  Cache: warm`` (counted separately as ``warm_hits``).
 
-Both modes reuse ``http.client`` over keep-alive connections, record
+All modes reuse ``http.client`` over keep-alive connections, record
 per-request latency, count cache hits via the server's ``X-Repro-Cache``
 header, and summarise into a :class:`LoadResult` (p50/p95/p99 and a
 log-scaled latency histogram the CLI renders).
@@ -39,9 +46,11 @@ from ..core.errors import InvalidInstanceError
 __all__ = [
     "LoadResult",
     "solve_payloads",
+    "session_step_bodies",
     "arrival_offsets",
     "run_closed_loop",
     "run_open_loop",
+    "run_session_loop",
     "sweep_workers",
 ]
 
@@ -88,6 +97,53 @@ def solve_payloads(
     return payloads
 
 
+def session_step_bodies(
+    sessions: int,
+    steps: int,
+    *,
+    base_rects: int = 20,
+    step_rects: int = 2,
+    K: int = 6,
+    rate: float = 4.0,
+    seed: int = 0,
+) -> list[list[bytes]]:
+    """Per-session growing-prefix step bodies replaying a Poisson stream.
+
+    Each session draws its own seeded
+    :func:`~repro.sim.stream.poisson_stream`; step ``j`` is the release
+    instance over the first ``base_rects + j * step_rects`` arrivals.
+    Consecutive steps therefore differ by an add-only rect delta — the
+    exact shape :func:`repro.engine.warmstart.repair_placement` repairs —
+    so a session replay is the canonical warm-start workload.
+    """
+    import numpy as np
+
+    from ..core.instance import ReleaseInstance
+    from ..core.serialize import instance_to_dict
+    from ..sim.stream import poisson_stream
+
+    if sessions < 1:
+        raise InvalidInstanceError(f"sessions must be >= 1, got {sessions}")
+    if steps < 1:
+        raise InvalidInstanceError(f"steps must be >= 1, got {steps}")
+    if base_rects < 1:
+        raise InvalidInstanceError(f"base_rects must be >= 1, got {base_rects}")
+    if step_rects < 0:
+        raise InvalidInstanceError(f"step_rects must be >= 0, got {step_rects}")
+    total = base_rects + (steps - 1) * step_rects
+    out: list[list[bytes]] = []
+    for s in range(sessions):
+        stream = poisson_stream(K, np.random.default_rng(seed + s), rate=rate)
+        tasks = list(itertools.islice(iter(stream), total))
+        bodies = []
+        for j in range(steps):
+            prefix = tasks[: base_rects + j * step_rects]
+            instance = ReleaseInstance(prefix, K)
+            bodies.append(json.dumps({"instance": instance_to_dict(instance)}).encode("utf-8"))
+        out.append(bodies)
+    return out
+
+
 def arrival_offsets(n: int, *, rate: float = 100.0, seed: int = 0, stream=None) -> list[float]:
     """The first ``n`` arrival times (seconds from start) of a task stream.
 
@@ -128,6 +184,7 @@ class LoadResult:
     latencies_s: tuple[float, ...]
     lateness_s: tuple[float, ...] = ()
     status_counts: dict = field(default_factory=dict)
+    warm_hits: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -159,6 +216,7 @@ class LoadResult:
             "latency_ms": {q: self.latency_ms(q) for q in (50.0, 95.0, 99.0)},
             "max_lateness_s": self.max_lateness_s,
             "status_counts": dict(self.status_counts),
+            "warm_hits": self.warm_hits,
         }
 
     def summary_lines(self) -> list[str]:
@@ -172,6 +230,9 @@ class LoadResult:
         ]
         if self.mode == "open":
             lines.append(f"max dispatch lateness = {self.max_lateness_s * 1e3:.2f} ms")
+        if self.mode == "session":
+            warm = f"{self.warm_hits}/{self.requests}" if self.requests else "0/0"
+            lines.append(f"warm starts = {warm}")
         return lines
 
     def histogram_lines(self, width: int = 40) -> list[str]:
@@ -219,6 +280,7 @@ class _Recorder:
         self.ok = 0
         self.errors = 0
         self.cache_hits = 0
+        self.warm_hits = 0
 
     def record(self, status: int, latency_s: float, cache_header: str | None,
                lateness_s: float | None = None) -> None:
@@ -233,6 +295,9 @@ class _Recorder:
             if cache_header in ("hit", "coalesced"):
                 # Both mean "no dedicated solve ran for this request".
                 self.cache_hits += 1
+            elif cache_header == "warm":
+                # A dedicated (but repair-only) solve ran: count separately.
+                self.warm_hits += 1
             if lateness_s is not None:
                 self.lateness.append(lateness_s)
 
@@ -300,6 +365,7 @@ def run_closed_loop(
         duration_s=duration,
         latencies_s=tuple(recorder.latencies),
         status_counts=recorder.status_counts,
+        warm_hits=recorder.warm_hits,
     )
 
 
@@ -377,6 +443,105 @@ def run_open_loop(
         latencies_s=tuple(recorder.latencies),
         lateness_s=tuple(recorder.lateness),
         status_counts=recorder.status_counts,
+        warm_hits=recorder.warm_hits,
+    )
+
+
+def run_session_loop(
+    url: str,
+    *,
+    sessions: int = 4,
+    steps: int = 8,
+    base_rects: int = 20,
+    step_rects: int = 2,
+    seed: int = 0,
+    algorithm: str | None = None,
+    params: dict | None = None,
+    timeout: float = 30.0,
+) -> LoadResult:
+    """One thread per session: create, replay a stream step by step, delete.
+
+    Only the ``/session/{id}/step`` posts are recorded as samples — the
+    create/delete envelope is bookkeeping, not the workload.  A failed
+    create is recorded as one error sample and the session is abandoned;
+    a step whose connection dies is recorded as a synthetic ``599`` and
+    the loop reconnects and continues (the server's session registry is
+    soft state, so a retried step on a fresh connection still lands).
+    """
+    if sessions < 1:
+        raise InvalidInstanceError(f"sessions must be >= 1, got {sessions}")
+    if steps < 1:
+        raise InvalidInstanceError(f"steps must be >= 1, got {steps}")
+    host, port = _parse_url(url)
+    per_session = session_step_bodies(
+        sessions, steps, base_rects=base_rects, step_rects=step_rects, seed=seed
+    )
+    create_body: dict = {}
+    if algorithm is not None:
+        create_body["algorithm"] = algorithm
+    if params is not None:
+        create_body["params"] = params
+    create_payload = json.dumps(create_body).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    recorder = _Recorder()
+
+    def worker(bodies: list[bytes]) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            t0 = time.perf_counter()
+            try:
+                conn.request("POST", "/session", body=create_payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                if response.status != 200:
+                    recorder.record(response.status, time.perf_counter() - t0, None)
+                    return
+                sid = json.loads(raw)["session"]["id"]
+            except (OSError, http.client.HTTPException, KeyError, ValueError):
+                recorder.record(599, time.perf_counter() - t0, None)
+                return
+            path = f"/session/{sid}/step"
+            for payload in bodies:
+                t0 = time.perf_counter()
+                try:
+                    conn.request("POST", path, body=payload, headers=headers)
+                    response = conn.getresponse()
+                    response.read()
+                    status, cache = response.status, response.getheader("X-Repro-Cache")
+                except (OSError, http.client.HTTPException):
+                    conn.close()
+                    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+                    recorder.record(599, time.perf_counter() - t0, None)
+                    continue
+                recorder.record(status, time.perf_counter() - t0, cache)
+            try:
+                conn.request("DELETE", f"/session/{sid}", headers=headers)
+                conn.getresponse().read()
+            except (OSError, http.client.HTTPException):
+                pass  # teardown is best-effort; the run's samples are complete
+        finally:
+            conn.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, args=(bodies,), daemon=True)
+        for bodies in per_session
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - started
+    return LoadResult(
+        mode="session",
+        requests=len(recorder.latencies),
+        ok=recorder.ok,
+        errors=recorder.errors,
+        cache_hits=recorder.cache_hits,
+        duration_s=duration,
+        latencies_s=tuple(recorder.latencies),
+        status_counts=recorder.status_counts,
+        warm_hits=recorder.warm_hits,
     )
 
 

@@ -38,6 +38,20 @@ The router adds a second coalescing layer above the workers: concurrent
 identical misses collapse at the front door too, so a worker respawn
 storm or a hot key never multiplies into duplicate solves downstream.
 
+Sessions ride the same ring: ``POST /session`` registers the session's
+solve defaults in the router and creates mirror state on the worker that
+owns the affinity key ``session|{id}``, and every ``POST
+/session/{id}/step`` forwards to that owner — so one session's stream of
+near-duplicate instances keeps hitting one worker's L1 and neighbor
+index (the warm-start locality story).  Steps bypass the front-door
+coalescing on purpose: distinct steps of one session are distinct
+solves that merely share an affinity key.  The router enriches each
+forwarded step with the session's defaults, so when the owning worker
+dies mid-session the ring successor rebuilds the session from the step
+body itself — failover loses zero steps.  While draining, new sessions
+are refused (503); registered sessions keep stepping until the listener
+closes.
+
 ``/metrics`` aggregates the fleet — summed queue/cache counters keep the
 single-process document shape, with per-worker detail nested under
 ``"workers"`` and router-level counters under ``"router"`` (in Prometheus
@@ -53,6 +67,7 @@ import json
 import logging
 import multiprocessing
 import random
+import re
 import time
 from http import HTTPStatus
 from typing import Any, Iterable, Mapping
@@ -429,6 +444,12 @@ class RouterServer(HttpServerBase):
         self._clients: dict[int, _WorkerClient] = {}
         self._ring = HashRing(replicas=replicas)
         self._inflight: dict[str, asyncio.Future] = {}
+        # Session registry: id -> {"algorithm", "params"}.  The router is
+        # the source of truth; worker-side session state is a soft mirror
+        # rebuilt on failover from the enriched step bodies.
+        self._sessions: dict[str, dict[str, Any]] = {}
+        self._session_seq = 0
+        self._session_steps = 0
         self._retries = 0
         self._request_retries = 0
         self._respawns_inflight: set[int] = set()
@@ -685,8 +706,125 @@ class RouterServer(HttpServerBase):
         ("GET", "/metrics"): "_metrics",
         ("POST", "/solve"): "_solve",
         ("POST", "/portfolio"): "_portfolio",
+        ("POST", "/session"): "_session_create",
     }
     ENDPOINTS = frozenset(path for _, path in ROUTES)
+    DYNAMIC_ROUTES = (
+        (
+            "POST",
+            re.compile(r"/session/(?P<session_id>[^/]+)/step"),
+            "_session_step",
+            "/session/{id}/step",
+        ),
+        (
+            "DELETE",
+            re.compile(r"/session/(?P<session_id>[^/]+)"),
+            "_session_delete",
+            "/session/{id}",
+        ),
+    )
+
+    @staticmethod
+    def _session_key(session_id: str) -> str:
+        """The ring affinity key of one session: every create/step/delete
+        of the session routes to the same worker (until it dies)."""
+        return f"session|{session_id}"
+
+    async def _session_create(
+        self, body: bytes, headers
+    ) -> tuple[int, dict[str, str], bytes]:
+        if self._draining:
+            raise _BadRequest(
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                "draining: not accepting new sessions",
+            )
+        data = parse_json_body(body)
+        algorithm = data.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithm' must be a string")
+        params = data.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+        self._session_seq += 1
+        session_id = f"s{self._session_seq:06d}"
+        # Forward with an explicit id so the owning worker mirrors the
+        # session under the same name the client will step it by.
+        forwarded = dict(data)
+        forwarded["id"] = session_id
+        status, _resp_headers, payload = await self._forward(
+            self._session_key(session_id),
+            "/session",
+            json.dumps(forwarded).encode("utf-8"),
+        )
+        if status == 200:
+            self._sessions[session_id] = {"algorithm": algorithm, "params": params}
+        return status, {}, payload
+
+    async def _session_step(
+        self, body: bytes, headers, session_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise _BadRequest(HTTPStatus.NOT_FOUND, f"no such session: {session_id}")
+        data = parse_json_body(body)
+        # Enrich with the session's solve defaults: the worker resolves
+        # the step exactly like a one-shot /solve, and — crucially — a
+        # failover successor can rebuild the session from this body alone.
+        enriched = dict(data)
+        if "algorithm" not in enriched and session["algorithm"] is not None:
+            enriched["algorithm"] = session["algorithm"]
+        if "params" not in enriched and session["params"] is not None:
+            enriched["params"] = session["params"]
+        # No front-door coalescing here: distinct steps of one session
+        # share the affinity key, and coalescing them would wrongly serve
+        # one step's placement for another.
+        status, resp_headers, payload = await self._forward(
+            self._session_key(session_id),
+            f"/session/{session_id}/step",
+            json.dumps(enriched).encode("utf-8"),
+        )
+        self._session_steps += 1
+        extra = (
+            {"X-Repro-Cache": resp_headers.get("x-repro-cache", "miss")}
+            if status == 200
+            else {}
+        )
+        return status, extra, payload
+
+    async def _session_delete(
+        self, body: bytes, headers, session_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise _BadRequest(HTTPStatus.NOT_FOUND, f"no such session: {session_id}")
+        try:
+            status, _resp_headers, payload = await self._forward_delete(session_id)
+        except _BadRequest:
+            # The owner is gone and its soft state with it — the registry
+            # removal above already completed the teardown.
+            status, payload = 0, b""
+        if status != 200:
+            payload = json.dumps(
+                {"deleted": session_id, "steps": None},
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+        return 200, {}, payload
+
+    async def _forward_delete(self, session_id: str):
+        """DELETE has no retry semantics to honour — one attempt at the
+        owner is enough (soft state dies with the worker anyway)."""
+        key = self._session_key(session_id)
+        order = self._ring.preference(key)
+        if not order:
+            raise _BadRequest(HTTPStatus.SERVICE_UNAVAILABLE, "no workers available")
+        client = self._clients[order[0]]
+        try:
+            return await client.request("DELETE", f"/session/{session_id}")
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            raise _BadRequest(
+                HTTPStatus.SERVICE_UNAVAILABLE, f"worker unavailable: {exc}"
+            )
 
     async def _solve(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         data = parse_json_body(body)
@@ -760,6 +898,7 @@ class RouterServer(HttpServerBase):
         cache: dict[str, float] = {
             "hits": 0, "misses": 0, "evictions": 0, "spills": 0,
             "spill_hits": 0, "corruptions": 0, "entries": 0, "bytes": 0,
+            "warm_hits": 0,
         }
         for snap in workers.values():
             wq, wc = snap.get("queue", {}), snap.get("cache", {})
@@ -783,7 +922,13 @@ class RouterServer(HttpServerBase):
             "workers": self._fleet_counts(),
             "retries": self._retries,
             "request_retries": self._request_retries,
+            "sessions": {
+                "active": len(self._sessions),
+                "created": self._session_seq,
+                "steps": self._session_steps,
+            },
         }
+        snapshot["sessions"] = snapshot["router"]["sessions"]
         if self.faults is not None:
             snapshot["router"]["faults_injected"] = self.faults.fired + sum(
                 snap.get("faults", {}).get("injected", 0) for snap in workers.values()

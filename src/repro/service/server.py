@@ -18,14 +18,28 @@ Endpoints
     Body ``{"instance": {...}, "algorithm"?: str, "params"?: {...}}``
     (instance format: :mod:`repro.core.serialize`).  Responds with the
     serialised :class:`~repro.engine.report.SolveReport` + placement.  The
-    ``X-Repro-Cache: hit | coalesced | miss`` header says whether the
-    content-addressed cache served it, a concurrent in-flight solve of the
-    same key was joined, or this request triggered the solve; all three
-    return the exact bytes of the original miss.
+    ``X-Repro-Cache: hit | coalesced | warm | miss`` header says whether
+    the content-addressed cache served it, a concurrent in-flight solve of
+    the same key was joined, a warm-start repair of a cached neighbor
+    placement answered (``warm_delta`` opt-in, see
+    :mod:`repro.engine.warmstart`), or this request triggered a cold
+    solve; ``hit``/``coalesced`` return the exact bytes of the original
+    answer.
 ``POST /portfolio``
     Body ``{"instance": {...}, "algorithms"?: [str], "params"?: {...}}``.
     Races the entrants via :func:`repro.engine.portfolio` off the event
     loop and responds with the winner plus every entrant's summary.
+``POST /session`` / ``POST /session/{id}/step`` / ``DELETE /session/{id}``
+    Long-lived solve sessions for online traffic.  ``POST /session``
+    (body ``{"algorithm"?: str, "params"?: {...}}``) registers per-session
+    solve defaults and returns ``{"session": {...}}``; each *step* posts
+    ``{"instance": {...}}`` and is answered exactly like ``/solve`` with
+    the session's defaults merged in.  Session state is *soft*: a step
+    for an unknown id (re)creates it from the step body, which is what
+    lets the router migrate a session to a ring successor mid-stream
+    after a worker crash without losing a step.  Creating sessions is
+    refused with 503 once a drain began (teardown-aware), existing
+    sessions may finish their in-flight steps.
 ``GET /healthz``
     Liveness: ``{"status": "ok", "version": ..., "uptime_s": ...}``.
 ``GET /metrics``
@@ -49,6 +63,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
 import time
 from collections import deque
@@ -58,8 +73,15 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.errors import InvalidInstanceError, ReproError
-from ..core.serialize import instance_from_dict, placement_to_dict, result_key
-from .cache import DEFAULT_CACHE_BYTES, ResultCache
+from ..core.serialize import (
+    instance_from_dict,
+    instance_sketch,
+    instance_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    result_key,
+)
+from .cache import DEFAULT_CACHE_BYTES, NeighborIndex, ResultCache
 from .faults import FaultInjector, FaultPlan, as_injector
 from .queue import BackpressureError, MicroBatcher
 
@@ -211,6 +233,10 @@ _PROM_TYPES = {
     "repro_cache_corruptions_total": "counter",
     "repro_cache_entries": "gauge",
     "repro_cache_bytes": "gauge",
+    "repro_cache_warm_hits_total": "counter",
+    "repro_sessions_active": "gauge",
+    "repro_sessions_created_total": "counter",
+    "repro_session_steps_total": "counter",
     "repro_workers_total": "gauge",
     "repro_workers_alive": "gauge",
     "repro_worker_restarts_total": "counter",
@@ -263,6 +289,11 @@ def prometheus_samples(
         add(f"repro_cache_{field}_total", cache.get(field))
     add("repro_cache_entries", cache.get("entries"))
     add("repro_cache_bytes", cache.get("bytes"))
+    add("repro_cache_warm_hits_total", cache.get("warm_hits"))
+    sessions = snapshot.get("sessions", {})
+    add("repro_sessions_active", sessions.get("active"))
+    add("repro_sessions_created_total", sessions.get("created"))
+    add("repro_session_steps_total", sessions.get("steps"))
     add("repro_faults_injected_total", snapshot.get("faults", {}).get("injected"))
     return out
 
@@ -387,6 +418,10 @@ class HttpServerBase:
     #: (method, path) -> handler name; also the metrics cardinality bound.
     ROUTES: dict[tuple[str, str], str] = {}
     ENDPOINTS: frozenset[str] = frozenset()
+    #: Path-parameterised routes: (method, compiled pattern, handler name,
+    #: endpoint label).  The label replaces the raw path in metrics, so
+    #: ``/session/<anything>/step`` is one bounded series, not one per id.
+    DYNAMIC_ROUTES: tuple[tuple[str, "re.Pattern[str]", str, str], ...] = ()
 
     def __init__(self) -> None:
         self.metrics = ServiceMetrics()
@@ -476,8 +511,9 @@ class HttpServerBase:
                     self._active_requests -= 1
                 # Unmatched paths share one metrics key, so a client
                 # probing random URLs cannot grow the endpoint table.
-                endpoint = path if path in self.ENDPOINTS else "unmatched"
-                self.metrics.record(endpoint, status, time.monotonic() - t0)
+                self.metrics.record(
+                    self._endpoint_label(path), status, time.monotonic() - t0
+                )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._draining
@@ -589,16 +625,47 @@ class HttpServerBase:
 
     # -- routing ----------------------------------------------------------
 
+    def _endpoint_label(self, path: str) -> str:
+        """The bounded metrics key for ``path`` (dynamic routes collapse
+        onto their label, everything unknown onto ``"unmatched"``)."""
+        if path in self.ENDPOINTS:
+            return path
+        for _method, pattern, _handler, label in self.DYNAMIC_ROUTES:
+            if pattern.fullmatch(path):
+                return label
+        return "unmatched"
+
+    def _match_dynamic(
+        self, method: str, path: str
+    ) -> tuple[str | None, dict[str, str], bool]:
+        """Resolve ``path`` against :data:`DYNAMIC_ROUTES`: returns
+        ``(handler_name, path_args, path_known)`` where ``path_known``
+        distinguishes a 405 (path exists, wrong method) from a 404."""
+        path_known = False
+        for route_method, pattern, handler_name, _label in self.DYNAMIC_ROUTES:
+            match = pattern.fullmatch(path)
+            if match is None:
+                continue
+            path_known = True
+            if route_method == method:
+                return handler_name, match.groupdict(), True
+        return None, {}, path_known
+
     async def _dispatch(
         self, method: str, path: str, headers: Mapping[str, str], body: bytes
     ) -> tuple[int, dict[str, str], bytes]:
         handler_name = self.ROUTES.get((method, path))
+        path_args: dict[str, str] = {}
         if handler_name is None:
-            if path in self.ENDPOINTS:
-                return self._error(HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed on {path}")
-            return self._error(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
+            handler_name, path_args, path_known = self._match_dynamic(method, path)
+            if handler_name is None:
+                if path in self.ENDPOINTS or path_known:
+                    return self._error(
+                        HTTPStatus.METHOD_NOT_ALLOWED, f"{method} not allowed on {path}"
+                    )
+                return self._error(HTTPStatus.NOT_FOUND, f"no such endpoint: {path}")
         try:
-            return await getattr(self, handler_name)(body, headers)
+            return await getattr(self, handler_name)(body, headers, **path_args)
         except _BadRequest as exc:
             return self._error(exc.status, str(exc))
         except asyncio.CancelledError:
@@ -642,9 +709,14 @@ class SolveServer(HttpServerBase):
         queue_size: int = 512,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         cache_dir: Path | str | None = None,
+        warm_delta: float | None = None,
         faults: "FaultInjector | FaultPlan | Mapping[str, Any] | None" = None,
     ) -> None:
         super().__init__()
+        if warm_delta is not None and warm_delta < 0:
+            raise InvalidInstanceError(
+                f"warm_delta must be >= 0, got {warm_delta}"
+            )
         # One injector is shared with the cache and the batcher, so a
         # plan's per-site counters see every seam of this process.
         self.faults = as_injector(faults)
@@ -668,6 +740,23 @@ class SolveServer(HttpServerBase):
         self._inflight: dict[str, asyncio.Future] = {}
         self._backend = backend
         self._jobs = jobs
+        # Warm-start delta solving is opt-in (warm_delta=None keeps every
+        # answer byte-identical to a cold engine run, which the chaos and
+        # differential suites pin).  When enabled, the neighbor index maps
+        # LSH sketches to cached instances so a near-duplicate request is
+        # answered by repairing the neighbor's placement instead of
+        # re-solving from scratch (see repro.engine.warmstart).
+        self.warm_delta = warm_delta
+        self.neighbors = NeighborIndex() if warm_delta is not None else None
+        self._warm_hits = 0
+        # Long-lived sessions: id -> {"algorithm", "params", "steps"}.
+        # Soft state touched only on the event loop — a step for an
+        # unknown id recreates it, so losing this dict (worker crash)
+        # costs nothing but the recreate.
+        self._sessions: dict[str, dict[str, Any]] = {}
+        self._session_seq = 0
+        self._sessions_created = 0
+        self._session_steps = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -765,8 +854,23 @@ class SolveServer(HttpServerBase):
         ("GET", "/metrics"): "_metrics",
         ("POST", "/solve"): "_solve",
         ("POST", "/portfolio"): "_portfolio",
+        ("POST", "/session"): "_session_create",
     }
     ENDPOINTS = frozenset(path for _, path in ROUTES)
+    DYNAMIC_ROUTES = (
+        (
+            "POST",
+            re.compile(r"/session/(?P<session_id>[^/]+)/step"),
+            "_session_step",
+            "/session/{id}/step",
+        ),
+        (
+            "DELETE",
+            re.compile(r"/session/(?P<session_id>[^/]+)"),
+            "_session_delete",
+            "/session/{id}",
+        ),
+    )
 
     async def _healthz(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         from .. import __version__
@@ -781,6 +885,12 @@ class SolveServer(HttpServerBase):
         snapshot = self.metrics.snapshot()
         snapshot["queue"] = self.batcher.stats().to_dict()
         snapshot["cache"] = self.cache.stats().to_dict()
+        snapshot["cache"]["warm_hits"] = self._warm_hits
+        snapshot["sessions"] = {
+            "active": len(self._sessions),
+            "created": self._sessions_created,
+            "steps": self._session_steps,
+        }
         if self.faults is not None:
             snapshot["faults"] = {
                 "injected": self.faults.fired,
@@ -795,19 +905,101 @@ class SolveServer(HttpServerBase):
             return 200, {"Content-Type": PROMETHEUS_CONTENT_TYPE}, payload
         return 200, {}, json.dumps(snapshot, sort_keys=True).encode("utf-8")
 
-    async def _solve(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
-        data = self._json_body(body)
-        key, name, params, instance = resolve_solve_request(data)
-        self.metrics.count_algorithm(name)
+    # -- warm-start plumbing ----------------------------------------------
+
+    def _warm_attempt(
+        self,
+        key: str,
+        name: str,
+        params,
+        instance,
+        state: dict[str, Any],
+    ) -> bytes | None:
+        """Try to answer ``key`` by repairing a cached neighbor placement.
+
+        Runs on the executor (sketching + repair are CPU work).  Returns
+        the encoded payload on an accepted repair, ``None`` otherwise —
+        the caller then takes the normal cold path.  ``state`` receives
+        the computed sketch/bucket so the cold path can register the
+        instance without re-sketching.
+        """
+        assert self.neighbors is not None
+        sketch = instance_sketch(instance)
+        bucket = key.split("|", 1)[1]  # spec|params: same-solver scope
+        state["sketch"], state["bucket"] = sketch, bucket
+        found = self.neighbors.nearest(bucket=bucket, sketch=sketch, exclude=key)
+        if found is None:
+            return None
+        neighbor_key, neighbor_dict = found
+        # Memory tier only: a neighbor whose payload already left L1 is
+        # not worth a disk read on the hot path — solve cold instead.
+        cached = self.cache.get_memory(neighbor_key)
+        if cached is None:
+            return None
+        from ..engine.warmstart import try_warm
+
+        try:
+            neighbor_instance = instance_from_dict(neighbor_dict)
+            doc = json.loads(cached)
+            if doc.get("placement") is None:
+                return None
+            neighbor_placement = placement_from_dict(doc["placement"], neighbor_instance)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None
+        report = try_warm(
+            instance,
+            name,
+            params=params,
+            neighbor=(neighbor_instance, neighbor_placement),
+            delta=self.warm_delta,
+        )
+        if report is None:
+            return None
+        self.neighbors.add(
+            key, bucket=bucket, sketch=sketch, instance=instance_to_dict(instance)
+        )
+        return encode_report(report)
+
+    def _remember_neighbor(self, key: str, instance, state: dict[str, Any]) -> None:
+        """Register a cold-solved instance in the neighbor index."""
+        assert self.neighbors is not None
+        sketch = state.get("sketch") or instance_sketch(instance)
+        bucket = state.get("bucket") or key.split("|", 1)[1]
+        self.neighbors.add(
+            key, bucket=bucket, sketch=sketch, instance=instance_to_dict(instance)
+        )
+
+    async def _solve_payload(
+        self, key: str, name: str, params, instance
+    ) -> tuple[bytes, str]:
+        """The shared ``/solve`` + session-step engine path: cache →
+        coalesce → warm-start (opt-in) → micro-batched cold solve.
+
+        Returns ``(payload, "hit" | "coalesced" | "warm" | "miss")``.
+        """
+        warmed = {}
+        state: dict[str, Any] = {}
 
         async def produce() -> bytes:
             # The pre/post-solve seams run on the executor so an injected
             # `slow`/`hang` stalls this request without blocking the loop
             # (a `crash` hard-kills the process from any thread anyway).
+            loop = asyncio.get_running_loop()
             if self.faults is not None:
-                await asyncio.get_running_loop().run_in_executor(
+                await loop.run_in_executor(
                     None, self.faults.fire_sync, "worker.pre_solve"
                 )
+            if self.neighbors is not None:
+                payload = await loop.run_in_executor(
+                    None, self._warm_attempt, key, name, params, instance, state
+                )
+                if payload is not None:
+                    warmed["warm"] = True
+                    if self.faults is not None:
+                        await loop.run_in_executor(
+                            None, self.faults.fire_sync, "worker.post_solve"
+                        )
+                    return payload
             try:
                 future = self.batcher.submit(instance, name, params)
                 # The queue can also shed this request *after* accepting
@@ -820,13 +1012,132 @@ class SolveServer(HttpServerBase):
                     HTTPStatus.UNPROCESSABLE_ENTITY, report.error or "solve failed"
                 )
             if self.faults is not None:
-                await asyncio.get_running_loop().run_in_executor(
+                await loop.run_in_executor(
                     None, self.faults.fire_sync, "worker.post_solve"
+                )
+            if self.neighbors is not None:
+                await loop.run_in_executor(
+                    None, self._remember_neighbor, key, instance, state
                 )
             return encode_report(report)
 
         payload, source = await self._coalesced(key, produce)
+        if source == "miss" and warmed:
+            source = "warm"
+            self._warm_hits += 1
+        return payload, source
+
+    async def _solve(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
+        data = self._json_body(body)
+        key, name, params, instance = resolve_solve_request(data)
+        self.metrics.count_algorithm(name)
+        payload, source = await self._solve_payload(key, name, params, instance)
         return 200, {"X-Repro-Cache": source}, payload
+
+    # -- sessions ----------------------------------------------------------
+
+    @staticmethod
+    def _session_defaults(data: dict[str, Any]) -> tuple[str | None, dict | None]:
+        """Validate the per-session solve defaults out of a JSON body."""
+        algorithm = data.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'algorithm' must be a string")
+        params = data.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise _BadRequest(HTTPStatus.BAD_REQUEST, "'params' must be an object")
+        if algorithm is not None:
+            from ..engine import get_spec
+
+            try:
+                get_spec(algorithm)
+            except ReproError as exc:
+                raise _BadRequest(HTTPStatus.UNPROCESSABLE_ENTITY, str(exc))
+        return algorithm, params
+
+    @staticmethod
+    def _session_payload(session_id: str, session: Mapping[str, Any]) -> bytes:
+        return json.dumps(
+            {
+                "session": {
+                    "id": session_id,
+                    "algorithm": session["algorithm"],
+                    "params": session["params"],
+                    "steps": session["steps"],
+                }
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    async def _session_create(
+        self, body: bytes, headers
+    ) -> tuple[int, dict[str, str], bytes]:
+        if self._draining:
+            raise _BadRequest(
+                HTTPStatus.SERVICE_UNAVAILABLE,
+                "draining: not accepting new sessions",
+            )
+        data = self._json_body(body)
+        if self.faults is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.faults.fire_sync, "session.create"
+            )
+        algorithm, params = self._session_defaults(data)
+        session_id = data.get("id")
+        if session_id is None:
+            self._session_seq += 1
+            session_id = f"s{self._session_seq:06d}"
+        elif not isinstance(session_id, str) or not session_id or "/" in session_id:
+            raise _BadRequest(
+                HTTPStatus.BAD_REQUEST, "'id' must be a non-empty string without '/'"
+            )
+        session = {"algorithm": algorithm, "params": params, "steps": 0}
+        self._sessions[session_id] = session
+        self._sessions_created += 1
+        return 200, {}, self._session_payload(session_id, session)
+
+    async def _session_step(
+        self, body: bytes, headers, session_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        data = self._json_body(body)
+        if self.faults is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.faults.fire_sync, "session.step"
+            )
+        session = self._sessions.get(session_id)
+        if session is None:
+            # Soft state: recreate the session from the step body.  The
+            # router enriches forwarded steps with the session's solve
+            # defaults, so after a worker crash the ring successor picks
+            # the stream up mid-flight without losing a step.
+            algorithm, params = self._session_defaults(data)
+            session = {"algorithm": algorithm, "params": params, "steps": 0}
+            self._sessions[session_id] = session
+            self._sessions_created += 1
+        merged = dict(data)
+        if "algorithm" not in merged and session["algorithm"] is not None:
+            merged["algorithm"] = session["algorithm"]
+        if "params" not in merged and session["params"] is not None:
+            merged["params"] = session["params"]
+        key, name, params, instance = resolve_solve_request(merged)
+        self.metrics.count_algorithm(name)
+        payload, source = await self._solve_payload(key, name, params, instance)
+        session["steps"] += 1
+        self._session_steps += 1
+        return 200, {"X-Repro-Cache": source}, payload
+
+    async def _session_delete(
+        self, body: bytes, headers, session_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise _BadRequest(HTTPStatus.NOT_FOUND, f"no such session: {session_id}")
+        payload = json.dumps(
+            {"deleted": session_id, "steps": session["steps"]},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return 200, {}, payload
 
     async def _portfolio(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         data = self._json_body(body)

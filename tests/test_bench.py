@@ -358,6 +358,64 @@ class TestCommittedScalingArtifact:
         assert committed & quick
 
 
+class TestCommittedSessionsArtifact:
+    """The checked-in warm-start triad artifact: cached vs warm vs cold."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "artifacts" / "BENCH_service_sessions.json"
+        )
+        return load_artifact(path)  # schema-validates
+
+    @staticmethod
+    def _metrics(artifact):
+        return {(p["label"], p["size"]): p["metrics"] for p in artifact["points"]}
+
+    def test_warm_latency_strictly_between_cached_and_cold(self, artifact):
+        """ISSUE acceptance: cached p50 < warm p50 < cold p50 at every size."""
+        by_point = self._metrics(artifact)
+        for size in {s for _, s in by_point}:
+            cached = by_point[("cached", size)]["p50_ms"]
+            warm = by_point[("warm", size)]["p50_ms"]
+            cold = by_point[("cold", size)]["p50_ms"]
+            assert cached < warm < cold
+
+    def test_warm_at_least_1_5x_faster_than_cold(self, artifact):
+        """ISSUE acceptance: warm repair >= 1.5x faster than a cold solve."""
+        by_point = self._metrics(artifact)
+        for size in {s for _, s in by_point}:
+            ratio = by_point[("cold", size)]["p50_ms"] / by_point[("warm", size)]["p50_ms"]
+            assert ratio >= 1.5
+
+    def test_entry_provenance_is_what_the_label_claims(self, artifact):
+        """cached hits the content cache, warm repairs a neighbor, cold
+        does neither — the headers the loadgen counted must agree."""
+        for (label, _), metrics in self._metrics(artifact).items():
+            assert metrics["ok"] is True
+            if label == "cached":
+                assert metrics["hit_rate"] == 1.0
+            elif label == "warm":
+                assert metrics["warm_rate"] >= 0.8
+                assert metrics["hit_rate"] == 0.0
+            else:
+                assert metrics["warm_rate"] == 0.0
+                assert metrics["hit_rate"] == 0.0
+
+    def test_quick_sizes_overlap_for_ci_compare(self, artifact):
+        """CI diffs a --quick run against this artifact; at least one
+        (label, size) point must overlap or compare_artifacts errors."""
+        from repro.bench import get_bench
+
+        spec = get_bench("service_sessions")
+        committed = {(p["label"], p["size"]) for p in artifact["points"]}
+        quick = {(e.label, s) for e in spec.entries for s in spec.sweep(quick=True)}
+        assert committed & quick
+
+
 # ----------------------------------------------------------------------
 # comparison mode
 # ----------------------------------------------------------------------

@@ -30,7 +30,7 @@ import pytest
 
 from repro.core.errors import InvalidInstanceError
 from repro.service.cache import ResultCache
-from repro.service.chaos import ChaosReport, run_chaos
+from repro.service.chaos import ChaosReport, run_chaos, run_session_chaos
 from repro.service.faults import (
     FAULT_SITES,
     FaultInjector,
@@ -304,6 +304,35 @@ class TestChaosMatrix:
         _assert_invariants(report)
         assert report.retries >= 1
 
+    def test_session_kill_migrates_sessions_with_zero_lost_steps(self):
+        """The committed session-kill plan: a worker dies mid-session.
+        The router's soft session registry re-creates every affected
+        session on the ring successor — no step may be lost and every
+        answer must match the cold baseline."""
+        report = run_session_chaos(
+            "examples/faultplans/session_kill.json",
+            workers=2, sessions=3, steps=4, base_rects=10, step_rects=2,
+        )
+        _assert_invariants(report)
+        assert report.requests == 12
+        assert report.recovered
+
+    def test_session_slow_seams_on_single_server(self):
+        """Injected latency at the session create/step seams must only
+        slow things down, never change status or bytes."""
+        plan = {
+            "seed": 23,
+            "faults": [
+                {"site": "session.create", "kind": "slow", "delay_s": 0.2, "count": 1},
+                {"site": "session.step", "kind": "slow", "delay_s": 0.2, "count": 1},
+            ],
+        }
+        report = run_session_chaos(
+            plan, workers=1, sessions=2, steps=3, base_rects=8, step_rects=2,
+        )
+        _assert_invariants(report)
+        assert report.faults_injected >= 1
+
     def test_repeated_crash_exhausts_restarts_degraded_but_serving(self):
         """Worker 0 crashes on every solve with a zero respawn budget: the
         fleet ends degraded — but the survivor answers everything."""
@@ -381,6 +410,17 @@ class TestChaosCli:
         code = main([
             "chaos", "examples/faultplans/worker_kill.json",
             "--workers", "2", "--requests", "16", "--rects", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "lost=0" in out and "PASS" in out
+
+    def test_committed_session_kill_plan_passes(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "chaos", "examples/faultplans/session_kill.json",
+            "--workers", "2", "--sessions", "2", "--steps", "3",
         ])
         out = capsys.readouterr().out
         assert code == 0, out

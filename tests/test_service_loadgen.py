@@ -14,6 +14,8 @@ from repro.service.loadgen import (
     arrival_offsets,
     run_closed_loop,
     run_open_loop,
+    run_session_loop,
+    session_step_bodies,
     solve_payloads,
 )
 
@@ -183,6 +185,93 @@ class TestLoadResult:
         result = self._result(latencies=())
         assert result.histogram_lines() == ["(no samples)"]
         assert result.latency_ms(50) == 0.0 and result.throughput_rps == 0.0
+
+    def test_histogram_single_sample(self):
+        result = self._result(latencies=(0.0057,))
+        lines = result.histogram_lines(width=10)
+        assert len(lines) == 1  # leading empty buckets are skipped
+        assert int(lines[0].split()[3]) == 1 and lines[0].endswith("#" * 10)
+
+    def test_zero_duration_has_no_nan_or_crash(self):
+        result = self._result(duration_s=0.0)
+        assert result.throughput_rps == 0.0
+        d = result.to_dict()
+        assert d["throughput_rps"] == 0.0
+        assert all(v == v for v in d["latency_ms"].values())  # no NaN
+        assert any("req/s" in line for line in result.summary_lines())
+
+    def test_open_loop_no_completions(self):
+        """All requests failed before dispatch: empty lateness must not crash."""
+        result = self._result(latencies=(), mode="open", lateness_s=())
+        assert result.max_lateness_s == 0.0
+        assert result.to_dict()["max_lateness_s"] == 0.0
+        text = "\n".join(result.summary_lines())
+        assert "lateness" in text and "0/0" in text
+
+    def test_warm_hits_default_and_round_trip(self):
+        assert self._result().warm_hits == 0
+        result = self._result(mode="session", warm_hits=2)
+        assert result.to_dict()["warm_hits"] == 2
+        assert any("warm starts = 2/3" in line for line in result.summary_lines())
+
+
+class TestSessionLoop:
+    def test_step_bodies_grow_by_prefix(self):
+        (bodies,) = session_step_bodies(1, 3, base_rects=5, step_rects=2, seed=9)
+        sizes = [len(json.loads(b)["instance"]["rects"]) for b in bodies]
+        assert sizes == [5, 7, 9]
+        again = session_step_bodies(1, 3, base_rects=5, step_rects=2, seed=9)
+        assert again == [bodies]
+        # step j is a strict prefix extension of step j-1 (by rect id)
+        ids = [
+            {r["id"] for r in json.loads(b)["instance"]["rects"]} for b in bodies
+        ]
+        assert ids[0] < ids[1] < ids[2]
+
+    def test_bad_arguments(self):
+        for kwargs in (
+            {"sessions": 0, "steps": 1},
+            {"sessions": 1, "steps": 0},
+            {"sessions": 1, "steps": 1, "base_rects": 0},
+            {"sessions": 1, "steps": 1, "step_rects": -1},
+        ):
+            with pytest.raises(InvalidInstanceError):
+                session_step_bodies(**kwargs)
+
+    def test_session_loop_warm_hits(self):
+        from repro.service.server import SolveServer
+
+        with InProcessServer(SolveServer(warm_delta=0.75)) as srv:
+            result = run_session_loop(srv.url, sessions=2, steps=4, seed=21)
+        assert result.mode == "session"
+        assert result.requests == 8 and result.errors == 0 and result.ok == 8
+        # every non-first step repairs the previous step's placement
+        assert result.warm_hits >= 6
+        assert any("warm starts" in line for line in result.summary_lines())
+
+    def test_cold_server_yields_no_warm_hits(self, server):
+        result = run_session_loop(server.url, sessions=1, steps=3, seed=22)
+        assert result.requests == 3 and result.errors == 0
+        assert result.warm_hits == 0
+
+    def test_bad_run_arguments(self, server):
+        with pytest.raises(InvalidInstanceError):
+            run_session_loop(server.url, sessions=0)
+        with pytest.raises(InvalidInstanceError):
+            run_session_loop(server.url, steps=0)
+
+    def test_unreachable_server_records_create_failure(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        result = run_session_loop(
+            f"http://127.0.0.1:{port}", sessions=2, steps=3, timeout=0.5
+        )
+        # one error sample per abandoned session, no step samples
+        assert result.requests == 2 and result.errors == 2 and result.ok == 0
 
 
 class TestSweepWorkers:

@@ -1,0 +1,247 @@
+"""Metamorphic warm-start properties over the algorithm registry.
+
+Every *offline* :class:`~repro.engine.spec.AlgorithmSpec` (the ``online_*``
+arrival-order simulators solve a different problem and are excluded) is
+swept over hypothesis-generated ``(neighbor, delta)`` pairs — the neighbor
+solved cold by that spec, the new instance derived from it by a rect-level
+edit (adds, removes, resizes) — and the warm-start layer is pinned by the
+metamorphic relations the service relies on:
+
+* an accepted repair passes the same :func:`validate_placement` /
+  invariant-by-invariant checks as any cold placement
+  (:func:`assert_placement_invariants` from the registry sweep);
+* an accepted repair's height is ≤ ``(1 + δ) ×`` the *cold* height of the
+  same instance — the δ-gate is stated against the lower bound, so the
+  cold-relative bound must hold without ever comparing against cold;
+* provenance is honest: ``warm``/``cached`` appears iff a neighbor repair
+  was accepted (``cached`` exactly when the delta is empty), and
+  :func:`warm_run` without a neighbor is indistinguishable from
+  :func:`repro.engine.run`;
+* :func:`try_warm` never solves cold — refusal is ``None``, not a cold
+  report in warm clothing.
+
+Same sweep shape as ``test_properties_registry.py``: parametrized over the
+registry, so new offline algorithms inherit the warm-start contract the
+moment they are registered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.instance import (
+    PrecedenceInstance,
+    ReleaseInstance,
+    StripPackingInstance,
+)
+from repro.core.rectangle import Rect
+from repro.core.serialize import instance_delta
+from repro.dag import TaskDAG
+from repro.engine import all_specs, run
+from repro.engine.warmstart import DEFAULT_DELTA, repair_placement, try_warm, warm_run
+
+from .test_properties_registry import assert_placement_invariants, instance_for
+
+OFFLINE_SPECS = [s for s in all_specs() if not s.name.startswith("online_")]
+OFFLINE_IDS = [s.name for s in OFFLINE_SPECS]
+
+
+def _uniformize(instance: StripPackingInstance) -> StripPackingInstance:
+    """Height-1 version of ``instance`` (for specs restricted to uniform
+    heights), preserving variant, ``K``, and the DAG."""
+    rects = [r.replace(height=1.0) for r in instance.rects]
+    if isinstance(instance, ReleaseInstance):
+        return instance.with_rects(rects)
+    if isinstance(instance, PrecedenceInstance):
+        return PrecedenceInstance(rects, instance.dag)
+    return StripPackingInstance(rects)
+
+
+def _rebuild(template: StripPackingInstance, rects: list[Rect]) -> StripPackingInstance:
+    """An instance over ``rects`` with ``template``'s variant; precedence
+    edges are restricted to surviving ids (the repairable edge shape) and
+    new ids join the DAG as unconstrained nodes."""
+    if isinstance(template, ReleaseInstance):
+        return template.with_rects(rects)
+    if isinstance(template, PrecedenceInstance):
+        ids = {r.rid for r in rects}
+        edges = [(u, v) for u, v in template.dag.edges() if u in ids and v in ids]
+        return PrecedenceInstance(rects, TaskDAG(ids, edges))
+    return StripPackingInstance(rects)
+
+
+def perturb(
+    instance: StripPackingInstance,
+    seed: int,
+    *,
+    n_add: int,
+    n_remove: int,
+    n_resize: int,
+    uniform_heights: bool = False,
+) -> StripPackingInstance:
+    """A rect-level edit of ``instance``: remove ``n_remove``, resize
+    ``n_resize`` of the survivors, append ``n_add`` fresh rects.
+
+    Edited dimensions stay inside the old instance's observed envelope
+    (``[min, max]`` width and height), so declared input restrictions
+    that are envelopes — APTAS's ``h <= 1`` / ``w >= 1/K``, the uniform-
+    height shelf — survive the delta by construction."""
+    rng = np.random.default_rng(seed)
+    rects = sorted(instance.rects, key=lambda r: str(r.rid))
+    w_lo = min(r.width for r in rects)
+    w_hi = max(r.width for r in rects)
+    h_lo = min(r.height for r in rects)
+    h_hi = max(r.height for r in rects)
+    n_remove = min(n_remove, max(0, len(rects) - 1))  # keep >= 1 survivor
+    keep = rects[n_remove:]
+    out: list[Rect] = []
+    for i, r in enumerate(keep):
+        if i < n_resize:
+            width = float(rng.uniform(w_lo, w_hi))
+            if uniform_heights:
+                out.append(r.replace(width=width))
+            else:
+                out.append(r.replace(width=width, height=float(rng.uniform(h_lo, h_hi))))
+        else:
+            out.append(r)
+    rmax = max((r.release for r in instance.rects), default=0.0)
+    for i in range(n_add):
+        out.append(Rect(
+            rid=f"delta{i}",
+            width=float(rng.uniform(w_lo, w_hi)),
+            height=1.0 if uniform_heights else float(rng.uniform(h_lo, h_hi)),
+            release=float(rng.uniform(0.0, rmax)) if rmax > 0.0 else 0.0,
+        ))
+    return _rebuild(instance, out)
+
+
+def neighbor_pair(spec, seed: int, n: int, n_add: int, n_remove: int, n_resize: int):
+    """``(old, cold_report_of_old, new)`` for ``spec``, honoring declared
+    input restrictions (uniform heights) on both sides of the delta."""
+    old = instance_for(spec, seed, n=n)
+    uniform = False
+    try:
+        report = run(old, spec.name)
+    except InvalidInstanceError:
+        uniform = True
+        old = _uniformize(old)
+        report = run(old, spec.name)
+    new = perturb(
+        old, seed + 1,
+        n_add=n_add, n_remove=n_remove, n_resize=n_resize,
+        uniform_heights=uniform,
+    )
+    return old, report, new
+
+
+DELTAS = st.tuples(
+    st.integers(min_value=0, max_value=2**16),  # seed
+    st.integers(min_value=6, max_value=14),     # n
+    st.integers(min_value=0, max_value=3),      # adds
+    st.integers(min_value=0, max_value=2),      # removes
+    st.integers(min_value=0, max_value=2),      # resizes
+)
+
+
+@pytest.mark.parametrize("spec", OFFLINE_SPECS, ids=OFFLINE_IDS)
+@settings(max_examples=12, deadline=None)
+@given(DELTAS)
+def test_warm_run_metamorphic_properties(spec, delta_args):
+    """The three pinned relations: validity, δ-bounded height vs cold,
+    honest provenance — on every offline spec × generated delta."""
+    seed, n, n_add, n_remove, n_resize = delta_args
+    old, old_report, new = neighbor_pair(spec, seed, n, n_add, n_remove, n_resize)
+
+    report = warm_run(new, spec.name, neighbor=(old, old_report.placement))
+    assert report.valid, f"{spec.name}: warm_run produced invalid placement"
+    assert_placement_invariants(new, report.placement)
+    assert report.provenance in ("warm", "cached", "cold")
+
+    cold = run(new, spec.name)
+    if report.provenance != "cold":
+        # The δ gate is against the lower bound, so the cold-relative
+        # bound holds unconditionally — cold height >= lower bound.
+        assert report.height <= (1.0 + DEFAULT_DELTA) * cold.height + 1e-9
+        assert report.lower_bound <= cold.height + 1e-9
+        exact = instance_delta(old, new)
+        empty = not (exact["added"] or exact["removed"] or exact["resized"])
+        assert report.provenance == ("cached" if empty else "warm")
+    else:
+        # Refused repair == the cold answer, byte for byte.
+        assert report.height == cold.height
+        assert report.algorithm == cold.algorithm
+
+
+@pytest.mark.parametrize("spec", OFFLINE_SPECS, ids=OFFLINE_IDS)
+@settings(max_examples=8, deadline=None)
+@given(DELTAS)
+def test_try_warm_never_answers_cold(spec, delta_args):
+    """try_warm either repairs (warm/cached) or returns None — the caller
+    owns the cold path, so a refusal can never masquerade as a solve."""
+    seed, n, n_add, n_remove, n_resize = delta_args
+    old, old_report, new = neighbor_pair(spec, seed, n, n_add, n_remove, n_resize)
+    report = try_warm(new, spec.name, neighbor=(old, old_report.placement))
+    if report is not None:
+        assert report.provenance in ("warm", "cached")
+        assert_placement_invariants(new, report.placement)
+
+
+@pytest.mark.parametrize("spec", OFFLINE_SPECS, ids=OFFLINE_IDS)
+def test_no_neighbor_means_cold_provenance(spec):
+    """warm_run without a neighbor is exactly run(): cold provenance,
+    identical height."""
+    old = instance_for(spec, 7, n=10)
+    try:
+        cold = run(old, spec.name)
+    except InvalidInstanceError:
+        old = _uniformize(old)
+        cold = run(old, spec.name)
+    report = warm_run(old, spec.name)
+    assert report.provenance == "cold"
+    assert report.height == cold.height
+
+
+def test_empty_delta_is_cached_provenance():
+    """The neighbor *is* the instance: verbatim reuse, 'cached', and the
+    survivors sit at exactly the neighbor's anchors."""
+    inst = instance_for(OFFLINE_SPECS[0], 3, n=10)
+    cold = run(inst, OFFLINE_SPECS[0].name)
+    report = try_warm(inst, OFFLINE_SPECS[0].name, neighbor=(inst, cold.placement))
+    assert report is not None and report.provenance == "cached"
+    for rid, placed in cold.placement.items():
+        assert report.placement[rid].x == placed.x
+        assert report.placement[rid].y == placed.y
+
+
+def test_inadmissible_precedence_edges_refuse_repair():
+    """A new edge pointing from a delta rect *into* a survivor cannot be
+    satisfied by pack-above — the repair must refuse, not bend."""
+    rects = [Rect(rid=i, width=0.4, height=1.0) for i in range(4)]
+    old = PrecedenceInstance(rects, TaskDAG(range(4), [(0, 1)]))
+    cold = run(old, "list_schedule")
+    added = rects + [Rect(rid="delta0", width=0.4, height=1.0)]
+    # delta0 -> 2: the delta rect must finish before survivor 2 starts,
+    # but the repair keeps 2 at its (low) anchor and packs delta0 above.
+    new = PrecedenceInstance(added, TaskDAG([r.rid for r in added], [(0, 1), ("delta0", 2)]))
+    assert repair_placement(new, old, cold.placement) is None
+    assert try_warm(new, "list_schedule", neighbor=(old, cold.placement)) is None
+    report = warm_run(new, "list_schedule", neighbor=(old, cold.placement))
+    assert report.provenance == "cold" and report.valid
+
+
+def test_survivor_to_delta_edges_are_repairable():
+    """Edges from survivors into delta rects hold by construction (delta
+    rects pack above every survivor) — the repair may accept them."""
+    rects = [Rect(rid=i, width=0.4, height=1.0) for i in range(4)]
+    old = PrecedenceInstance(rects, TaskDAG(range(4), [(0, 1)]))
+    cold = run(old, "list_schedule")
+    added = rects + [Rect(rid="delta0", width=0.4, height=1.0)]
+    new = PrecedenceInstance(added, TaskDAG([r.rid for r in added], [(0, 1), (2, "delta0")]))
+    placement = repair_placement(new, old, cold.placement)
+    assert placement is not None
+    top_of_2 = placement[2].y + 1.0
+    assert placement["delta0"].y >= top_of_2 - 1e-9
