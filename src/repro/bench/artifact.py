@@ -14,6 +14,9 @@ comparison mode diffs and CI uploads.  Schema (``repro-bench/1``):
       "seed": int,
       "created": str,           # ISO-8601 UTC
       "machine": {"python": str, "platform": str, "numpy": str},
+      "kernel_tier": str,       # active repro.kernels tier during the run
+                                # (absent in pre-tier artifacts; readers
+                                # use .get and treat None as "array")
       "config": {"sizes": [int], "size_name": str,
                  "repetitions": int, "warmup": int, "entries": [str]},
       "points": [
@@ -95,7 +98,15 @@ def load_artifact(path: Path | str) -> dict[str, Any]:
 
 
 def new_artifact_header(spec, *, quick: bool, sizes, repetitions: int, warmup: int) -> dict:
-    """The non-measurement part of an artifact for ``spec``."""
+    """The non-measurement part of an artifact for ``spec``.
+
+    ``kernel_tier`` records the tier active when the run started, so two
+    artifacts are never silently compared across tiers (the comparator
+    warns on a mismatch) and committed-artifact gates can condition on
+    how the numbers were produced.
+    """
+    from .. import kernels
+
     return {
         "schema": SCHEMA,
         "name": spec.name,
@@ -105,6 +116,7 @@ def new_artifact_header(spec, *, quick: bool, sizes, repetitions: int, warmup: i
         "seed": spec.seed,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": machine_info(),
+        "kernel_tier": kernels.active_tier(),
         "config": {
             "sizes": [int(n) for n in sizes],
             "size_name": spec.size_name,
@@ -143,6 +155,9 @@ def validate_artifact(data: Any, *, where: str = "") -> None:
         if not isinstance(data[key], typ):
             _fail(where, f"field {key!r} must be {typ.__name__}, "
                          f"got {type(data[key]).__name__}")
+    # Optional field (absent in pre-tier artifacts), typed when present.
+    if "kernel_tier" in data and not isinstance(data["kernel_tier"], str):
+        _fail(where, "field 'kernel_tier' must be str")
     config = data["config"]
     for key, typ in (
         ("sizes", list), ("size_name", str),

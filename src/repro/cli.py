@@ -104,6 +104,19 @@ def _add_executor_args(parser) -> None:
     )
 
 
+def _add_kernel_tier_arg(parser) -> None:
+    """The shared ``--kernel-tier`` selector (:mod:`repro.kernels`)."""
+    from . import kernels
+
+    parser.add_argument(
+        "--kernel-tier",
+        choices=kernels.TIER_CHOICES,
+        default="auto",
+        help="kernel tier: auto (compiled when the [speed] extra is "
+        "installed, else array), or force reference/array/compiled",
+    )
+
+
 def _load_instance(path: Path):
     """Read and parse one instance JSON, mapping failures to CLI errors."""
     try:
@@ -151,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("directory", type=Path, help="directory of instance JSON files")
     p_batch.add_argument("--algorithm", default=None, help="algorithm name (default: per-variant)")
     _add_executor_args(p_batch)
+    _add_kernel_tier_arg(p_batch)
     p_batch.add_argument("--glob", default="*.json", help="instance file pattern")
 
     p_port = sub.add_parser("portfolio", help="race algorithms on one instance")
@@ -161,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated entrants (default: every spec matching the variant)",
     )
     _add_executor_args(p_port)
+    _add_kernel_tier_arg(p_port)
     p_port.add_argument("--output", type=Path, default=None, help="write winning placement JSON here")
 
     from .sim import policy_names
@@ -206,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="slowdown factor flagged as a regression (default 1.5)",
     )
     _add_executor_args(p_bench)
+    _add_kernel_tier_arg(p_bench)
 
     p_serve = sub.add_parser("serve", help="run the async JSON-over-HTTP solve service")
     p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -216,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 1 = single-process, no router)",
     )
     _add_executor_args(p_serve)
+    _add_kernel_tier_arg(p_serve)
     p_serve.add_argument(
         "--max-batch", type=int, default=16,
         help="most requests one micro-batch drains (default 16)",
@@ -343,10 +360,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_info(out) -> int:
+    from . import kernels
     from .engine import spec_table_rows
 
     print(f"repro {__version__}", file=out)
     print("variants: plain | precedence | release", file=out)
+    info = kernels.tier_info()
+    numba = info["numba"] or "not installed"
+    print(
+        f"kernel tier: {info['active']} (requested {info['requested']}, "
+        f"numba {numba})",
+        file=out,
+    )
     table = Table(["algorithm", "variants", "guarantee", "flags", "defaults"], title="registry")
     for row in spec_table_rows():
         table.add_row(list(row))
@@ -579,10 +604,18 @@ def _cmd_bench(args, out) -> int:
 
     _check_jobs(args.jobs)
     if args.list:
+        from . import kernels
+
         table = Table(["bench", "entries", "sizes", "reps", "source"], title="bench registry")
         for row in bench_table_rows():
             table.add_row(list(row))
         print(table.render(), file=out)
+        print(
+            f"kernel tier: {kernels.active_tier()} "
+            f"(requested {kernels.requested_tier()}) — recorded in every "
+            "artifact's kernel_tier field",
+            file=out,
+        )
         return 0
     if args.all and args.names:
         raise _CliInputError("pass bench names or --all, not both")
@@ -625,6 +658,8 @@ def _cmd_bench(args, out) -> int:
             # e.g. quick run vs full-sweep baseline: nothing overlaps
             raise _CliInputError(str(exc)) from exc
         print(result.table().render(), file=out)
+        if result.tier_note:
+            print(result.tier_note, file=out)
         if result.regressions:
             print(f"{len(result.regressions)} regression(s) flagged", file=out)
         else:
@@ -721,6 +756,11 @@ def _build_server(args):
             # Validate the per-worker config here (exit 2 at the CLI)
             # rather than inside the first spawned child (exit 1 + noise).
             SolveServer(**config).close()
+            # Worker processes start fresh interpreters: forward the tier
+            # request so each shard re-applies it (worker.py pops the key).
+            tier = getattr(args, "kernel_tier", None)
+            if tier is not None and tier != "auto":
+                config = dict(config, kernel_tier=tier)
             return RouterServer(
                 workers=workers,
                 worker_config=config,
@@ -1029,6 +1069,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    tier = getattr(args, "kernel_tier", None)
+    if tier is not None:
+        from . import kernels
+
+        kernels.set_tier(tier)
     commands = {
         "info": lambda: _cmd_info(out),
         "demo": lambda: _cmd_demo(out),

@@ -21,6 +21,13 @@ the placement's x/y columns are gathered once and containment, overlap,
 precedence, and release checks all run as vectorized passes — the same
 tolerance predicates, evaluated elementwise, so accept/reject decisions
 are identical to the scalar loops.
+
+Kernel tiers (:mod:`repro.kernels`): the ``reference`` tier forces the
+scalar loops at every ``n`` (the columnar path is the array-tier
+optimization); the ``compiled`` tier runs the containment and overlap
+sweeps as ``@njit`` scans (:mod:`repro.kernels.compiled`) with the same
+predicates in the same visit order, so all three tiers accept/reject —
+and report the same first offender — identically.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Hashable, Iterable, Iterator, Mapping
 
 import numpy as np
 
+from .. import kernels as _kernels
 from . import tol
 from .errors import InvalidPlacementError
 from .instance import PrecedenceInstance, ReleaseInstance, StripPackingInstance
@@ -204,6 +212,13 @@ def find_overlap_columns(
     # Candidate partners for row k: rows k+1 .. his[k]-1 (bases below k's
     # top, beyond tolerance — the y-condition tol.lt(y_j, y2_k) verbatim).
     his = np.searchsorted(ys_s, y2_s - atol, side="left")
+    if _kernels.use_compiled():
+        from ..kernels.compiled import overlap_scan
+
+        k, j = overlap_scan(xs_s, ys_s, x2_s, y2_s, his, atol)
+        if k < 0:
+            return None
+        return int(order[k]), int(order[j])
     counts = np.maximum(his - np.arange(1, n + 1), 0)
     start = 0
     while start < n:
@@ -278,7 +293,9 @@ def validate_placement(
             )
 
     pairs = list(placement.items())
-    if len(pairs) >= _COLUMNAR_MIN_N:
+    # The columnar path is the array-tier optimization: the reference
+    # kernel tier keeps the scalar loops at every n (same verdicts).
+    if len(pairs) >= _COLUMNAR_MIN_N and not _kernels.use_reference():
         _validate_columnar(instance, placement, pairs, atol, max_height)
         return
 
@@ -308,6 +325,23 @@ def validate_placement(
         for rid, pr in pairs:
             if tol.lt(pr.y, pr.rect.release, atol):
                 _raise_release(rid, pr)
+
+
+def _raise_containment(
+    check: int, pair: tuple[Node, PlacedRect], max_height: float | None
+) -> None:
+    """Shared containment error messages (checks 0/1/2 of the columnar and
+    compiled engines — horizontal, below-base, height budget)."""
+    rid, pr = pair
+    if check == 0:
+        raise InvalidPlacementError(
+            f"rectangle {rid!r} sticks out horizontally: x in [{pr.x:.6g}, {pr.x2:.6g}]"
+        )
+    if check == 1:
+        raise InvalidPlacementError(f"rectangle {rid!r} below the strip base: y={pr.y:.6g}")
+    raise InvalidPlacementError(
+        f"rectangle {rid!r} exceeds height budget {max_height:g}: top={pr.y2:.6g}"
+    )
 
 
 def _raise_overlap(a: PlacedRect, b: PlacedRect) -> None:
@@ -347,26 +381,30 @@ def _validate_columnar(
     """
     xs, ys, x2, y2 = _placement_columns(pairs)
 
-    viol = (xs < 0.0 - atol) | (x2 > 1.0 + atol)
-    i = int(viol.argmax())
-    if viol[i]:
-        rid, pr = pairs[i]
-        raise InvalidPlacementError(
-            f"rectangle {rid!r} sticks out horizontally: x in [{pr.x:.6g}, {pr.x2:.6g}]"
+    if _kernels.use_compiled():
+        from ..kernels.compiled import containment_scan
+
+        check, i = containment_scan(
+            xs, ys, x2, y2, atol,
+            0.0 if max_height is None else max_height,
+            max_height is not None,
         )
-    viol = ys < 0.0 - atol
-    i = int(viol.argmax())
-    if viol[i]:
-        rid, pr = pairs[i]
-        raise InvalidPlacementError(f"rectangle {rid!r} below the strip base: y={pr.y:.6g}")
-    if max_height is not None:
-        viol = y2 > max_height + atol
+        if check >= 0:
+            _raise_containment(int(check), pairs[int(i)], max_height)
+    else:
+        viol = (xs < 0.0 - atol) | (x2 > 1.0 + atol)
         i = int(viol.argmax())
         if viol[i]:
-            rid, pr = pairs[i]
-            raise InvalidPlacementError(
-                f"rectangle {rid!r} exceeds height budget {max_height:g}: top={pr.y2:.6g}"
-            )
+            _raise_containment(0, pairs[i], max_height)
+        viol = ys < 0.0 - atol
+        i = int(viol.argmax())
+        if viol[i]:
+            _raise_containment(1, pairs[i], max_height)
+        if max_height is not None:
+            viol = y2 > max_height + atol
+            i = int(viol.argmax())
+            if viol[i]:
+                _raise_containment(2, pairs[i], max_height)
 
     bad = find_overlap_columns(xs, ys, x2, y2, atol)
     if bad is not None:

@@ -175,8 +175,11 @@ def canonical_instance_dict(
 
     At the default ``atol`` the result is cached on the (frozen) instance
     — the serving hot path canonicalises once per request even though both
-    the cache key and the neighbor sketch need the form.  Callers must
-    treat the returned dict as immutable.
+    the cache key and the neighbor sketch need the form.  The memo is
+    bounded to exactly that one entry per instance: a call with a
+    non-default ``atol`` neither reads nor writes it (it computes fresh),
+    so an exotic-tolerance caller can never poison the grid the serving
+    cache keys on.  Callers must treat the returned dict as immutable.
     """
     if atol == ATOL:
         cached = instance.__dict__.get("_canonical_dict")

@@ -201,6 +201,7 @@ def solve_many(
     labels: Sequence[str] | None = None,
     strict: bool = True,
     executor: Executor | None = None,
+    stacked: bool | None = None,
 ) -> list[SolveReport]:
     """Solve every instance, returning reports in input order.
 
@@ -213,6 +214,14 @@ def solve_many(
     :class:`~repro.core.errors.ReproError` (e.g. forcing a release-only
     algorithm onto a plain instance) becomes an error report instead of
     aborting the whole batch — the mode the CLI serves with.
+
+    ``stacked`` controls the batched stacked-instance fast path
+    (:mod:`repro.engine.stacked`): ``None`` (default) auto-engages it
+    when eligible — serial executor, explicit level-packer algorithm, no
+    parameter overrides, plain instances — ``False`` opts out, ``True``
+    requires it (raising :class:`~repro.core.errors.InvalidInstanceError`
+    when the batch is not stackable).  Reports from the stacked path are
+    bit-identical to the per-instance path except for ``wall_time``.
     """
     items = list(instances)
     if labels is not None and len(labels) != len(items):
@@ -220,6 +229,27 @@ def solve_many(
     if executor is None:
         executor = resolve_executor(backend, jobs)
     merged = None if params is None else dict(params)
+    if stacked is not False and items and executor.backend == "serial":
+        from .stacked import batchable, solve_batched
+
+        if batchable(items, algorithm, merged):
+            return solve_batched(
+                items,
+                algorithm,
+                validate=validate,
+                compute_bounds=compute_bounds,
+                labels=labels,
+            )
+        if stacked:
+            raise InvalidInstanceError(
+                "stacked=True but the batch is not stackable (needs a serial "
+                "executor, algorithm in nfdh/ffdh/bfdh with no parameter "
+                "overrides, plain instances, and a non-reference kernel tier)"
+            )
+    elif stacked:
+        raise InvalidInstanceError(
+            "stacked=True requires the serial executor and a non-empty batch"
+        )
     tasks = [
         (
             inst,
@@ -276,7 +306,35 @@ def portfolio(
     tasks = [
         (instance, name, (params or {}).get(name), compute_bounds) for name in names
     ]
-    reports = executor.map(_race_one, tasks)
+    batch_names: list[str] = []
+    if executor.backend == "serial":
+        from .stacked import portfolio_batch_names
+
+        batch_names = portfolio_batch_names(instance, names, params)
+    if batch_names:
+        # Level-packer entrants share one stacked arena pass; the rest
+        # race individually.  Reports keep the entrant order.
+        from .stacked import solve_batched
+
+        by_name = dict(
+            zip(
+                batch_names,
+                solve_batched(
+                    [instance] * len(batch_names),
+                    batch_names,
+                    validate=True,
+                    compute_bounds=compute_bounds,
+                    labels=batch_names,
+                ),
+            )
+        )
+        rest = executor.map(
+            _race_one, [t for t in tasks if t[1] not in by_name]
+        )
+        it = iter(rest)
+        reports = [by_name[n] if n in by_name else next(it) for n in names]
+    else:
+        reports = executor.map(_race_one, tasks)
 
     valid = [(i, r) for i, r in enumerate(reports) if r.valid]
     best = min(valid, key=lambda ir: (ir[1].height, ir[0]))[1] if valid else None

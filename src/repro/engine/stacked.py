@@ -1,0 +1,232 @@
+"""Batched stacked-instance solving for the level packers.
+
+:func:`repro.engine.batch.solve_many` dispatches K instances as K
+independent ``run()`` calls — K sorts, K kernel entries, K rounds of
+Python dispatch.  For the level packers (NFDH/FFDH/BFDH) the per-instance
+work is a sort plus a linear scan, so at high K the dispatch overhead
+rivals the algorithmic work.  This module collapses the batch: stack
+every instance's columns into one :class:`~repro.core.arrays.StackedRectArrays`
+arena, compute ONE stacked decreasing-height sort
+(:func:`~repro.core.arrays.stacked_decreasing_order` — stability makes
+each segment equal the per-instance order), and pack all K segments in a
+single pass — the ``@njit`` :func:`~repro.kernels.compiled.batched_level_pack`
+kernel when the compiled tier is active, a Python loop over one reused
+:class:`~repro.geometry.levels.LevelArray` otherwise.
+
+Report discipline: the output of :func:`solve_batched` is
+**bit-identical** to K independent :func:`repro.engine.runner.run` calls
+— same placements (``tests/test_batched_solve.py`` pins this
+placement-for-placement), same bounds (computed per instance), same
+validation verdicts.  Only ``wall_time`` differs by nature: it is the
+batch pack time divided evenly across the K reports (timings are
+measurements, not decisions).
+
+Eligibility (:func:`batchable`): an explicit algorithm in
+:data:`BATCHABLE`, no parameter overrides, every instance of the plain
+variant, and a non-``reference`` kernel tier (the reference tier exists
+to run the executable spec, which the arena deliberately bypasses).
+``solve_many(..., stacked=None)`` auto-engages this path on the serial
+executor; the service micro-batcher inherits it through the same call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .. import kernels as _kernels
+from ..core import tol
+from ..core.arrays import (
+    PlacementBuilder,
+    StackedRectArrays,
+    stacked_decreasing_order,
+)
+from ..core.errors import InvalidInstanceError, InvalidPlacementError
+from ..core.instance import StripPackingInstance
+from ..core.placement import validate_placement
+from ..geometry.levels import LevelArray
+from .report import SolveReport
+from .runner import bound_components
+from .spec import get_spec, variant_of
+
+__all__ = ["BATCHABLE", "batchable", "portfolio_batch_names", "solve_batched"]
+
+#: Algorithms the stacked arena can pack (level packers; mode order
+#: matches ``repro.kernels.compiled.MODE_NFDH/FFDH/BFDH``).
+BATCHABLE = ("nfdh", "ffdh", "bfdh")
+
+_MODE_OF = {"nfdh": 0, "ffdh": 1, "bfdh": 2}
+
+
+def batchable(
+    instances: Sequence[StripPackingInstance],
+    algorithm: str | None,
+    params,
+) -> bool:
+    """Whether this exact (instances, algorithm, params) batch may take
+    the stacked path without changing any report field but ``wall_time``."""
+    if algorithm not in _MODE_OF or params:
+        return False
+    if _kernels.use_reference():
+        return False
+    spec = get_spec(algorithm)
+    return all(
+        variant_of(inst) == "plain" and spec.accepts(inst) for inst in instances
+    )
+
+
+def portfolio_batch_names(
+    instance: StripPackingInstance, names: Sequence[str], params
+) -> list[str]:
+    """The subset of portfolio entrants solvable in one stacked call
+    (empty unless at least two qualify — one entrant gains nothing)."""
+    if _kernels.use_reference() or variant_of(instance) != "plain":
+        return []
+    picked = [
+        n
+        for n in names
+        if n in _MODE_OF
+        and not (params or {}).get(n)
+        and get_spec(n).accepts(instance)
+    ]
+    return picked if len(picked) >= 2 else []
+
+
+def _pack_segment(
+    mode: int,
+    widths: np.ndarray,
+    heights: np.ndarray,
+    order: np.ndarray,
+    lo: int,
+    hi: int,
+    levels: LevelArray,
+    builder: PlacementBuilder,
+) -> None:
+    """Array-tier segment pack: the exact ``nfdh``/``ffdh``/``bfdh`` loop
+    over the shared (reset) arena, rows addressed through the stacked
+    ``order`` slice instead of a per-instance sort."""
+    levels.reset()
+    if hi <= lo:
+        return
+    if mode == 0:  # nfdh: one open level, closed when the next rect misses
+        open_idx = levels.open_level(float(heights[order[lo]]))
+        for t in range(lo, hi):
+            row = int(order[t])
+            w = float(widths[row])
+            if not levels.fits_on(open_idx, w):
+                open_idx = levels.open_level(float(heights[row]))
+            builder.put(row - lo, *levels.place(open_idx, w))
+        return
+    fit = levels.first_fit if mode == 1 else levels.best_fit
+    for t in range(lo, hi):
+        row = int(order[t])
+        w = float(widths[row])
+        idx = fit(w)
+        if idx < 0:
+            idx = levels.open_level(float(heights[row]))
+        builder.put(row - lo, *levels.place(idx, w))
+
+
+def solve_batched(
+    instances: Sequence[StripPackingInstance],
+    algorithms: str | Sequence[str],
+    *,
+    validate: bool = True,
+    compute_bounds: bool = True,
+    labels: Sequence[str] | None = None,
+) -> list[SolveReport]:
+    """Solve the whole batch through one stacked arena pass.
+
+    ``algorithms`` is one :data:`BATCHABLE` name for the whole batch or a
+    per-instance sequence (the portfolio path passes one name per
+    entrant).  Callers gate on :func:`batchable`/:func:`portfolio_batch_names`
+    first; this function re-checks and raises
+    :class:`~repro.core.errors.InvalidInstanceError` on ineligible input
+    rather than silently solving something else.
+    """
+    items = list(instances)
+    K = len(items)
+    names = [algorithms] * K if isinstance(algorithms, str) else list(algorithms)
+    if len(names) != K:
+        raise InvalidInstanceError(f"{len(names)} algorithms for {K} instances")
+    if labels is not None and len(labels) != K:
+        raise InvalidInstanceError(f"{len(labels)} labels for {K} instances")
+    for name in names:
+        if name not in _MODE_OF:
+            raise InvalidInstanceError(
+                f"algorithm {name!r} is not batchable; batchable: "
+                + ", ".join(BATCHABLE)
+            )
+    specs = [get_spec(name) for name in names]
+    for inst, spec in zip(items, specs):
+        spec.check_instance(inst)
+    merged = [spec.resolve_params(None) for spec in specs]
+
+    t0 = time.perf_counter()
+    stacked = StackedRectArrays([inst.arrays() for inst in items])
+    order = stacked_decreasing_order(stacked)
+    offsets = stacked.offsets
+    placements = []
+    if _kernels.use_compiled():
+        from ..kernels.compiled import batched_level_pack
+
+        modes = np.array([_MODE_OF[name] for name in names], dtype=np.int64)
+        out_x, out_y, _ = batched_level_pack(
+            stacked.width, stacked.height, order, offsets, modes, tol.ATOL
+        )
+        for k in range(K):
+            lo, hi = stacked.segment(k)
+            builder = PlacementBuilder(stacked.parts[k])
+            for t in range(lo, hi):
+                builder.put(int(order[t]) - lo, float(out_x[t]), float(out_y[t]))
+            placements.append(builder.build())
+    else:
+        levels = LevelArray()
+        for k in range(K):
+            lo, hi = stacked.segment(k)
+            builder = PlacementBuilder(stacked.parts[k])
+            _pack_segment(
+                _MODE_OF[names[k]],
+                stacked.width,
+                stacked.height,
+                order,
+                lo,
+                hi,
+                levels,
+                builder,
+            )
+            placements.append(builder.build())
+    wall = (time.perf_counter() - t0) / max(K, 1)
+
+    reports = []
+    for k, (inst, spec, placement) in enumerate(zip(items, specs, placements)):
+        bounds = bound_components(inst) if compute_bounds else {}
+        lb = max(bounds.values()) if compute_bounds else None
+        valid: bool | None = None
+        error: str | None = None
+        if validate:
+            try:
+                validate_placement(inst, placement)
+                valid = True
+            except InvalidPlacementError as exc:
+                valid = False
+                error = str(exc)
+        reports.append(
+            SolveReport(
+                algorithm=spec.name,
+                variant=variant_of(inst),
+                n=len(inst),
+                params=merged[k],
+                placement=placement,
+                height=placement.height,
+                wall_time=wall,
+                lower_bound=lb,
+                bounds=bounds,
+                valid=valid,
+                error=error,
+                label=labels[k] if labels is not None else str(k),
+            )
+        )
+    return reports

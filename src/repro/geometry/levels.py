@@ -28,6 +28,13 @@ elementwise image of the reference predicate (``used + w <= 1 + atol``,
 ``resid = (1 - used) - w``), so decisions — and therefore placements — are
 bit-identical to the reference.  ``tests/test_levels_differential.py``
 enforces this.
+
+When the ``compiled`` kernel tier is active (:mod:`repro.kernels`, the
+optional ``[speed]`` extra), :meth:`LevelArray.first_fit` and
+:meth:`LevelArray.best_fit` dispatch to the ``@njit`` scalar scans in
+:mod:`repro.kernels.compiled` — short-circuiting loops over the same
+``used`` column with the same predicates, so decisions stay bit-identical
+across all three tiers.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import kernels as _kernels
 from ..core import tol
 from ..core.errors import InvalidPlacementError
 from ..core.placement import Placement
@@ -178,6 +186,15 @@ class LevelArray:
         """Total height consumed by the levels."""
         return self.top - self.base
 
+    def reset(self, base: float = 0.0) -> None:
+        """Empty the stack for reuse.
+
+        The batched stacked solve (:mod:`repro.engine.stacked`) packs K
+        instances through one arena, resetting between segments instead
+        of reallocating; the capacity and scratch buffers survive."""
+        self.base = base
+        self._n = 0
+
     def open_level(self, height: float) -> int:
         """Open a new level of the given height on top; return its index."""
         if self._n == len(self._y):
@@ -205,6 +222,10 @@ class LevelArray:
         n = self._n
         if n == 0:
             return -1
+        if _kernels.use_compiled():
+            from ..kernels.compiled import level_first_fit
+
+            return int(level_first_fit(self._used, n, width, tol.ATOL))
         s = self._sum[:n]
         np.add(self._used[:n], width, out=s)
         m = self._mask[:n]
@@ -223,6 +244,10 @@ class LevelArray:
         n = self._n
         if n == 0:
             return -1
+        if _kernels.use_compiled():
+            from ..kernels.compiled import level_best_fit
+
+            return int(level_best_fit(self._used, n, width, tol.ATOL))
         s = self._sum[:n]
         np.add(self._used[:n], width, out=s)
         m = self._mask[:n]

@@ -1,0 +1,176 @@
+"""Kernel-tier registry: ``reference`` → ``array`` → ``compiled``.
+
+Every hot loop in the library exists at up to three rungs of the same
+ladder, and all rungs are **bit-identical** — same :mod:`repro.core.tol`
+predicates, same tie-breaks, placement-for-placement equal (enforced by
+the differential suites ``tests/test_skyline_differential.py`` /
+``tests/test_levels_differential.py`` and the tier tests in
+``tests/test_kernel_tiers.py``):
+
+* ``reference`` — the executable specifications
+  (:mod:`repro.geometry.skyline_reference`,
+  :mod:`repro.geometry.levels_reference`, the scalar validator loops):
+  obviously-correct object code, never optimized;
+* ``array`` — the columnar numpy kernels
+  (:class:`repro.geometry.levels.LevelArray`,
+  :class:`repro.geometry.skyline.Skyline`,
+  :func:`repro.core.placement.find_overlap_columns`) — the default;
+* ``compiled`` — the Numba ``@njit`` twins in
+  :mod:`repro.kernels.compiled`, shipped as the optional ``[speed]``
+  extra (``pip install .[speed]``).
+
+Tier selection is process-global (``--kernel-tier`` on the CLI maps
+here).  ``auto`` — the default — resolves to ``compiled`` when numba
+imports and ``array`` otherwise.  Requesting ``compiled`` on a machine
+without numba **degrades gracefully to the array tier** and logs a
+single warning line; nothing else changes, because the tiers agree
+bit-for-bit on every decision.
+
+Hot paths call :func:`use_compiled` / :func:`use_reference` — cheap
+module-global reads — so tier dispatch costs nanoseconds next to the
+kernels it selects.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+
+__all__ = [
+    "TIERS",
+    "TIER_CHOICES",
+    "set_tier",
+    "requested_tier",
+    "active_tier",
+    "compiled_available",
+    "use_compiled",
+    "use_reference",
+    "tier_info",
+    "use_tier",
+]
+
+#: The three rungs, slowest (most obvious) to fastest.
+TIERS = ("reference", "array", "compiled")
+
+#: What the CLI accepts: the rungs plus ``auto``.
+TIER_CHOICES = ("auto",) + TIERS
+
+logger = logging.getLogger("repro.kernels")
+
+_requested: str = "auto"
+#: The resolved tier, or ``None`` before first resolution (lazy so that
+#: importing repro never pays the numba import unless a kernel runs).
+_active: str | None = None
+_fallback_logged: bool = False
+
+
+def compiled_available() -> bool:
+    """Whether the numba-compiled tier can actually run.
+
+    Read dynamically from :mod:`repro.kernels.compiled` (tests simulate
+    a missing numba by patching ``compiled.AVAILABLE``).
+    """
+    from . import compiled
+
+    return compiled.AVAILABLE
+
+
+def set_tier(tier: str) -> None:
+    """Request a kernel tier (``auto`` or one of :data:`TIERS`).
+
+    Resolution is lazy — an explicit ``compiled`` request on a machine
+    without numba degrades to ``array`` at first use, with one log line.
+    """
+    if tier not in TIER_CHOICES:
+        raise ValueError(
+            f"unknown kernel tier {tier!r}; expected one of {', '.join(TIER_CHOICES)}"
+        )
+    global _requested, _active
+    _requested = tier
+    _active = None  # re-resolve on next use
+
+
+def requested_tier() -> str:
+    """The tier as requested (``auto`` until someone picks explicitly)."""
+    return _requested
+
+
+def active_tier() -> str:
+    """The tier kernels actually run on (resolves ``auto``/fallback)."""
+    global _active
+    if _active is None:
+        _active = _resolve(_requested)
+    return _active
+
+
+def _resolve(requested: str) -> str:
+    if requested in ("reference", "array"):
+        return requested
+    if compiled_available():
+        return "compiled"
+    if requested == "compiled":
+        _log_fallback_once(
+            "compiled kernel tier requested but numba is not importable; "
+            "falling back to the array tier (results are identical — "
+            "install the [speed] extra for the compiled kernels)"
+        )
+    else:  # auto
+        _log_fallback_once(
+            "kernel tier auto: numba not importable, using the array tier "
+            "(install the [speed] extra for the compiled kernels)"
+        )
+    return "array"
+
+
+def _log_fallback_once(message: str) -> None:
+    global _fallback_logged
+    if not _fallback_logged:
+        _fallback_logged = True
+        logger.warning(message)
+
+
+def use_compiled() -> bool:
+    """Fast hot-path check: is the compiled tier active?"""
+    a = _active
+    if a is None:
+        a = active_tier()
+    return a == "compiled"
+
+
+def use_reference() -> bool:
+    """Fast hot-path check: is the reference tier active?"""
+    a = _active
+    if a is None:
+        a = active_tier()
+    return a == "reference"
+
+
+def tier_info() -> dict:
+    """Snapshot for ``repro info`` and the service ``/metrics``."""
+    from . import compiled
+
+    return {
+        "requested": _requested,
+        "active": active_tier(),
+        "compiled_available": compiled.AVAILABLE,
+        "numba": compiled.NUMBA_VERSION,
+    }
+
+
+@contextmanager
+def use_tier(tier: str):
+    """Temporarily pin the requested tier (tests, per-entry bench races)."""
+    prev = _requested
+    set_tier(tier)
+    try:
+        yield active_tier()
+    finally:
+        set_tier(prev)
+
+
+def _reset_for_testing(tier: str = "auto") -> None:
+    """Restore pristine registry state (tests only)."""
+    global _requested, _active, _fallback_logged
+    _requested = tier
+    _active = None
+    _fallback_logged = False

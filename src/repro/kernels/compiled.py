@@ -1,0 +1,372 @@
+"""Numba ``@njit`` twins of the array-tier hot loops (the ``[speed]`` extra).
+
+Each kernel here is a line-for-line transcription of the decision
+procedure it replaces — the same :mod:`repro.core.tol` predicates
+(``used + w <= 1 + atol``, ``a < b - atol``), the same tie-breaks
+(first-occurrence minima, ascending scan order), the same clamps — so a
+placement computed on the compiled tier is **bit-identical** to the array
+tier's (and, transitively, the reference tier's).  IEEE-754 double
+arithmetic is the same scalar-by-scalar whether numpy, numba, or plain
+Python evaluates it; what the differential suites pin is that the
+*control flow* around that arithmetic never diverges.
+
+When numba is not importable, ``AVAILABLE`` is ``False`` and ``njit``
+degrades to a pass-through decorator: every kernel stays callable as
+plain Python.  The tier registry never *selects* this module without
+numba (it falls back to the array tier), but the differential tests run
+the pure-Python bodies regardless — the logic is verified on every
+machine, the machine code only where the ``[speed]`` extra is installed.
+
+Kernel map (array-tier original → compiled twin):
+
+* ``LevelArray.first_fit``       → :func:`level_first_fit`
+* ``LevelArray.best_fit``        → :func:`level_best_fit`
+* ``Skyline.lowest_position``    → :func:`skyline_lowest`
+* ``find_overlap_columns``       → :func:`overlap_scan`
+* ``_validate_columnar`` checks  → :func:`containment_scan`
+* batched stacked level packing  → :func:`batched_level_pack`
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "AVAILABLE",
+    "NUMBA_VERSION",
+    "level_first_fit",
+    "level_best_fit",
+    "skyline_lowest",
+    "overlap_scan",
+    "containment_scan",
+    "batched_level_pack",
+]
+
+try:  # pragma: no cover - exercised only with the [speed] extra installed
+    import numba as _numba
+    from numba import njit
+
+    AVAILABLE = True
+    NUMBA_VERSION: str | None = _numba.__version__
+except ImportError:
+    AVAILABLE = False
+    NUMBA_VERSION = None
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Pass-through decorator: kernels stay plain Python without numba."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+
+# ----------------------------------------------------------------------
+# level scans (LevelArray.first_fit / best_fit)
+# ----------------------------------------------------------------------
+
+@njit(cache=True)
+def level_first_fit(used, n, width, atol):
+    """Lowest level with room for ``width``, or ``-1``.
+
+    Scalar short-circuit image of the array tier's mask + ``argmax``:
+    the first ``i`` with ``used[i] + width <= 1 + atol`` (the exact
+    reference predicate), without building the mask.
+    """
+    for i in range(n):
+        if used[i] + width <= 1.0 + atol:
+            return i
+    return -1
+
+
+@njit(cache=True)
+def level_best_fit(used, n, width, atol):
+    """Fitting level with the least residual ``(1 - used) - width``, or ``-1``.
+
+    Strict-improvement scan — identical to the array tier's masked
+    ``argmin`` (first occurrence wins ties) and the reference kernel's
+    ``resid < best_resid`` loop.
+    """
+    best = -1
+    best_resid = np.inf
+    for i in range(n):
+        if used[i] + width <= 1.0 + atol:
+            resid = (1.0 - used[i]) - width
+            if resid < best_resid:
+                best = i
+                best_resid = resid
+    return best
+
+
+# ----------------------------------------------------------------------
+# skyline candidate sweep (Skyline.lowest_position)
+# ----------------------------------------------------------------------
+
+@njit(cache=True)
+def skyline_lowest(xs, ws, ys, width, atol):
+    """Bottom-left candidate over segment columns: ``(found, x, y)``.
+
+    Full transcription of ``Skyline.lowest_position`` — the
+    lowest-segment fast path (``_fit_in_segment`` predicates verbatim),
+    then the sorted-candidate generation (``_candidate_xs`` clamps
+    verbatim) and the monotonic-deque sweep with the same
+    ``y <= ymin`` early break.  ``found`` is 0.0 when there is no
+    candidate (caller raises the reference ``ValueError``).
+    """
+    m = xs.shape[0]
+    lim = 1.0 - width
+
+    ymin = ys[0]
+    for k in range(1, m):
+        if ys[k] < ymin:
+            ymin = ys[k]
+
+    # -- lowest-segment fast path (Skyline._fit_in_segment, verbatim) --
+    if lim >= 0.0 and width > 2.0 * atol:
+        for k in range(m):
+            if ys[k] != ymin:
+                continue
+            xk = xs[k]
+            if ws[k] <= atol:  # the segment excludes itself from its own window
+                continue
+            has = False
+            best = 0.0
+            if (
+                xk <= lim
+                and (k + 1 >= m or xs[k + 1] >= xk + width - atol)
+                and (k == 0 or xs[k - 1] + ws[k - 1] <= xk + atol)
+            ):
+                best = xk
+                has = True
+            xr = xk + ws[k] - width
+            if xr >= -atol:
+                if xr < 0.0:
+                    xr = 0.0
+                if xr > lim:
+                    xr = lim
+                if (
+                    (not has or xr < best)
+                    and xk + ws[k] > xr + atol
+                    and xk < xr + width - atol
+                    and (k + 1 >= m or xs[k + 1] >= xr + width - atol)
+                    and (k == 0 or xs[k - 1] + ws[k - 1] <= xr + atol)
+                ):
+                    best = xr
+                    has = True
+            if has:
+                return 1.0, best, ymin
+
+    # -- candidate generation (Skyline._candidate_xs, verbatim) --------
+    cands = np.empty(2 * m + 2, np.float64)
+    nc = 0
+    for k in range(m):
+        x = xs[k]
+        if x + width <= 1.0 + atol:
+            cands[nc] = x if x <= lim else lim
+            nc += 1
+        xr = x + ws[k] - width
+        if xr >= -atol:
+            if xr < 0.0:
+                xr = 0.0
+            cands[nc] = xr if xr <= lim else lim
+            nc += 1
+    if width <= 1.0 + atol:
+        # tol.clamp(0, 0, lim) and tol.clamp(lim, 0, lim) respectively.
+        cands[nc] = 0.0 if lim >= 0.0 else lim
+        nc += 1
+        cands[nc] = lim if lim >= 0.0 else 0.0
+        nc += 1
+    if nc == 0:
+        return 0.0, 0.0, 0.0
+    c = np.sort(cands[:nc])
+
+    # -- monotonic-deque sweep (Skyline._sweep, verbatim) --------------
+    wa = width - atol
+    hi = 0
+    dq = np.empty(m, np.int64)
+    head = 0
+    ntail = 0
+    found = False
+    best_x = 0.0
+    best_y = 0.0
+    for ci in range(nc):
+        x = c[ci]
+        right = x + wa
+        while hi < m and xs[hi] < right:
+            yk = ys[hi]
+            while ntail > head and ys[dq[ntail - 1]] <= yk:
+                ntail -= 1
+            dq[ntail] = hi
+            ntail += 1
+            hi += 1
+        left = x + atol
+        while head < ntail:
+            j = dq[head]
+            if xs[j] + ws[j] <= left:
+                head += 1
+            else:
+                break
+        y = ys[dq[head]] if head < ntail else 0.0
+        if not found or y < best_y:
+            best_x = x
+            best_y = y
+            found = True
+            if y <= ymin:
+                break  # no candidate can rest below the lowest segment
+    if not found:
+        return 0.0, 0.0, 0.0
+    return 1.0, best_x, best_y
+
+
+# ----------------------------------------------------------------------
+# columnar validator (containment + overlap sweeps)
+# ----------------------------------------------------------------------
+
+@njit(cache=True)
+def containment_scan(xs, ys, x2, y2, atol, max_height, check_height):
+    """First containment offender as ``(check, index)``, or ``(-1, -1)``.
+
+    Check order matches ``_validate_columnar`` exactly: all horizontal
+    violations first (check 0), then below-base (check 1), then the
+    optional height budget (check 2) — each reporting its first index,
+    like ``argmax`` over the violation mask.
+    """
+    n = xs.shape[0]
+    for i in range(n):
+        if xs[i] < 0.0 - atol or x2[i] > 1.0 + atol:
+            return 0, i
+    for i in range(n):
+        if ys[i] < 0.0 - atol:
+            return 1, i
+    if check_height:
+        for i in range(n):
+            if y2[i] > max_height + atol:
+                return 2, i
+    return -1, -1
+
+
+@njit(cache=True)
+def overlap_scan(xs_s, ys_s, x2_s, y2_s, his, atol):
+    """First overlapping pair over y-sorted columns, or ``(-1, -1)``.
+
+    Indices are in the *sorted* order (the caller maps back through its
+    argsort permutation).  The k-major, ascending-j scan visits candidate
+    pairs in exactly the order ``find_overlap_columns`` materialises its
+    batches, so both engines report the same first hit; the
+    four-inequality predicate is ``PlacedRect.overlaps`` verbatim (the
+    ``ys_s[j] < y2_s[k]`` leg is implied by ``j < his[k]``).
+    """
+    n = xs_s.shape[0]
+    for k in range(n):
+        hk = his[k]
+        for j in range(k + 1, hk):
+            if (
+                xs_s[k] < x2_s[j] - atol
+                and xs_s[j] < x2_s[k] - atol
+                and ys_s[k] < y2_s[j] - atol
+            ):
+                return k, j
+    return -1, -1
+
+
+# ----------------------------------------------------------------------
+# batched stacked-instance level packing (one arena, K instances)
+# ----------------------------------------------------------------------
+
+#: ``modes`` values for :func:`batched_level_pack`.
+MODE_NFDH = 0
+MODE_FFDH = 1
+MODE_BFDH = 2
+
+
+@njit(cache=True)
+def batched_level_pack(width, height, order, offsets, modes, atol):
+    """Pack K stacked instances in one invocation; ``(xs, ys, extents)``.
+
+    ``width``/``height`` are the stacked columns, ``order`` the stacked
+    decreasing-height permutation, ``offsets`` the K+1 segment bounds
+    into ``order``, ``modes[k]`` the per-instance algorithm
+    (:data:`MODE_NFDH`/:data:`MODE_FFDH`/:data:`MODE_BFDH`).  Outputs are
+    aligned with ``order`` (``xs[t]`` places row ``order[t]``).
+
+    Per instance this is the exact packer loop of
+    ``repro.packing.nfdh/ffdh/bfdh`` over a reset scratch level arena:
+    NFDH pre-opens the first level with the tallest rectangle's height
+    and only ever consults the open level; FFDH/BFDH run the
+    first-fit/best-fit scans of :func:`level_first_fit` /
+    :func:`level_best_fit`; placement clamps with ``tol.clamp``'s
+    if-chain.  Differential tests pin the outputs row-for-row against K
+    independent solves.
+    """
+    K = offsets.shape[0] - 1
+    n_total = order.shape[0]
+    out_x = np.empty(n_total, np.float64)
+    out_y = np.empty(n_total, np.float64)
+    extents = np.zeros(K, np.float64)
+
+    max_n = 0
+    for k in range(K):
+        c = offsets[k + 1] - offsets[k]
+        if c > max_n:
+            max_n = c
+    lv_y = np.empty(max_n, np.float64)
+    lv_h = np.empty(max_n, np.float64)
+    lv_used = np.empty(max_n, np.float64)
+
+    for k in range(K):
+        lo = offsets[k]
+        hi = offsets[k + 1]
+        if hi <= lo:
+            continue
+        mode = modes[k]
+        nlev = 0
+        cur = -1
+        if mode == MODE_NFDH:
+            # nfdh opens the first level for the tallest rectangle up front.
+            lv_y[0] = 0.0
+            lv_h[0] = height[order[lo]]
+            lv_used[0] = 0.0
+            nlev = 1
+            cur = 0
+        for t in range(lo, hi):
+            row = order[t]
+            w = width[row]
+            idx = -1
+            if mode == MODE_NFDH:
+                if lv_used[cur] + w <= 1.0 + atol:
+                    idx = cur
+            elif mode == MODE_FFDH:
+                for i in range(nlev):
+                    if lv_used[i] + w <= 1.0 + atol:
+                        idx = i
+                        break
+            else:
+                best_resid = np.inf
+                for i in range(nlev):
+                    if lv_used[i] + w <= 1.0 + atol:
+                        resid = (1.0 - lv_used[i]) - w
+                        if resid < best_resid:
+                            idx = i
+                            best_resid = resid
+            if idx < 0:
+                top = lv_y[nlev - 1] + lv_h[nlev - 1] if nlev > 0 else 0.0
+                lv_y[nlev] = top
+                lv_h[nlev] = height[row]
+                lv_used[nlev] = 0.0
+                idx = nlev
+                nlev += 1
+                cur = idx
+            used = lv_used[idx]
+            lim = 1.0 - w
+            x = used
+            if x < 0.0:
+                x = 0.0
+            elif x > lim:
+                x = lim
+            lv_used[idx] = used + w
+            out_x[t] = x
+            out_y[t] = lv_y[idx]
+        extents[k] = lv_y[nlev - 1] + lv_h[nlev - 1]
+    return out_x, out_y, extents

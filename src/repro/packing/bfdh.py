@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import kernels as _kernels
 from ..core.arrays import PlacementBuilder, RectArrays, decreasing_order
 from ..core.placement import Placement
 from ..core.rectangle import Rect
@@ -27,6 +28,10 @@ __all__ = ["bfdh"]
 
 def bfdh(rects: Sequence[Rect] | RectArrays, y: float = 0.0) -> PackResult:
     """Pack ``rects`` (no constraints) starting at height ``y``."""
+    if _kernels.use_reference():
+        from ..geometry.levels_reference import reference_bfdh
+
+        return reference_bfdh(RectArrays.coerce(rects).rects, y)
     arrays = RectArrays.coerce(rects)
     if not len(arrays):
         return PackResult(Placement(), 0.0)

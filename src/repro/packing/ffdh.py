@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import kernels as _kernels
 from ..core.arrays import PlacementBuilder, RectArrays, decreasing_order
 from ..core.placement import Placement
 from ..core.rectangle import Rect
@@ -34,6 +35,10 @@ __all__ = ["ffdh"]
 
 def ffdh(rects: Sequence[Rect] | RectArrays, y: float = 0.0) -> PackResult:
     """Pack ``rects`` (no constraints) starting at height ``y``."""
+    if _kernels.use_reference():
+        from ..geometry.levels_reference import reference_ffdh
+
+        return reference_ffdh(RectArrays.coerce(rects).rects, y)
     arrays = RectArrays.coerce(rects)
     if not len(arrays):
         return PackResult(Placement(), 0.0)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import kernels as _kernels
 from ..core.arrays import PlacementBuilder, RectArrays, decreasing_order
 from ..core.placement import Placement
 from ..core.rectangle import Rect
@@ -44,6 +45,10 @@ def nfdh(rects: Sequence[Rect] | RectArrays, y: float = 0.0) -> PackResult:
     sequence or a prebuilt :class:`~repro.core.arrays.RectArrays` (the
     engine passes the instance's cached columns).
     """
+    if _kernels.use_reference():
+        from ..geometry.levels_reference import reference_nfdh
+
+        return reference_nfdh(RectArrays.coerce(rects).rects, y)
     arrays = RectArrays.coerce(rects)
     if not len(arrays):
         return PackResult(Placement(), 0.0)

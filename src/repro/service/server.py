@@ -265,6 +265,15 @@ def prometheus_samples(
             out.append((name, {**base, **extra}, float(value)))
 
     add("repro_uptime_seconds", snapshot.get("uptime_s"))
+    kernel = snapshot.get("kernel")
+    if kernel:
+        # Info-pattern gauge: constant 1, the tier rides in the labels.
+        add(
+            "repro_kernel_tier",
+            1,
+            tier=kernel.get("active", "array"),
+            requested=kernel.get("requested", "auto"),
+        )
     requests = snapshot.get("requests", {})
     for endpoint, count in sorted(requests.get("by_endpoint", {}).items()):
         add("repro_requests_total", count, endpoint=endpoint)
@@ -882,7 +891,10 @@ class SolveServer(HttpServerBase):
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """The full ``/metrics`` document (also read by the router)."""
+        from .. import kernels
+
         snapshot = self.metrics.snapshot()
+        snapshot["kernel"] = kernels.tier_info()
         snapshot["queue"] = self.batcher.stats().to_dict()
         snapshot["cache"] = self.cache.stats().to_dict()
         snapshot["cache"]["warm_hits"] = self._warm_hits

@@ -41,6 +41,14 @@ async def _serve(worker_id: int, conn, config: Mapping[str, Any]) -> None:
     from .server import SolveServer
 
     config = dict(config)
+    # The requested kernel tier rides in the config too — worker processes
+    # start from a fresh interpreter, so the parent's tier selection must
+    # be re-applied here (each worker then resolves/falls back on its own).
+    tier = config.pop("kernel_tier", None)
+    if tier is not None:
+        from .. import kernels
+
+        kernels.set_tier(tier)
     # A chaos plan rides inside the (picklable) worker config as a plain
     # dict; each worker builds its own injector scoped to its id, so a
     # spec with "worker": K fires only in worker K.

@@ -242,3 +242,40 @@ class TestResultKey:
     def test_unserialisable_param_rejected(self):
         with pytest.raises(InvalidInstanceError):
             canonical_params({"fn": object()})
+
+
+class TestCanonicalMemo:
+    """The per-instance memo caches only the default-``atol`` form."""
+
+    def test_default_atol_memoizes(self):
+        inst = StripPackingInstance(rects3())
+        first = canonical_instance_dict(inst)
+        assert canonical_instance_dict(inst) is first
+        assert canonical_instance_dict(inst, atol=ATOL) is first
+
+    def test_non_default_atol_never_poisons_the_memo(self):
+        """An exotic-tolerance call neither reads nor writes the memo.
+
+        Ordering matters both ways: a coarse-grid call *before* the first
+        default call must not seed the memo with coarse ticks, and one
+        *after* must not evict or overwrite the default-grid entry the
+        serving cache keys on.
+        """
+        coarse = 1e-3
+        inst = StripPackingInstance(rects3())
+        before = canonical_instance_dict(inst, atol=coarse)
+        assert inst.__dict__.get("_canonical_dict") is None  # not written
+        default = canonical_instance_dict(inst)
+        assert default != before  # different grids, different ticks
+        after = canonical_instance_dict(inst, atol=coarse)
+        assert after == before
+        assert canonical_instance_dict(inst) is default  # memo intact
+
+    def test_memo_entry_matches_fresh_computation(self):
+        """The memoized dict equals what an unmemoized instance computes."""
+        inst = StripPackingInstance(rects3())
+        canonical_instance_dict(inst, atol=1e-5)  # exotic call first
+        memoized = canonical_instance_dict(inst)
+        fresh = canonical_instance_dict(StripPackingInstance(rects3()))
+        assert memoized == fresh
+        assert canonical_hash(inst) == canonical_hash(StripPackingInstance(rects3()))

@@ -1,0 +1,353 @@
+"""Kernel-tier registry and compiled-tier differential tests.
+
+Three families:
+
+* **registry semantics** — tier selection, lazy resolution, the graceful
+  numba-less fallback (``compiled``/``auto`` → ``array`` with exactly one
+  log line), and the ``use_tier`` scope guard;
+* **tier differentials** — the packers, the validator, and the registry
+  specs must be *bit-identical* across every tier.  These run even
+  without numba installed: :mod:`repro.kernels.compiled` degrades
+  ``@njit`` to a pass-through decorator, so forcing
+  ``compiled.AVAILABLE = True`` drives the exact compiled-kernel bodies
+  as plain Python — same code, same arithmetic, minus the JIT;
+* **real-numba checks** — ``skipif``-gated on numba actually importing
+  (the CI ``[speed]`` leg); the default legs prove the fallback instead.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import kernels
+from repro.core.arrays import RectArrays
+from repro.core.errors import InvalidPlacementError
+from repro.core.instance import StripPackingInstance
+from repro.core.placement import PlacedRect, Placement, validate_placement
+from repro.core.rectangle import Rect
+from repro.engine import run
+from repro.kernels import compiled
+from repro.packing import bfdh, bottom_left, ffdh, nfdh
+from repro.workloads.random_rects import powerlaw_rects, uniform_rects
+
+from .conftest import rect_lists
+
+
+@pytest.fixture(autouse=True)
+def _pristine_registry():
+    """Every test starts and ends on a clean process-global registry."""
+    kernels._reset_for_testing()
+    yield
+    kernels._reset_for_testing()
+
+
+def _force_compiled(monkeypatch):
+    """Make the compiled tier selectable regardless of numba.
+
+    Without numba the kernels are their own pure-Python executable
+    specification (pass-through ``njit``), so this is a real differential
+    test of the compiled-kernel logic, not a mock.
+    """
+    monkeypatch.setattr(compiled, "AVAILABLE", True)
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_default_is_auto(self):
+        assert kernels.requested_tier() == "auto"
+        assert kernels.active_tier() == (
+            "compiled" if compiled.AVAILABLE else "array"
+        )
+
+    @pytest.mark.parametrize("tier", ["reference", "array"])
+    def test_explicit_tiers_resolve_to_themselves(self, tier):
+        kernels.set_tier(tier)
+        assert kernels.requested_tier() == tier
+        assert kernels.active_tier() == tier
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernels.set_tier("vectorized")
+        # The failed request left the registry untouched.
+        assert kernels.requested_tier() == "auto"
+
+    def test_tier_choices_cover_tiers(self):
+        assert kernels.TIER_CHOICES == ("auto",) + kernels.TIERS
+
+    def test_hot_path_predicates(self, monkeypatch):
+        _force_compiled(monkeypatch)
+        kernels.set_tier("reference")
+        assert kernels.use_reference() and not kernels.use_compiled()
+        kernels.set_tier("array")
+        assert not kernels.use_reference() and not kernels.use_compiled()
+        kernels.set_tier("compiled")
+        assert kernels.use_compiled() and not kernels.use_reference()
+
+    def test_use_tier_restores_previous_request(self):
+        kernels.set_tier("array")
+        with kernels.use_tier("reference") as active:
+            assert active == "reference"
+            assert kernels.use_reference()
+        assert kernels.requested_tier() == "array"
+        assert kernels.active_tier() == "array"
+
+    def test_use_tier_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with kernels.use_tier("reference"):
+                raise RuntimeError("boom")
+        assert kernels.requested_tier() == "auto"
+
+    def test_tier_info_shape(self):
+        info = kernels.tier_info()
+        assert set(info) == {"requested", "active", "compiled_available", "numba"}
+        assert info["requested"] == "auto"
+        assert info["active"] in kernels.TIERS
+        assert isinstance(info["compiled_available"], bool)
+
+
+class TestGracefulFallback:
+    """Requesting ``compiled`` without numba degrades, loudly once."""
+
+    @pytest.fixture(autouse=True)
+    def _no_numba(self, monkeypatch):
+        monkeypatch.setattr(compiled, "AVAILABLE", False)
+
+    def test_explicit_compiled_degrades_to_array(self):
+        kernels.set_tier("compiled")
+        assert kernels.requested_tier() == "compiled"
+        assert kernels.active_tier() == "array"
+        assert not kernels.use_compiled()
+
+    def test_auto_resolves_to_array(self):
+        assert kernels.active_tier() == "array"
+
+    def test_fallback_logs_exactly_once(self, caplog):
+        kernels.set_tier("compiled")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            kernels.active_tier()
+            # Re-resolution after another request must stay silent.
+            kernels.set_tier("auto")
+            kernels.active_tier()
+            kernels.set_tier("compiled")
+            kernels.active_tier()
+        warnings = [r for r in caplog.records if r.name == "repro.kernels"]
+        assert len(warnings) == 1
+        assert "falling back to the array tier" in warnings[0].message
+        assert "[speed]" in warnings[0].message
+
+    def test_degraded_tier_still_solves(self):
+        kernels.set_tier("compiled")
+        rects = [Rect(rid=i, width=0.3, height=0.5) for i in range(6)]
+        report = run(StripPackingInstance(rects), "ffdh")
+        assert report.valid is True
+
+
+# ----------------------------------------------------------------------
+# tier differentials: packers
+# ----------------------------------------------------------------------
+
+PACKERS = [
+    pytest.param(nfdh, id="nfdh"),
+    pytest.param(ffdh, id="ffdh"),
+    pytest.param(bfdh, id="bfdh"),
+    pytest.param(bottom_left, id="bottom_left"),
+]
+
+
+def _pack_under(packer, rects, tier):
+    with kernels.use_tier(tier):
+        # bottom_left takes rect sequences; level packers accept columns.
+        arg = rects if packer is bottom_left else RectArrays(rects)
+        return packer(arg)
+
+
+def _assert_same_pack(a, b, rects):
+    assert a.extent == b.extent
+    for r in rects:
+        assert a.placement[r.rid] == b.placement[r.rid], r.rid
+
+
+class TestPackerTierDifferential:
+    @pytest.mark.parametrize("packer", PACKERS)
+    @given(rect_lists(min_size=1, max_size=20, max_h=3.0))
+    def test_hypothesis_sequences(self, packer, rects):
+        """reference == array == compiled on random rectangle lists."""
+        # MonkeyPatch.context, not the fixture: hypothesis re-runs the
+        # test body without resetting function-scoped fixtures.
+        with pytest.MonkeyPatch.context() as mp:
+            _force_compiled(mp)
+            ref = _pack_under(packer, rects, "reference")
+            arr = _pack_under(packer, rects, "array")
+            com = _pack_under(packer, rects, "compiled")
+        _assert_same_pack(arr, ref, rects)
+        _assert_same_pack(com, ref, rects)
+
+    @pytest.mark.parametrize("packer", PACKERS)
+    @pytest.mark.parametrize("gen", [powerlaw_rects, uniform_rects])
+    @pytest.mark.parametrize("n", [64, 300])
+    def test_workload_scale(self, monkeypatch, packer, gen, n):
+        """Workload-scale instances agree tier-for-tier (exact floats)."""
+        _force_compiled(monkeypatch)
+        rects = gen(n, np.random.default_rng(n))
+        ref = _pack_under(packer, rects, "reference")
+        com = _pack_under(packer, rects, "compiled")
+        _assert_same_pack(com, ref, rects)
+
+
+# ----------------------------------------------------------------------
+# tier differentials: validator
+# ----------------------------------------------------------------------
+
+
+class TestValidatorTierDifferential:
+    def _valid_case(self, n=120):
+        rects = powerlaw_rects(n, np.random.default_rng(5))
+        instance = StripPackingInstance(rects)
+        return instance, ffdh(instance.arrays()).placement
+
+    def test_valid_placement_all_tiers(self, monkeypatch):
+        _force_compiled(monkeypatch)
+        instance, placement = self._valid_case()
+        for tier in kernels.TIERS:
+            with kernels.use_tier(tier):
+                validate_placement(instance, placement)  # must not raise
+
+    @pytest.mark.parametrize("defect", ["overlap", "outside", "negative"])
+    def test_defects_caught_on_every_tier(self, monkeypatch, defect):
+        """The same broken placement fails identically on every tier."""
+        _force_compiled(monkeypatch)
+        instance, placement = self._valid_case()
+        placed = dict(placement.items())
+        victim = instance.rects[7]
+        if defect == "overlap":
+            other = placement[instance.rects[3].rid]
+            placed[victim.rid] = PlacedRect(victim, other.x, other.y)
+        elif defect == "outside":
+            placed[victim.rid] = PlacedRect(victim, 1.0 - victim.width / 2, 0.0)
+        else:
+            placed[victim.rid] = PlacedRect(victim, 0.0, -victim.height)
+        broken = Placement(placed)
+        messages = {}
+        for tier in kernels.TIERS:
+            with kernels.use_tier(tier):
+                with pytest.raises(InvalidPlacementError) as exc:
+                    validate_placement(instance, broken)
+                messages[tier] = str(exc.value)
+        # array and compiled share the columnar sweep order, so their
+        # messages match verbatim; reference may report a different
+        # witness pair but must still reject.
+        assert messages["array"] == messages["compiled"]
+
+
+# ----------------------------------------------------------------------
+# tier differentials: engine registry sweep
+# ----------------------------------------------------------------------
+
+
+class TestEngineTierSweep:
+    @pytest.mark.parametrize("algorithm", ["nfdh", "ffdh", "bfdh", "bottom_left"])
+    def test_run_reports_identical(self, monkeypatch, algorithm):
+        """engine.run agrees field-for-field (minus wall_time) across tiers."""
+        _force_compiled(monkeypatch)
+        instance = StripPackingInstance(powerlaw_rects(150, np.random.default_rng(9)))
+        reports = {}
+        for tier in kernels.TIERS:
+            with kernels.use_tier(tier):
+                reports[tier] = run(instance, algorithm)
+        base = reports["reference"]
+        for tier in ("array", "compiled"):
+            r = reports[tier]
+            assert r.height == base.height
+            assert r.valid is True and base.valid is True
+            assert r.lower_bound == base.lower_bound
+            for rid, p in base.placement.items():
+                assert r.placement[rid] == p, (tier, rid)
+
+
+# ----------------------------------------------------------------------
+# direct kernel units (pure-Python bodies without numba)
+# ----------------------------------------------------------------------
+
+
+class TestKernelUnits:
+    def test_level_first_fit_matches_scan(self):
+        used = np.array([0.95, 0.5, 0.8, 0.2, 0.99], dtype=np.float64)
+        for w in (0.01, 0.3, 0.6, 0.9):
+            got = compiled.level_first_fit(used, len(used), w, 1e-9)
+            want = next(
+                (i for i, u in enumerate(used) if u + w <= 1.0 + 1e-9), -1
+            )
+            assert got == want, w
+
+    def test_level_best_fit_prefers_tightest_then_first(self):
+        used = np.array([0.1, 0.6, 0.6, 0.3], dtype=np.float64)
+        # w=0.4: residuals 0.5, 0.0, 0.0, 0.3 -> tightest is level 1
+        # (first occurrence of the minimum).
+        assert compiled.level_best_fit(used, len(used), 0.4, 1e-9) == 1
+        # Nothing fits.
+        assert compiled.level_best_fit(used, len(used), 0.95, 1e-9) == -1
+
+    def test_skyline_lowest_matches_array_kernel(self, monkeypatch):
+        from repro.geometry.skyline import Skyline
+
+        _force_compiled(monkeypatch)
+        rng = np.random.default_rng(11)
+        seq = [(float(rng.uniform(0.02, 0.5)), float(rng.uniform(0.02, 0.5)))
+               for _ in range(60)]
+        with kernels.use_tier("array"):
+            a = Skyline()
+            arr_positions = []
+            for w, h in seq:
+                pos = a.lowest_position(w)
+                arr_positions.append(pos)
+                a.place(pos[0], w, h)
+        with kernels.use_tier("compiled"):
+            c = Skyline()
+            for (w, h), expected in zip(seq, arr_positions):
+                pos = c.lowest_position(w)
+                assert pos == expected
+                c.place(pos[0], w, h)
+
+
+# ----------------------------------------------------------------------
+# real numba (the CI [speed] leg)
+# ----------------------------------------------------------------------
+
+requires_numba = pytest.mark.skipif(
+    not compiled.AVAILABLE, reason="numba not installed (the [speed] extra)"
+)
+
+
+@requires_numba
+class TestRealNumba:
+    def test_auto_resolves_to_compiled(self):
+        assert kernels.active_tier() == "compiled"
+        assert kernels.tier_info()["numba"] is not None
+
+    @pytest.mark.parametrize("packer", PACKERS)
+    def test_jitted_kernels_bit_identical(self, packer):
+        rects = powerlaw_rects(2000, np.random.default_rng(3))
+        ref = _pack_under(packer, rects, "array")
+        com = _pack_under(packer, rects, "compiled")
+        _assert_same_pack(com, ref, rects)
+
+    def test_jitted_validator_accepts_and_rejects(self):
+        instance = StripPackingInstance(powerlaw_rects(500, np.random.default_rng(4)))
+        placement = ffdh(instance.arrays()).placement
+        with kernels.use_tier("compiled"):
+            validate_placement(instance, placement)
+        placed = dict(placement.items())
+        victim = instance.rects[0]
+        other = placement[instance.rects[1].rid]
+        placed[victim.rid] = PlacedRect(victim, other.x, other.y)
+        with kernels.use_tier("compiled"):
+            with pytest.raises(InvalidPlacementError):
+                validate_placement(instance, Placement(placed))

@@ -187,3 +187,31 @@ class TestExecutorDeterminism:
 
         with pytest.raises(InvalidInstanceError, match="jobs"):
             Executor("thread", 0)
+
+
+class TestKernelTierDifferential:
+    """Every tier of the registry lands every rectangle identically.
+
+    The compiled tier is exercised even without numba: the kernel bodies
+    run as plain Python (pass-through ``njit``), which is the same logic
+    the JIT compiles — ``tests/test_kernel_tiers.py`` owns the deeper
+    tier sweeps, this keeps the level-packer suite self-contained.
+    """
+
+    @pytest.mark.parametrize("fast, ref", PAIRS)
+    @pytest.mark.parametrize("tier", ["reference", "array", "compiled"])
+    def test_workload_identical_on_every_tier(self, fast, ref, tier):
+        from repro import kernels
+        from repro.kernels import compiled
+        from repro.workloads import powerlaw_rects
+
+        rects = powerlaw_rects(400, np.random.default_rng(13))
+        expected = ref(rects)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(compiled, "AVAILABLE", True)
+            kernels._reset_for_testing()
+            try:
+                with kernels.use_tier(tier):
+                    assert_identical(fast(rects), expected, rects)
+            finally:
+                kernels._reset_for_testing()

@@ -250,7 +250,12 @@ class TestFleetMetrics:
         assert {"hits", "misses", "evictions", "spills",
                 "spill_hits", "entries", "bytes"} <= set(data["cache"])
         assert data["router"]["workers"]["total"] == 2
+        assert data["kernel"]["active"] in ("array", "compiled")
         assert set(data["workers"]) == {"0", "1"}
+        assert all(
+            w["kernel"]["active"] == data["kernel"]["active"]
+            for w in data["workers"].values()
+        )
         per_worker = sum(w["queue"]["completed"] for w in data["workers"].values())
         assert data["queue"]["completed"] == per_worker
 
@@ -265,6 +270,9 @@ class TestFleetMetrics:
         assert "repro_workers_total 2" in text
         assert "repro_workers_alive 2" in text
         assert 'worker="0"' in text and 'worker="1"' in text
+        # the kernel tier rides as an info-pattern gauge, fleet + per-worker
+        assert 'repro_kernel_tier{requested="auto",tier="array"} 1' in text
+        assert 'repro_kernel_tier{requested="auto",tier="array",worker="0"} 1' in text
         # one # TYPE header per metric name, preceding all of its series
         typed = [line.split()[2] for line in text.splitlines()
                  if line.startswith("# TYPE")]

@@ -122,3 +122,29 @@ def test_release_variant_unaffected(seq):
     ]
     result = bottom_left_release(rects)
     validate_placement(ReleaseInstance(rects, K=100), result.placement)
+
+
+@pytest.mark.parametrize("tier", ["reference", "array", "compiled"])
+def test_bottom_left_identical_on_every_tier(tier):
+    """The kernel-tier registry never changes a bottom-left placement.
+
+    Runs the compiled candidate sweep as plain Python when numba is
+    absent (pass-through ``njit``) — same logic the JIT compiles.
+    """
+    from repro import kernels
+    from repro.kernels import compiled
+    from repro.workloads import powerlaw_rects
+
+    rects = powerlaw_rects(300, np.random.default_rng(17))
+    expected = bottom_left(rects, skyline_cls=ReferenceSkyline)
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(compiled, "AVAILABLE", True)
+        kernels._reset_for_testing()
+        try:
+            with kernels.use_tier(tier):
+                result = bottom_left(rects)
+        finally:
+            kernels._reset_for_testing()
+    assert result.extent == expected.extent
+    for r in rects:
+        assert result.placement[r.rid] == expected.placement[r.rid]
