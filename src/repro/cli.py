@@ -33,14 +33,22 @@ Commands
     schema-validated ``BENCH_<name>.json`` artifact each; ``--list``
     prints the bench registry, ``--quick`` restricts each spec to its
     smoke sizes, and ``--compare`` diffs the fresh artifact against a
-    baseline, exiting 1 when a regression is flagged.
+    baseline, exiting 1 when a regression is flagged.  ``bench trend``
+    is the history gate (:mod:`repro.obs.trend`): it loads every
+    artifact under ``--artifacts`` plus optional ``--history`` dirs,
+    builds per-series median timelines, writes ``BENCH_trend.json`` to
+    ``--out``, and exits 1 on *sustained* drift (the last ``--window``
+    runs all slower than baseline by ``--drift-threshold``×).
 ``serve [--host H] [--port P] [--workers N] [--backend B --jobs N] [--cache-dir DIR]``
     Run the asyncio JSON-over-HTTP solve service (:mod:`repro.service`):
     ``POST /solve`` and ``POST /portfolio`` with micro-batching and a
     content-addressed result cache, ``GET /healthz`` / ``GET /metrics``
     for operations.  ``--workers N`` (N > 1) shards the service over N
     worker processes behind a consistent-hash router
-    (:mod:`repro.service.router`).  Runs until interrupted; SIGTERM or
+    (:mod:`repro.service.router`).  ``--log-format json|text`` and
+    ``--log-file`` route the service's structured event log
+    (:mod:`repro.obs.logging`) to a JSON-lines or text sink shared by
+    the router and every worker.  Runs until interrupted; SIGTERM or
     Ctrl-C drains gracefully (accepted requests are answered) and exits 0.
 ``loadtest [--url URL] [--mode closed|open] [--requests N] [--quick] [--workers-sweep 1,2,4]``
     Drive a solve service with the load generator
@@ -220,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="slowdown factor flagged as a regression (default 1.5)",
     )
+    p_bench.add_argument(
+        "--artifacts", type=Path, default=Path("benchmarks/artifacts"),
+        metavar="DIR",
+        help="bench trend: committed artifact directory "
+             "(default benchmarks/artifacts)",
+    )
+    p_bench.add_argument(
+        "--history", type=Path, action="append", default=None, metavar="DIR",
+        help="bench trend: extra history directories of older artifacts "
+             "(repeatable)",
+    )
+    p_bench.add_argument(
+        "--window", type=int, default=None,
+        help="bench trend: consecutive drifting runs required to fail "
+             "the gate (default 3)",
+    )
+    p_bench.add_argument(
+        "--drift-threshold", type=float, default=None,
+        help="bench trend: sustained slowdown ratio vs the series "
+             "baseline (default 1.25)",
+    )
     _add_executor_args(p_bench)
     _add_kernel_tier_arg(p_bench)
 
@@ -271,6 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--backoff-ms", type=float, default=50.0,
         help="base of the seeded exponential retry backoff (default 50 ms)",
+    )
+    p_serve.add_argument(
+        "--log-format", choices=("json", "text"), default=None,
+        help="structured event log format (default: plain stdlib logging; "
+             "json = one JSON object per line)",
+    )
+    p_serve.add_argument(
+        "--log-file", type=Path, default=None,
+        help="append structured events to this file instead of stderr "
+             "(workers share it; whole-line writes interleave cleanly)",
     )
 
     p_chaos = sub.add_parser(
@@ -603,6 +642,10 @@ def _cmd_bench(args, out) -> int:
     from .bench.compare import DEFAULT_THRESHOLD
 
     _check_jobs(args.jobs)
+    if args.names == ["trend"] and not args.all:
+        # "trend" is a bench *verb*, not a registered spec: gate on the
+        # committed artifact history instead of running anything.
+        return _cmd_bench_trend(args, out)
     if args.list:
         from . import kernels
 
@@ -706,6 +749,54 @@ def _cmd_bench(args, out) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_bench_trend(args, out) -> int:
+    """``repro bench trend``: the sustained-drift gate over bench history."""
+    from .obs.trend import (
+        DEFAULT_DRIFT_THRESHOLD,
+        DEFAULT_WINDOW,
+        TREND_FILENAME,
+        run_trend,
+        trend_table,
+    )
+
+    window = DEFAULT_WINDOW if args.window is None else args.window
+    threshold = (
+        DEFAULT_DRIFT_THRESHOLD if args.drift_threshold is None else args.drift_threshold
+    )
+    if window < 1:
+        raise _CliInputError(f"--window must be >= 1, got {window}")
+    if threshold <= 1.0:
+        raise _CliInputError(f"--drift-threshold must be > 1, got {threshold:g}")
+    directories = [args.artifacts, *(args.history or [])]
+    for directory in directories:
+        if not directory.is_dir():
+            raise _CliInputError(f"not a directory: {directory}")
+    document, drifts = run_trend(
+        directories, window=window, threshold=threshold, out_dir=args.out
+    )
+    if document["artifacts"] == 0:
+        raise _CliInputError(
+            f"no BENCH_*.json artifacts under {', '.join(map(str, directories))}"
+        )
+    print(trend_table(document).render(), file=out)
+    for error in document["load_errors"]:
+        print(f"warning: skipped invalid artifact: {error}", file=out)
+    print(f"\ntrend document written to {args.out / TREND_FILENAME}", file=out)
+    if drifts:
+        for drift in drifts:
+            print(
+                f"DRIFT: {drift['bench']}/{drift['entry']} size {drift['size']}: "
+                f"last {drift['window']} runs all > {threshold:g}x baseline "
+                f"({drift['baseline_s']:.4g}s -> {drift['latest_s']:.4g}s, "
+                f"{drift['ratio']:.2f}x)",
+                file=out,
+            )
+        print(f"{len(drifts)} drifting series flagged", file=out)
+        return 1
+    print("no sustained drift", file=out)
+    return 0
+
+
 def _build_server(args):
     """A server from serve CLI flags — :class:`SolveServer` for
     ``--workers 1``, a sharded :class:`RouterServer` above — mapping
@@ -761,6 +852,16 @@ def _build_server(args):
             tier = getattr(args, "kernel_tier", None)
             if tier is not None and tier != "auto":
                 config = dict(config, kernel_tier=tier)
+            # The structured-log sink rides the same way: every worker
+            # configures the same format/file, so one fleet shares one log.
+            log_format = getattr(args, "log_format", None)
+            log_file = getattr(args, "log_file", None)
+            if log_format is not None or log_file is not None:
+                config = dict(
+                    config,
+                    log_format=log_format,
+                    log_file=None if log_file is None else str(log_file),
+                )
             return RouterServer(
                 workers=workers,
                 worker_config=config,
@@ -777,6 +878,19 @@ def _cmd_serve(args, out) -> int:
     import asyncio
     import signal as _signal
 
+    log_format = getattr(args, "log_format", None)
+    log_file = getattr(args, "log_file", None)
+    if log_format is not None or log_file is not None:
+        # Configure this process's sink (the solo server's, or the
+        # router's own events); _build_server forwards the same config
+        # into every worker process.
+        from .obs import configure_logging
+
+        configure_logging(
+            log_format,
+            None if log_file is None else str(log_file),
+            stream=sys.stderr if log_file is None else None,
+        )
     server = _build_server(args)
     workers = getattr(args, "workers", 1)
 

@@ -126,7 +126,14 @@ def _log_fallback_once(message: str) -> None:
     global _fallback_logged
     if not _fallback_logged:
         _fallback_logged = True
-        logger.warning(message)
+        # Through the obs structured logger (single logging path): with no
+        # explicit sink configured this lands on the stdlib "repro.kernels"
+        # logger at WARNING, preserving the historical behaviour.
+        from ..obs import get_logger
+
+        get_logger().event(
+            "kernel_fallback", logger=logger.name, message=message
+        )
 
 
 def use_compiled() -> bool:

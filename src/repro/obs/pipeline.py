@@ -1,0 +1,104 @@
+"""Dependency-declaring tasks executed in DAG topological order.
+
+The bench trend comparison (:mod:`repro.obs.trend`) is not one big
+function but a handful of small stages — discover artifacts, load them,
+group into per-bench time series, detect drift, render the report.  Each
+stage is a :class:`Task` that *declares* what it consumes via
+:meth:`Task.requires` (the yapim ``Task.requires/depends`` idiom): the
+runner wires the declared dependencies into the in-repo
+:class:`repro.dag.graph.TaskDAG`, executes the stages in its
+deterministic Kahn topological order, and hands every task the merged
+``output`` dicts of its requirements as ``self.input``.
+
+A cycle in the declarations is an immediate
+:class:`~repro.core.errors.InvalidInstanceError` (straight from
+``TaskDAG``), not a hang; an undeclared input is a loud ``KeyError``
+inside the task that forgot to declare it.  That makes each stage
+independently testable: construct it with a hand-made ``input`` dict and
+inspect ``output``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence, Type
+
+from ..dag.graph import TaskDAG
+
+__all__ = ["Task", "PipelineResult", "run_pipeline"]
+
+
+class Task:
+    """One pipeline stage: declare requirements, read input, fill output.
+
+    Subclasses override :meth:`requires` (a list of the Task *classes*
+    they consume — or their names) and :meth:`run`.  ``self.input`` holds
+    the merged outputs of every requirement plus the pipeline seed;
+    ``self.output`` is what this stage contributes downstream.
+    """
+
+    @classmethod
+    def task_name(cls) -> str:
+        return cls.__name__
+
+    @staticmethod
+    def requires() -> Sequence["Type[Task] | str"]:
+        return ()
+
+    def __init__(self, input: Mapping[str, Any]) -> None:
+        self.input: dict[str, Any] = dict(input)
+        self.output: dict[str, Any] = {}
+
+    def run(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outputs of a pipeline run, keyed by task name, plus the order used."""
+
+    outputs: Mapping[str, Mapping[str, Any]]
+    order: Sequence[str] = field(default_factory=tuple)
+
+    def merged(self) -> dict[str, Any]:
+        """All task outputs flattened into one namespace (later wins)."""
+        flat: dict[str, Any] = {}
+        for name in self.order:
+            flat.update(self.outputs[name])
+        return flat
+
+
+def _require_name(req: "Type[Task] | str") -> str:
+    return req if isinstance(req, str) else req.task_name()
+
+
+def run_pipeline(
+    tasks: Iterable[Type[Task]], seed: Mapping[str, Any] | None = None
+) -> PipelineResult:
+    """Execute ``tasks`` in dependency order; return every stage's output.
+
+    ``seed`` is visible in every task's ``self.input`` (under its own
+    keys) — the pipeline's external parameters.  Requirements must name
+    tasks present in ``tasks``; unknown names and cycles both raise
+    :class:`~repro.core.errors.InvalidInstanceError` via ``TaskDAG``.
+    """
+    classes = {cls.task_name(): cls for cls in tasks}
+    dag = TaskDAG(
+        classes,
+        [
+            (_require_name(req), name)
+            for name, cls in classes.items()
+            for req in cls.requires()
+        ],
+    )
+    outputs: dict[str, dict[str, Any]] = {}
+    order = dag.topological_order()
+    for name in order:
+        cls = classes[name]
+        merged: dict[str, Any] = dict(seed or {})
+        for req in cls.requires():
+            merged.update(outputs[_require_name(req)])
+        task = cls(merged)
+        task.run()
+        outputs[name] = task.output
+    return PipelineResult(outputs=outputs, order=tuple(order))

@@ -257,6 +257,20 @@ class FaultInjector:
                 if spec.site == site and spec.matches(hit, who)
             ]
             state.fired += len(fired)
+        # One structured event per injected fault, emitted outside the
+        # lock and before the fault acts — a `crash` kind still logs.
+        if fired:
+            from ..obs import get_logger
+
+            for spec in fired:
+                get_logger().event(
+                    "fault_injected",
+                    logger="repro.service.faults",
+                    site=site,
+                    kind=spec.kind,
+                    hit=hit,
+                    worker="" if who is None else str(who),
+                )
         return fired
 
     def fire_sync(self, site: str, *, worker: int | None = None) -> None:

@@ -23,7 +23,11 @@ Three traffic modes:
 All modes reuse ``http.client`` over keep-alive connections, record
 per-request latency, count cache hits via the server's ``X-Repro-Cache``
 header, and summarise into a :class:`LoadResult` (p50/p95/p99 and a
-log-scaled latency histogram the CLI renders).
+log-scaled latency histogram the CLI renders).  Every response also
+carries an ``X-Repro-Trace`` id; the generator keeps the id alongside
+each latency sample and, after the run, pulls the span breakdown of the
+three slowest requests from the server's ``/debug/trace/{id}`` ring so a
+load report ends with "here is where the tail spent its time".
 
 Payloads come from :func:`solve_payloads`: ``distinct`` seeded instances
 cycled across ``requests`` posts, so ``distinct=1`` measures the pure
@@ -185,6 +189,9 @@ class LoadResult:
     lateness_s: tuple[float, ...] = ()
     status_counts: dict = field(default_factory=dict)
     warm_hits: int = 0
+    #: Span breakdowns of the slowest traced requests (slowest first):
+    #: ``{"trace", "latency_ms", "spans": [...]}`` per entry.
+    slow_traces: tuple = ()
 
     @property
     def throughput_rps(self) -> float:
@@ -217,6 +224,7 @@ class LoadResult:
             "max_lateness_s": self.max_lateness_s,
             "status_counts": dict(self.status_counts),
             "warm_hits": self.warm_hits,
+            "slow_traces": [dict(entry) for entry in self.slow_traces],
         }
 
     def summary_lines(self) -> list[str]:
@@ -233,6 +241,15 @@ class LoadResult:
         if self.mode == "session":
             warm = f"{self.warm_hits}/{self.requests}" if self.requests else "0/0"
             lines.append(f"warm starts = {warm}")
+        for entry in self.slow_traces:
+            phases = ", ".join(
+                f"{span['name']}={span['duration_s'] * 1e3:.2f}ms"
+                for span in entry.get("spans", ())
+            )
+            lines.append(
+                f"slow trace {entry['trace']}: {entry['latency_ms']:.2f} ms"
+                + (f" ({phases})" if phases else "")
+            )
         return lines
 
     def histogram_lines(self, width: int = 40) -> list[str]:
@@ -276,6 +293,7 @@ class _Recorder:
         self.lock = threading.Lock()
         self.latencies: list[float] = []
         self.lateness: list[float] = []
+        self.traced: list[tuple[float, str]] = []
         self.status_counts: dict[str, int] = {}
         self.ok = 0
         self.errors = 0
@@ -283,9 +301,11 @@ class _Recorder:
         self.warm_hits = 0
 
     def record(self, status: int, latency_s: float, cache_header: str | None,
-               lateness_s: float | None = None) -> None:
+               lateness_s: float | None = None, trace_id: str | None = None) -> None:
         with self.lock:
             self.latencies.append(latency_s)
+            if trace_id:
+                self.traced.append((latency_s, trace_id))
             key = str(status)
             self.status_counts[key] = self.status_counts.get(key, 0) + 1
             if status == 200:
@@ -302,13 +322,61 @@ class _Recorder:
                 self.lateness.append(lateness_s)
 
 
-def _post_one(conn: http.client.HTTPConnection, payload: bytes) -> tuple[int, str | None]:
+def _trace_of(response) -> str | None:
+    """The trace id from an ``X-Repro-Trace: <id>;<span>;<tenant>`` header."""
+    header = response.getheader("X-Repro-Trace")
+    if not header:
+        return None
+    return header.split(";", 1)[0] or None
+
+
+def _post_one(
+    conn: http.client.HTTPConnection, payload: bytes
+) -> tuple[int, str | None, str | None]:
     conn.request(
         "POST", "/solve", body=payload, headers={"Content-Type": "application/json"}
     )
     response = conn.getresponse()
     response.read()  # drain so the keep-alive connection is reusable
-    return response.status, response.getheader("X-Repro-Cache")
+    return response.status, response.getheader("X-Repro-Cache"), _trace_of(response)
+
+
+def _slow_traces(
+    host: str, port: int, recorder: _Recorder, *, top: int = 3, timeout: float = 10.0
+) -> tuple:
+    """Span breakdowns for the ``top`` slowest traced requests.
+
+    Best-effort by design: the run's samples are already complete, so a
+    server that has shut down, trimmed its span ring, or never traced
+    simply yields fewer (or zero) entries rather than an error.
+    """
+    slowest = sorted(recorder.traced, key=lambda pair: pair[0], reverse=True)[:top]
+    if not slowest:
+        return ()
+    entries = []
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        for latency_s, trace_id in slowest:
+            spans: list = []
+            try:
+                conn.request("GET", f"/debug/trace/{trace_id}")
+                response = conn.getresponse()
+                raw = response.read()
+                if response.status == 200:
+                    spans = json.loads(raw).get("spans", [])
+            except (OSError, http.client.HTTPException, ValueError):
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=timeout)
+            entries.append(
+                {
+                    "trace": trace_id,
+                    "latency_ms": latency_s * 1e3,
+                    "spans": spans,
+                }
+            )
+    finally:
+        conn.close()
+    return tuple(entries)
 
 
 def run_closed_loop(
@@ -339,13 +407,13 @@ def run_closed_loop(
                     break
                 t0 = time.perf_counter()
                 try:
-                    status, cache = _post_one(conn, payloads[i % len(payloads)])
+                    status, cache, trace = _post_one(conn, payloads[i % len(payloads)])
                 except (OSError, http.client.HTTPException):
                     conn.close()
                     conn = http.client.HTTPConnection(host, port, timeout=timeout)
                     recorder.record(599, time.perf_counter() - t0, None)
                     continue
-                recorder.record(status, time.perf_counter() - t0, cache)
+                recorder.record(status, time.perf_counter() - t0, cache, trace_id=trace)
         finally:
             conn.close()
 
@@ -366,6 +434,7 @@ def run_closed_loop(
         latencies_s=tuple(recorder.latencies),
         status_counts=recorder.status_counts,
         warm_hits=recorder.warm_hits,
+        slow_traces=_slow_traces(host, port, recorder, timeout=timeout),
     )
 
 
@@ -416,13 +485,15 @@ def run_open_loop(
                 lateness = max(0.0, (time.perf_counter() - started) - offset)
                 t0 = time.perf_counter()
                 try:
-                    status, cache = _post_one(conn, payload)
+                    status, cache, trace = _post_one(conn, payload)
                 except (OSError, http.client.HTTPException):
                     conn.close()
                     conn = http.client.HTTPConnection(host, port, timeout=timeout)
                     recorder.record(599, time.perf_counter() - t0, None, lateness)
                     continue
-                recorder.record(status, time.perf_counter() - t0, cache, lateness)
+                recorder.record(
+                    status, time.perf_counter() - t0, cache, lateness, trace_id=trace
+                )
         finally:
             conn.close()
 
@@ -444,6 +515,7 @@ def run_open_loop(
         lateness_s=tuple(recorder.lateness),
         status_counts=recorder.status_counts,
         warm_hits=recorder.warm_hits,
+        slow_traces=_slow_traces(host, port, recorder, timeout=timeout),
     )
 
 
@@ -508,12 +580,13 @@ def run_session_loop(
                     response = conn.getresponse()
                     response.read()
                     status, cache = response.status, response.getheader("X-Repro-Cache")
+                    trace = _trace_of(response)
                 except (OSError, http.client.HTTPException):
                     conn.close()
                     conn = http.client.HTTPConnection(host, port, timeout=timeout)
                     recorder.record(599, time.perf_counter() - t0, None)
                     continue
-                recorder.record(status, time.perf_counter() - t0, cache)
+                recorder.record(status, time.perf_counter() - t0, cache, trace_id=trace)
             try:
                 conn.request("DELETE", f"/session/{sid}", headers=headers)
                 conn.getresponse().read()
@@ -542,6 +615,7 @@ def run_session_loop(
         latencies_s=tuple(recorder.latencies),
         status_counts=recorder.status_counts,
         warm_hits=recorder.warm_hits,
+        slow_traces=_slow_traces(host, port, recorder, timeout=timeout),
     )
 
 

@@ -38,6 +38,8 @@ from typing import Any, Mapping
 
 from ..core.errors import InvalidInstanceError, ReproError
 from ..core.instance import StripPackingInstance
+from ..obs import recorder
+from ..obs.trace import TraceContext, current_trace
 from .faults import FaultInjector
 
 __all__ = ["BackpressureError", "QueueStats", "SolveRequest", "MicroBatcher"]
@@ -56,6 +58,10 @@ class SolveRequest:
     params: Mapping[str, Any] | None
     future: Future
     enqueued_at: float
+    #: The submitting request's trace, captured at submit time — the
+    #: batcher drains on its own thread, where the request contextvar is
+    #: not visible, so the trace must ride the queue entry itself.
+    trace: TraceContext | None = None
 
     @property
     def group_key(self) -> tuple[str | None, str]:
@@ -237,6 +243,7 @@ class MicroBatcher:
             params=dict(params) if params is not None else None,
             future=Future(),
             enqueued_at=time.monotonic(),
+            trace=current_trace(),
         )
         with self._lock:
             # Counted before the put so `submitted >= completed` holds in
@@ -340,6 +347,17 @@ class MicroBatcher:
         with self._lock:
             self._batches += 1
             self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        drained_at = time.monotonic()
+        spans = recorder()
+        for request in batch:
+            if request.trace is not None:
+                spans.record(
+                    request.trace.trace_id,
+                    "queue.wait",
+                    request.enqueued_at,
+                    drained_at - request.enqueued_at,
+                    tenant=request.trace.tenant,
+                )
         groups: dict[tuple[str | None, str], list[SolveRequest]] = {}
         for request in batch:
             groups.setdefault(request.group_key, []).append(request)
@@ -360,6 +378,18 @@ class MicroBatcher:
                 continue
             with self._lock:
                 self._completed += len(requests)
+            solved_at = time.monotonic()
             for request, report in zip(requests, reports):
+                if request.trace is not None:
+                    # The engine's own measured wall time, anchored so the
+                    # span ends where the batch's futures resolve.
+                    spans.record(
+                        request.trace.trace_id,
+                        "engine.solve",
+                        solved_at - report.wall_time,
+                        report.wall_time,
+                        tenant=request.trace.tenant,
+                        algorithm=report.algorithm,
+                    )
                 if not request.future.done():
                     request.future.set_result(report)

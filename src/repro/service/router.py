@@ -73,6 +73,8 @@ from http import HTTPStatus
 from typing import Any, Iterable, Mapping
 
 from ..core.errors import InvalidInstanceError
+from ..obs import get_logger, recorder
+from ..obs.trace import TRACE_HEADER, current_trace
 from .faults import FaultInjector, FaultPlan
 from .server import (
     HttpServerBase,
@@ -89,8 +91,19 @@ from .worker import worker_main
 
 __all__ = ["HashRing", "WorkerHandle", "RouterServer"]
 
-#: One structured line per failover / rejoin decision.
-log = logging.getLogger("repro.service.router")
+#: Stdlib logger name the structured events fall back to when no explicit
+#: sink is configured (``repro serve --log-format/--log-file``); kept so
+#: embedding applications and caplog keep seeing router events here.
+LOG_NAME = "repro.service.router"
+
+# Retained for callers that attach handlers to the router's logger.
+log = logging.getLogger(LOG_NAME)
+
+
+def _event(event: str, **fields) -> None:
+    """One structured line per failover / rejoin / respawn decision —
+    every operational event goes through the obs logger (single path)."""
+    get_logger().event(event, logger=LOG_NAME, **fields)
 
 #: Virtual nodes per worker: enough to spread the key space within a few
 #: percent of even at N <= 16 workers while keeping ring edits cheap.
@@ -292,7 +305,11 @@ class _WorkerClient:
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     async def request(
-        self, method: str, path: str, body: bytes = b""
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         if self._faults is not None:
             for spec in self._faults.check("router.send", worker=self._worker_id):
@@ -306,7 +323,7 @@ class _WorkerClient:
         while self._idle:
             conn = self._idle.pop()
             try:
-                return await self._round_trip(conn, method, path, body)
+                return await self._round_trip(conn, method, path, body, headers)
             except asyncio.CancelledError:
                 # A wait_for timeout cancels us mid-round-trip; the popped
                 # connection is half-used and must not return to the pool.
@@ -316,18 +333,27 @@ class _WorkerClient:
                 self._discard(conn)
         conn = await asyncio.open_connection(self._host, self._port)
         try:
-            return await self._round_trip(conn, method, path, body)
+            return await self._round_trip(conn, method, path, body, headers)
         except BaseException:
             self._discard(conn)
             raise
 
-    async def _round_trip(self, conn, method: str, path: str, body: bytes):
+    async def _round_trip(
+        self,
+        conn,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ):
         reader, writer = conn
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self._host}:{self._port}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: keep-alive\r\n\r\n"
+            "Connection: keep-alive\r\n"
+            f"{extra}\r\n"
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
@@ -392,6 +418,9 @@ class RouterServer(HttpServerBase):
     same error mapping, same ``X-Repro-Cache`` header), so clients and
     the load generator cannot tell one worker from eight.
     """
+
+    #: The front-door hop's root span (vs the worker's ``server.request``).
+    SPAN_ROOT = "router.request"
 
     #: How long a request keeps walking the ring before giving up with 503.
     FAILOVER_TIMEOUT_S = 10.0
@@ -501,7 +530,7 @@ class RouterServer(HttpServerBase):
                         # reset) benched a worker whose process is fine —
                         # the liveness probe puts it back in rotation.
                         self._ring.add(worker_id)
-                        log.info("rejoin worker=%s reason=alive", worker_id)
+                        _event("rejoin", worker=worker_id, reason="alive")
                     continue
                 self._mark_dead(worker_id)
                 if handle.restarts >= self.max_restarts:
@@ -512,18 +541,22 @@ class RouterServer(HttpServerBase):
                     await loop.run_in_executor(None, handle.spawn, self._spawn_timeout)
                 except Exception as exc:
                     # Spawn failed; the next tick retries (up to the cap).
-                    log.warning(
-                        "respawn-failed worker=%s attempt=%d error=%s",
-                        worker_id, handle.restarts, exc,
+                    _event(
+                        "respawn_failed",
+                        worker=worker_id,
+                        attempt=handle.restarts,
+                        error=str(exc),
                     )
                     continue
                 finally:
                     self._respawns_inflight.discard(worker_id)
                 self._clients[worker_id] = self._make_client(handle)
                 self._ring.add(worker_id)
-                log.info(
-                    "respawned worker=%s restarts=%d port=%s",
-                    worker_id, handle.restarts, handle.port,
+                _event(
+                    "respawn",
+                    worker=worker_id,
+                    restarts=handle.restarts,
+                    port=handle.port,
                 )
 
     def _mark_dead(self, worker_id: int) -> None:
@@ -537,6 +570,7 @@ class RouterServer(HttpServerBase):
         """Graceful fleet shutdown: stop accepting, finish in-flight
         requests, SIGTERM every worker (each drains its own queue), reap.
         """
+        _event("drain", stage="begin")
         self.begin_drain()
         bound.close()
         await bound.wait_closed()
@@ -552,6 +586,7 @@ class RouterServer(HttpServerBase):
             )
         )
         self.close()
+        _event("drain", stage="complete")
 
     def close(self) -> None:
         """Tear the fleet down hard (idempotent; safe off the loop).
@@ -606,6 +641,12 @@ class RouterServer(HttpServerBase):
         Only an empty ring (or unbroken timeouts) past the failover
         deadline surfaces as 503.
         """
+        # Propagate the ambient trace to the owning worker: the worker's
+        # front door adopts it, so one trace id spans both hops.
+        ctx = current_trace()
+        trace_headers = (
+            {TRACE_HEADER: ctx.child().header_value()} if ctx is not None else None
+        )
         deadline = time.monotonic() + self.FAILOVER_TIMEOUT_S
         timed_out: set[int] = set()
         while True:
@@ -630,11 +671,18 @@ class RouterServer(HttpServerBase):
             attempt = 0
             while True:
                 try:
-                    if self.request_timeout is not None:
-                        return await asyncio.wait_for(
-                            client.request("POST", path, body), self.request_timeout
-                        )
-                    return await client.request("POST", path, body)
+                    with recorder().span(
+                        ctx.trace_id if ctx else None,
+                        "router.forward",
+                        tenant=ctx.tenant if ctx else "default",
+                        worker=str(worker_id),
+                    ):
+                        if self.request_timeout is not None:
+                            return await asyncio.wait_for(
+                                client.request("POST", path, body, trace_headers),
+                                self.request_timeout,
+                            )
+                        return await client.request("POST", path, body, trace_headers)
                 except asyncio.TimeoutError:
                     # NB: must precede the OSError family — TimeoutError
                     # is an OSError subclass on 3.11+.
@@ -647,9 +695,12 @@ class RouterServer(HttpServerBase):
                     if attempt >= self.retries:
                         self._retries += 1
                         timed_out.add(worker_id)
-                        log.warning(
-                            "failover worker=%s reason=timeout attempts=%d path=%s",
-                            worker_id, attempt + 1, path,
+                        _event(
+                            "failover",
+                            worker=worker_id,
+                            reason="timeout",
+                            path=path,
+                            attempts=attempt + 1,
                         )
                         break
                     delay = self.backoff_s * (2**attempt) * (0.5 + self._retry_rng.random())
@@ -658,9 +709,12 @@ class RouterServer(HttpServerBase):
                 except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
                     self._retries += 1
                     self._mark_dead(worker_id)
-                    log.warning(
-                        "failover worker=%s reason=%s path=%s error=%s",
-                        worker_id, self._failure_reason(exc), path, exc,
+                    _event(
+                        "failover",
+                        worker=worker_id,
+                        reason=self._failure_reason(exc),
+                        path=path,
+                        error=str(exc),
                     )
                     if time.monotonic() >= deadline:
                         raise _BadRequest(
@@ -722,7 +776,46 @@ class RouterServer(HttpServerBase):
             "_session_delete",
             "/session/{id}",
         ),
+        (
+            "GET",
+            re.compile(r"/debug/trace/(?P<trace_id>[^/]+)"),
+            "_debug_trace",
+            "/debug/trace/{id}",
+        ),
     )
+
+    async def _debug_trace(
+        self, body: bytes, headers, trace_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        """The fleet-merged span tree of one trace: the router's own spans
+        plus every live worker's, sorted into one document."""
+        doc = recorder().trace_document(trace_id)
+        spans = list(doc["spans"])
+
+        async def fetch(worker_id: int):
+            try:
+                status, _headers, payload = await self._clients[worker_id].request(
+                    "GET", f"/debug/trace/{trace_id}"
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                return []
+            if status != 200:
+                return []
+            try:
+                return json.loads(payload).get("spans", [])
+            except (json.JSONDecodeError, AttributeError):
+                return []
+
+        order = sorted(
+            worker_id
+            for worker_id, handle in self._handles.items()
+            if handle.alive() and worker_id in self._ring
+        )
+        for worker_spans in await asyncio.gather(*(fetch(w) for w in order)):
+            spans.extend(worker_spans)
+        spans.sort(key=lambda s: s.get("start_s", 0.0))
+        merged = {"trace": trace_id, "spans": spans}
+        return 200, {}, json.dumps(merged, sort_keys=True).encode("utf-8")
 
     @staticmethod
     def _session_key(session_id: str) -> str:
@@ -827,16 +920,28 @@ class RouterServer(HttpServerBase):
             )
 
     async def _solve(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
-        data = parse_json_body(body)
-        key, name, _params, _instance = resolve_solve_request(data)
+        ctx = current_trace()
+        with recorder().span(
+            ctx.trace_id if ctx is not None else None,
+            "router.route",
+            tenant=ctx.tenant if ctx is not None else "default",
+        ):
+            data = parse_json_body(body)
+            key, name, _params, _instance = resolve_solve_request(data)
         self.metrics.count_algorithm(name)
         status, _resp_headers, payload, source = await self._routed(key, "/solve", body)
         extra = {"X-Repro-Cache": source} if status == 200 else {}
         return status, extra, payload
 
     async def _portfolio(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
-        data = parse_json_body(body)
-        key, _instance, _algorithms, _params = resolve_portfolio_request(data)
+        ctx = current_trace()
+        with recorder().span(
+            ctx.trace_id if ctx is not None else None,
+            "router.route",
+            tenant=ctx.tenant if ctx is not None else "default",
+        ):
+            data = parse_json_body(body)
+            key, _instance, _algorithms, _params = resolve_portfolio_request(data)
         status, _resp_headers, payload, source = await self._routed(key, "/portfolio", body)
         extra = {"X-Repro-Cache": source} if status == 200 else {}
         return status, extra, payload
@@ -935,6 +1040,7 @@ class RouterServer(HttpServerBase):
             },
         }
         snapshot["sessions"] = snapshot["router"]["sessions"]
+        snapshot["spans"] = recorder().histogram_snapshot()
         if self.faults is not None:
             snapshot["router"]["faults_injected"] = self.faults.fired + sum(
                 snap.get("faults", {}).get("injected", 0) for snap in workers.values()

@@ -81,6 +81,16 @@ from ..core.serialize import (
     placement_to_dict,
     result_key,
 )
+from ..obs import get_logger, recorder
+from ..obs.spans import histogram_samples
+from ..obs.trace import (
+    TENANT_HEADER,
+    TRACE_HEADER,
+    current_trace,
+    parse_trace_header,
+    reset_current,
+    set_current,
+)
 from .cache import DEFAULT_CACHE_BYTES, NeighborIndex, ResultCache
 from .faults import FaultInjector, FaultPlan, as_injector
 from .queue import BackpressureError, MicroBatcher
@@ -243,6 +253,11 @@ _PROM_TYPES = {
     "repro_router_retries_total": "counter",
     "repro_retries_total": "counter",
     "repro_faults_injected_total": "counter",
+    # Span-duration histograms (repro.obs.spans): the conventional
+    # histogram series emitted as three explicit counter families.
+    "repro_span_duration_seconds_bucket": "counter",
+    "repro_span_duration_seconds_sum": "counter",
+    "repro_span_duration_seconds_count": "counter",
 }
 
 #: One metrics sample: (metric name, labels, value).
@@ -304,6 +319,9 @@ def prometheus_samples(
     add("repro_sessions_created_total", sessions.get("created"))
     add("repro_session_steps_total", sessions.get("steps"))
     add("repro_faults_injected_total", snapshot.get("faults", {}).get("injected"))
+    spans = snapshot.get("spans")
+    if spans:
+        out.extend(histogram_samples(spans, base))
     return out
 
 
@@ -432,6 +450,10 @@ class HttpServerBase:
     #: ``/session/<anything>/step`` is one bounded series, not one per id.
     DYNAMIC_ROUTES: tuple[tuple[str, "re.Pattern[str]", str, str], ...] = ()
 
+    #: Name of the per-request root span (the router overrides it, so a
+    #: merged trace distinguishes the front-door hop from the worker hop).
+    SPAN_ROOT = "server.request"
+
     def __init__(self) -> None:
         self.metrics = ServiceMetrics()
         self.host: str | None = None
@@ -511,6 +533,14 @@ class HttpServerBase:
                     break
                 method, path, headers, body = request
                 t0 = time.monotonic()
+                # Front door of the trace: adopt the propagated context
+                # (router -> worker) or mint a fresh one, and make it
+                # ambient for everything _dispatch awaits or executes.
+                ctx = parse_trace_header(
+                    headers.get(TRACE_HEADER.lower()),
+                    tenant=headers.get(TENANT_HEADER.lower()),
+                )
+                token = set_current(ctx)
                 self._active_requests += 1
                 try:
                     status, extra_headers, payload = await self._dispatch(
@@ -518,10 +548,33 @@ class HttpServerBase:
                     )
                 finally:
                     self._active_requests -= 1
+                    reset_current(token)
+                latency_s = time.monotonic() - t0
                 # Unmatched paths share one metrics key, so a client
                 # probing random URLs cannot grow the endpoint table.
-                self.metrics.record(
-                    self._endpoint_label(path), status, time.monotonic() - t0
+                endpoint = self._endpoint_label(path)
+                self.metrics.record(endpoint, status, latency_s)
+                recorder().record(
+                    ctx.trace_id,
+                    self.SPAN_ROOT,
+                    t0,
+                    latency_s,
+                    tenant=ctx.tenant,
+                    endpoint=endpoint,
+                )
+                extra_headers = {**extra_headers, TRACE_HEADER: ctx.header_value()}
+                event_fields = {
+                    "trace": ctx.trace_id,
+                    "endpoint": endpoint,
+                    "status": int(status),
+                    "latency_ms": round(latency_s * 1e3, 3),
+                    "tenant": ctx.tenant,
+                }
+                cache_disposition = extra_headers.get("X-Repro-Cache")
+                if cache_disposition is not None:
+                    event_fields["cache"] = cache_disposition
+                get_logger().event(
+                    "request", logger="repro.service.request", **event_fields
                 )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
@@ -786,6 +839,7 @@ class SolveServer(HttpServerBase):
         listener accepted is answered (in-flight handlers finish, the
         micro-batcher drains its queue) before resources are torn down.
         """
+        get_logger().event("drain", logger="repro.service", stage="begin")
         self.begin_drain()
         bound.close()
         await bound.wait_closed()
@@ -794,6 +848,7 @@ class SolveServer(HttpServerBase):
             None, lambda: self.batcher.drain(timeout)
         )
         self.close()
+        get_logger().event("drain", logger="repro.service", stage="complete")
 
     # -- caching helpers --------------------------------------------------
 
@@ -807,10 +862,23 @@ class SolveServer(HttpServerBase):
         cancels work others are waiting on.  A failed leader resolves the
         future with ``None`` and each follower retries independently —
         errors are never coalesced into unrelated requests.
+
+        In-flight is probed *before* the cache: a follower that will be
+        answered ``coalesced`` must not also count a cache miss, or the
+        ``X-Repro-Cache`` headers and the ``/metrics`` cache counters
+        disagree for the whole coalescing window.  Header↔counter
+        consistency is pinned by tests; keep the probe order.
         """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            payload = await asyncio.shield(existing)
+            if payload is not None:
+                return payload, "coalesced"
         cached = await self._cache_get(key)
         if cached is not None:
             return cached, "hit"
+        # The spill-tier lookup awaited: someone may have become leader
+        # meanwhile.  Join them rather than racing a duplicate solve.
         existing = self._inflight.get(key)
         if existing is not None:
             payload = await asyncio.shield(existing)
@@ -838,23 +906,35 @@ class SolveServer(HttpServerBase):
         scheduling per hit) and only the possible-disk-read miss path
         moves to the default thread-pool executor.
         """
-        if self.cache.spill_dir is None:
-            return self.cache.get(key)
-        payload = self.cache.get_memory(key)
-        if payload is not None:
-            return payload
-        return await asyncio.get_running_loop().run_in_executor(
-            None, self.cache.get, key
-        )
+        ctx = current_trace()
+        with recorder().span(
+            ctx.trace_id if ctx else None,
+            "cache.lookup",
+            tenant=ctx.tenant if ctx else "default",
+        ):
+            if self.cache.spill_dir is None:
+                return self.cache.get(key)
+            payload = self.cache.get_memory(key)
+            if payload is not None:
+                return payload
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.get, key
+            )
 
     async def _cache_put(self, key: str, payload: bytes) -> None:
         """Cache insert; eviction may spill to disk, so same treatment."""
-        if self.cache.spill_dir is None:
-            self.cache.put(key, payload)
-            return
-        await asyncio.get_running_loop().run_in_executor(
-            None, self.cache.put, key, payload
-        )
+        ctx = current_trace()
+        with recorder().span(
+            ctx.trace_id if ctx else None,
+            "cache.store",
+            tenant=ctx.tenant if ctx else "default",
+        ):
+            if self.cache.spill_dir is None:
+                self.cache.put(key, payload)
+                return
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.put, key, payload
+            )
 
     # -- endpoints ---------------------------------------------------------
 
@@ -879,7 +959,22 @@ class SolveServer(HttpServerBase):
             "_session_delete",
             "/session/{id}",
         ),
+        (
+            "GET",
+            re.compile(r"/debug/trace/(?P<trace_id>[^/]+)"),
+            "_debug_trace",
+            "/debug/trace/{id}",
+        ),
     )
+
+    async def _debug_trace(
+        self, body: bytes, headers, trace_id: str
+    ) -> tuple[int, dict[str, str], bytes]:
+        """This process's recorded spans for ``trace_id`` (an unknown id
+        answers an empty span list, not a 404 — the ring may simply have
+        evicted it)."""
+        doc = recorder().trace_document(trace_id)
+        return 200, {}, json.dumps(doc, sort_keys=True).encode("utf-8")
 
     async def _healthz(self, body: bytes, headers) -> tuple[int, dict[str, str], bytes]:
         from .. import __version__
@@ -903,6 +998,7 @@ class SolveServer(HttpServerBase):
             "created": self._sessions_created,
             "steps": self._session_steps,
         }
+        snapshot["spans"] = recorder().histogram_snapshot()
         if self.faults is not None:
             snapshot["faults"] = {
                 "injected": self.faults.fired,

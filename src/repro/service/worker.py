@@ -37,6 +37,7 @@ __all__ = ["worker_main"]
 
 
 async def _serve(worker_id: int, conn, config: Mapping[str, Any]) -> None:
+    from ..obs import configure_logging, set_identity
     from .faults import FaultInjector
     from .server import SolveServer
 
@@ -49,6 +50,17 @@ async def _serve(worker_id: int, conn, config: Mapping[str, Any]) -> None:
         from .. import kernels
 
         kernels.set_tier(tier)
+    # Observability config rides the same way: every span this process
+    # records is stamped worker=<id>, and the structured-log sink matches
+    # the parent's --log-format/--log-file (workers append to one file;
+    # whole-line writes interleave cleanly).
+    set_identity(worker_id)
+    log_format = config.pop("log_format", None)
+    log_file = config.pop("log_file", None)
+    if log_format is not None or log_file is not None:
+        import sys
+
+        configure_logging(log_format, log_file, stream=sys.stderr if log_file is None else None)
     # A chaos plan rides inside the (picklable) worker config as a plain
     # dict; each worker builds its own injector scoped to its id, so a
     # spec with "worker": K fires only in worker K.
